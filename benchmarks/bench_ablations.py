@@ -1,0 +1,98 @@
+"""Ablations over the paper's design decisions (DESIGN.md's ablation list).
+
+Each bench toggles one design choice and measures the consequence the
+paper argued from:
+
+* power-delivery scheme (edge+LDO vs 12V+buck vs TWV);
+* detour routing on/off for fault-blocked pairs;
+* monolithic vs chiplet-assembly system yield;
+* decap area fraction vs transient droop.
+"""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.geometry.chiplet import tile_area_mm2
+from repro.noc.faults import FaultMap
+from repro.noc.kernel import KernelRouter
+from repro.pdn.decap import DecapModel
+from repro.pdn.delivery import DeliveryScheme, chosen_scheme, compare_delivery_schemes
+from repro.yieldmodel.system_yield import compare_monolithic_vs_chiplet
+
+from conftest import print_series
+
+
+def test_ablation_delivery_scheme(benchmark, paper_cfg):
+    options = benchmark.pedantic(
+        compare_delivery_schemes, args=(paper_cfg,), rounds=1, iterations=1
+    )
+    rows = [("scheme", "efficiency", "area overhead", "feasible")]
+    rows += [
+        (
+            s.value,
+            f"{o.end_to_end_efficiency:.2f}",
+            f"{o.area_overhead_fraction:.0%}",
+            o.feasible,
+        )
+        for s, o in options.items()
+    ]
+    print_series("Power delivery scheme ablation", rows)
+    assert chosen_scheme(options) is DeliveryScheme.EDGE_LDO
+
+
+def test_ablation_detour_routing(benchmark):
+    cfg = SystemConfig(rows=8, cols=8)
+    fmap = FaultMap(cfg, frozenset({(0, 4), (4, 4)}))
+
+    def both():
+        without = KernelRouter(fmap).assign_all_pairs(allow_detour=False)
+        with_detour = KernelRouter(fmap).assign_all_pairs(allow_detour=True)
+        return without, with_detour
+
+    without, with_detour = benchmark.pedantic(both, rounds=1, iterations=1)
+    rows = [
+        ("unreachable w/o detours", without.unreachable_pairs),
+        ("unreachable w/ detours", with_detour.unreachable_pairs),
+        ("pairs recovered", without.unreachable_pairs - with_detour.unreachable_pairs),
+    ]
+    print_series("Kernel detour routing ablation", rows)
+    assert with_detour.unreachable_pairs < without.unreachable_pairs
+    assert with_detour.unreachable_pairs == 0
+
+
+def test_ablation_monolithic_vs_chiplet(benchmark, paper_cfg):
+    result = benchmark(compare_monolithic_vs_chiplet, paper_cfg)
+    rows = [
+        ("monolithic, zero redundancy", f"{result.monolithic_zero_redundancy:.2e}"),
+        (
+            f"monolithic, {result.redundant_tiles} spare tiles",
+            f"{result.monolithic_with_redundancy:.4f}",
+        ),
+        ("chiplet assembly (KGD + dual pillar)", f"{result.chiplet_assembly:.4f}"),
+        ("expected faulty chiplets", f"{result.expected_faulty_chiplets:.2f}"),
+    ]
+    print_series("Monolithic vs chiplet yield", rows)
+    assert result.chiplet_assembly > result.monolithic_with_redundancy
+
+
+def test_ablation_decap_area_sweep(benchmark, paper_cfg):
+    area = tile_area_mm2(paper_cfg)
+
+    def sweep():
+        return [
+            (frac, DecapModel(area, area_fraction=frac).droop_for_step() * 1e3)
+            for frac in (0.05, 0.15, 0.25, 0.35, 0.45)
+        ]
+
+    series = benchmark(sweep)
+    print_series(
+        "Decap area vs transient droop",
+        [("area fraction", "droop mV (budget 100)")]
+        + [(f"{f:.0%}", f"{d:.0f}") for f, d in series],
+    )
+    droops = [d for _, d in series]
+    assert droops == sorted(droops, reverse=True)
+    # The paper's 35% pick is the smallest fraction meeting the 100mV budget
+    # at this decap density.
+    meets = [f for f, d in series if d <= 100.0]
+    assert min(meets) == pytest.approx(0.35)

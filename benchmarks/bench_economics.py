@@ -1,0 +1,86 @@
+"""Section I's claims, quantified: technology density, cost, energy.
+
+The paper's introduction makes three comparative claims this bench
+regenerates from the models:
+
+* Si-IF I/Os are "at least 16x denser" than interposer u-bumps;
+* chiplet assembly "can provide significant ... cost benefits" over a
+  monolithic waferscale chip;
+* on-wafer communication beats off-package links on energy (the whole
+  motivation for waferscale integration).
+"""
+
+import pytest
+
+from repro.arch.energy import EnergyModel
+from repro.io.interposer import density_advantage, technology_comparison
+from repro.yieldmodel.cost import cost_comparison
+
+from conftest import print_series
+
+
+def test_sec1_io_density_claim(benchmark):
+    advantage = benchmark(density_advantage)
+    rows = [("Si-IF vs interposer I/O density", f"{advantage:.0f}x (paper: >=16x)")]
+    for tech in technology_comparison():
+        rows.append(
+            (
+                tech["name"],
+                f"{tech['io_density_per_mm2']:.0f} IO/mm2, "
+                f"link width {tech['link_width']} over a 2.4mm edge",
+            )
+        )
+    print_series("Sec. I integration-technology comparison", rows)
+    assert advantage == pytest.approx(16.0)
+
+
+def test_sec1_cost_claim(benchmark, paper_cfg):
+    comparison = benchmark.pedantic(
+        cost_comparison, args=(paper_cfg,), rounds=1, iterations=1
+    )
+    rows = [
+        ("chiplet assembly, cost/good system",
+         f"${comparison['chiplet_cost_per_good']:.0f}"),
+        ("monolithic, cost/good system",
+         f"${comparison['monolithic_cost_per_good']:.0f}"),
+        ("chiplet yield / monolithic yield",
+         f"{comparison['chiplet_yield']:.3f} / {comparison['monolithic_yield']:.3f}"),
+        ("advantage", f"{comparison['monolithic_over_chiplet']:.0f}x"),
+    ]
+    print_series("Sec. I cost comparison (16 spare tiles tolerated)", rows)
+    assert comparison["monolithic_over_chiplet"] > 10
+
+
+def test_sec1_energy_claim(benchmark, paper_cfg):
+    model = EnergyModel(paper_cfg)
+    result = benchmark(
+        model.waferscale_vs_off_package, bits_moved=8 * 2**30, mean_hops=16
+    )
+    rows = [
+        ("move 1 GiB across the wafer (16 hops)",
+         f"{result['on_wafer_j'] * 1e3:.1f} mJ"),
+        ("same bits over off-package links",
+         f"{result['off_package_j'] * 1e3:.1f} mJ"),
+        ("on-wafer advantage", f"{result['advantage_x']:.1f}x"),
+    ]
+    print_series("Sec. I communication-energy comparison", rows)
+    assert result["advantage_x"] > 3
+
+
+def test_noc_load_latency_curve(benchmark):
+    """The evaluation the network section implies: load vs latency."""
+    from repro.config import SystemConfig
+    from repro.noc.loadlatency import measure_load_latency
+
+    cfg = SystemConfig(rows=8, cols=8)
+    curve = benchmark.pedantic(
+        measure_load_latency,
+        args=(cfg,),
+        kwargs={"rates": [0.02, 0.1, 0.3, 0.6], "warm_cycles": 120, "seed": 2},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [("rate", "mean lat", "p99", "pkts/cycle", "")] + curve.rows()
+    print_series("Load-latency curve (8x8, uniform)", rows)
+    latencies = [p.mean_latency for p in curve.points]
+    assert latencies == sorted(latencies)

@@ -1,0 +1,80 @@
+"""Fig. 10 — progressive multi-chiplet JTAG chain unrolling.
+
+Regenerates the figure's procedure: a row chain is unrolled tile by tile;
+the first failing test pin-points the faulty chiplet.  Benchmarks the
+full-row unroll and the during-assembly early-abort check.
+"""
+
+import pytest
+
+from repro.dft.unrolling import (
+    ChainTestSession,
+    TileUnderTest,
+    during_assembly_check,
+    locate_faulty_tiles,
+)
+
+from conftest import print_series
+
+
+def test_fig10_unroll_locates_fault(benchmark):
+    # A 32-tile row chain with a fault at position 17.
+    health = [True] * 32
+    health[17] = False
+
+    faulty = benchmark(locate_faulty_tiles, health)
+
+    tiles = [TileUnderTest(index=i, healthy=h) for i, h in enumerate(health)]
+    session = ChainTestSession(tiles=tiles)
+    session.unroll()
+    rows = [
+        ("chain length", 32),
+        ("injected fault", 17),
+        ("located", faulty),
+        ("tests run", session.tests_run),
+        ("final visible chain", session.steps[-1].visible_chain_length),
+    ]
+    print_series("Fig. 10 progressive unrolling", rows)
+
+    assert faulty == [17]
+    assert session.tests_run == 18      # tiles 0..16 pass, 17 fails
+
+
+def test_fig10_unroll_cost_scales_with_fault_position(benchmark):
+    """Tests-to-locate grows linearly with fault depth: the unroll shape."""
+
+    def sweep():
+        out = []
+        for position in (0, 7, 15, 23, 31):
+            health = [True] * 32
+            health[position] = False
+            tiles = [TileUnderTest(index=i, healthy=h) for i, h in enumerate(health)]
+            session = ChainTestSession(tiles=tiles)
+            session.unroll()
+            out.append((position, session.tests_run))
+        return out
+
+    series = benchmark(sweep)
+    print_series("Unroll cost vs fault position", [("fault at", "tests")] + series)
+    costs = [c for _, c in series]
+    assert costs == sorted(costs)
+    assert costs[0] == 1 and costs[-1] == 32
+
+
+def test_fig10_during_assembly_early_abort(benchmark):
+    """Partially-bonded wafers are checked before wasting more KGDs."""
+
+    def check():
+        health = [True] * 10 + [False] + [True] * 21
+        results = []
+        for bonded in (5, 10, 11, 32):
+            faulty, good = during_assembly_check(bonded, health)
+            results.append((bonded, good, faulty))
+        return results
+
+    results = benchmark(check)
+    print_series(
+        "During-assembly checks", [("bonded", "good?", "faulty")] + results
+    )
+    assert results[0][1] and results[1][1]          # still good at 5, 10
+    assert not results[2][1] and results[2][2] == [10]

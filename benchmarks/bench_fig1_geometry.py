@@ -1,0 +1,43 @@
+"""Fig. 1 — system organisation: 32x32 tiles, 2048 chiplets on the wafer.
+
+Regenerates the geometric organisation the figure shows: the tile array,
+per-tile chiplet placement and the wafer-level area accounting.
+"""
+
+import pytest
+
+from repro.geometry.chiplet import compute_chiplet, memory_chiplet
+from repro.geometry.wafer import build_layout
+
+from conftest import print_series
+
+
+def test_fig1_geometry(benchmark, paper_cfg):
+    layout = benchmark(build_layout, paper_cfg)
+
+    compute = compute_chiplet(paper_cfg)
+    memory = memory_chiplet(paper_cfg)
+    rows = [
+        ("tiles", paper_cfg.tiles),
+        ("chiplets", paper_cfg.chiplets),
+        ("cores", paper_cfg.cores),
+        ("compute chiplet", f"{compute.width_mm} x {compute.height_mm} mm"),
+        ("memory chiplet", f"{memory.width_mm} x {memory.height_mm} mm"),
+        ("array", f"{layout.width_mm:.1f} x {layout.height_mm:.1f} mm"),
+        ("active silicon", f"{layout.active_area_mm2:.0f} mm2"),
+        ("max distance to edge", f"{layout.max_edge_distance_mm():.1f} mm"),
+    ]
+    print_series("Fig. 1 organisation", rows)
+
+    assert paper_cfg.tiles == 1024
+    assert paper_cfg.chiplets == 2048
+    assert len(layout.placements()) == 1024
+    # Memory chiplet sits below its compute chiplet in every tile.
+    from repro.geometry.chiplet import ChipletKind
+
+    for placement in layout.placements()[:64]:
+        _, cy = placement.chiplet_origin(ChipletKind.COMPUTE)
+        _, my = placement.chiplet_origin(ChipletKind.MEMORY)
+        assert my > cy
+    # ~11,300mm2 of active silicon: 10x+ the largest single-die systems.
+    assert layout.active_area_mm2 > 10_000

@@ -1,0 +1,58 @@
+"""Fig. 2 — edge power delivery and the 2.5V -> 1.4V droop profile.
+
+Regenerates the figure's content: the delivered-voltage map across the
+wafer at peak draw, with the paper's edge (2.5V) and centre (~1.4V)
+values, plus the Section III aggregates (~290A, 725W, 20nF/tile decap).
+"""
+
+import pytest
+
+from repro.pdn.decap import paper_decap_model
+from repro.pdn.solver import PdnSolver
+
+from conftest import print_series
+
+PAPER = {"edge_v": 2.5, "center_v": 1.4, "total_current_a": 290}
+
+
+def test_fig2_droop_profile(benchmark, paper_cfg):
+    solver = PdnSolver(paper_cfg)
+    solution = benchmark(solver.solve)
+
+    cross = solution.center_cross_section()
+    rows = [("col", "V(middle row)")] + [
+        (c, f"{cross[c]:.3f}") for c in range(0, paper_cfg.cols, 4)
+    ]
+    rows.append(("min/max", f"{solution.min_voltage:.3f} / {solution.max_voltage:.3f}"))
+    rows.append(("total current", f"{solution.total_current_a:.0f} A"))
+    rows.append(("supply power", f"{solution.supply_power_w:.0f} W"))
+    rows.append(("plane loss", f"{solution.plane_loss_w:.0f} W"))
+    rows.append(("decap per tile", f"{paper_decap_model().capacitance_f * 1e9:.1f} nF"))
+    print_series("Fig. 2 droop profile", rows)
+
+    # Paper shape: 2.5V at the edge, ~1.4V at the centre, ~290A total.
+    assert solution.max_voltage == pytest.approx(PAPER["edge_v"], abs=0.05)
+    assert solution.min_voltage == pytest.approx(PAPER["center_v"], abs=0.1)
+    assert solution.total_current_a == pytest.approx(PAPER["total_current_a"], rel=0.05)
+
+    benchmark.extra_info["paper"] = PAPER
+    benchmark.extra_info["measured"] = {
+        "edge_v": solution.max_voltage,
+        "center_v": solution.min_voltage,
+        "total_current_a": solution.total_current_a,
+    }
+
+
+def test_fig2_droop_is_monotone_with_depth(benchmark, paper_cfg):
+    """Voltage falls monotonically with distance from the supply edge."""
+    import numpy as np
+
+    solver = PdnSolver(paper_cfg)
+    solution = solver.solve()
+
+    def correlation():
+        dist, volts = zip(*solution.droop_profile())
+        return float(np.corrcoef(dist, volts)[0, 1])
+
+    corr = benchmark(correlation)
+    assert corr < -0.9

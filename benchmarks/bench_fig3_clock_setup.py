@@ -1,0 +1,57 @@
+"""Fig. 3 + Section IV — clock selection/forwarding and the rejected CDN.
+
+Regenerates the Section IV analysis: the passive waferscale CDN's
+parasitics (paper: >450pF, >120nH, sub-PLL-reference frequencies), the
+clock setup phase over the full wafer, and duty-cycle-distortion control
+(5%/tile kills a non-inverting chain in ~10 tiles; inversion survives).
+"""
+
+import pytest
+
+from repro.clock.dcd import DutyCycleTracker, tiles_until_clock_dies
+from repro.clock.forwarding import simulate_clock_setup
+from repro.clock.passive_cdn import build_waferscale_cdn
+
+from conftest import print_series
+
+
+def test_sec4_passive_cdn_rejected(benchmark, paper_cfg):
+    model = benchmark(build_waferscale_cdn, paper_cfg)
+    rows = [
+        ("tree capacitance", f"{model.capacitance_f * 1e12:.0f} pF (paper >450)"),
+        ("tree inductance", f"{model.inductance_h * 1e9:.0f} nH (paper >120)"),
+        ("max usable freq", f"{model.max_frequency_hz / 1e3:.0f} kHz (PLL needs 10MHz)"),
+    ]
+    print_series("Sec. IV passive CDN infeasibility", rows)
+    assert model.exceeds_paper_parasitics()
+    assert model.max_frequency_hz < 10e6
+
+
+def test_fig3_clock_setup_phase(benchmark, paper_cfg):
+    result = benchmark(simulate_clock_setup, paper_cfg)
+    rows = [
+        ("coverage", f"{result.coverage:.0%}"),
+        ("deepest chain", f"{result.max_hops} hops"),
+        ("setup time", f"{result.setup_time_s() * 1e6:.1f} us"),
+    ]
+    print_series("Fig. 3 clock setup on a clean wafer", rows)
+    assert result.coverage == 1.0
+    # Single corner generator: the far corner is 62 hops away on 32x32.
+    assert result.max_hops == 62
+
+
+def test_sec4_dcd_inversion(benchmark):
+    def dcd_study():
+        kill = tiles_until_clock_dies(0.05)
+        inverted = DutyCycleTracker(dcd_per_tile=0.05, invert_per_hop=True)
+        inverted.run(62)
+        return kill, inverted.alive, inverted.duty
+
+    kill_hops, inverted_alive, final_duty = benchmark(dcd_study)
+    rows = [
+        ("5%/tile, no inversion", f"clock dead in {kill_hops} tiles (paper: ~10)"),
+        ("5%/tile, inversion", f"alive after 62 hops, duty {final_duty:.2f}"),
+    ]
+    print_series("Sec. IV duty-cycle distortion", rows)
+    assert kill_hops == 10
+    assert inverted_alive

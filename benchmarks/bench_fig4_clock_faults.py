@@ -1,0 +1,54 @@
+"""Fig. 4 — clock forwarding with faulty tiles on an 8x8 array.
+
+Regenerates the figure: one edge generator, six faulty tiles, exactly one
+healthy-but-unreachable tile (surrounded on all four sides), and a tile
+that still receives the clock through its single healthy neighbour.  Also
+runs the Monte-Carlo coverage study the figure motivates.
+"""
+
+import pytest
+
+from repro.clock.forwarding import render_forwarding_map, simulate_clock_setup
+from repro.clock.resiliency import (
+    clock_coverage_theorem_holds,
+    fig4_fault_map,
+    monte_carlo_clock_coverage,
+)
+
+from conftest import print_series
+
+
+def test_fig4_fault_scenario(benchmark):
+    config, generators, faulty = fig4_fault_map()
+
+    result = benchmark(
+        simulate_clock_setup, config, generators=generators, faulty=faulty
+    )
+
+    print("\n=== Fig. 4 forwarding map (G=generator, #=faulty, X=unreached) ===")
+    print(render_forwarding_map(result))
+
+    assert len(result.faulty) == 6
+    assert result.unclocked_tiles == [(3, 3)]       # the yellow tile
+    assert result.states[(5, 6)].has_fast_clock     # "tile 3" analogue
+    assert clock_coverage_theorem_holds(config, faulty, generators)
+
+
+def test_fig4_monte_carlo_coverage(benchmark, reduced_cfg):
+    stats = benchmark.pedantic(
+        monte_carlo_clock_coverage,
+        args=(reduced_cfg, [0, 2, 4, 6, 8]),
+        kwargs={"trials": 50, "seed": 4},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [("faults", "mean coverage", "mean unreachable")]
+    rows += [
+        (s.fault_count, f"{s.mean_coverage:.4f}", f"{s.mean_unreachable:.3f}")
+        for s in stats
+    ]
+    print_series("Clock coverage vs faults (8x8, Monte Carlo)", rows)
+
+    assert stats[0].mean_coverage == 1.0
+    # Coverage degrades gently: tiles need ALL FOUR neighbours faulty.
+    assert stats[-1].mean_coverage > 0.95

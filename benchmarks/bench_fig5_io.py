@@ -1,0 +1,99 @@
+"""Fig. 5 + Section V — I/O cell, two pillars per pad, bonding yield.
+
+Regenerates the Section V numbers: the 150um^2 cell fits under a
+two-pillar pad but not one pillar, 0.063pJ/bit signalling energy, and the
+yield table (81.46% -> 99.998% per chiplet; ~380 -> ~1 expected faulty
+chiplets per 2048-chiplet wafer).
+"""
+
+import pytest
+
+from repro.io.bonding import BondingYieldModel
+from repro.io.cell import IoCellModel
+from repro.io.esd import baredie_esd_spec, esd_area_saving_factor
+
+from conftest import print_series
+
+PAPER = {
+    "single_pillar_yield": 0.8146,
+    "dual_pillar_yield": 0.99998,
+    "single_expected_faulty": 380,
+    "dual_expected_faulty": 1,
+    "energy_pj": 0.063,
+}
+
+
+def test_fig5_io_cell(benchmark):
+    cell = IoCellModel()
+    energy = benchmark(cell.energy_per_bit_j)
+
+    rows = [
+        ("cell area", f"{cell.cell_area_um2:.0f} um2"),
+        ("fits under 1 pillar", cell.fits_under_pads(1, 10.0, 1)),
+        ("fits under 2 pillars", cell.fits_under_pads(1, 10.0, 2)),
+        ("energy/bit", f"{energy * 1e12:.4f} pJ (paper 0.063)"),
+        ("ESD area saving vs packaged", f"{esd_area_saving_factor():.0f}x"),
+        ("bare-die clamp", f"{baredie_esd_spec().clamp_area_um2:.1f} um2"),
+    ]
+    print_series("Fig. 5 I/O cell", rows)
+
+    assert not cell.fits_under_pads(1, 10.0, 1)     # why 2 pillars exist
+    assert cell.fits_under_pads(1, 10.0, 2)
+    assert energy * 1e12 == pytest.approx(PAPER["energy_pj"], rel=0.05)
+
+
+def test_sec5_bonding_yield_table(benchmark):
+    def yield_table():
+        single = BondingYieldModel(pillars_per_pad=1)
+        dual = BondingYieldModel(pillars_per_pad=2)
+        return single, dual
+
+    single, dual = benchmark(yield_table)
+
+    rows = [
+        ("", "1 pillar/pad", "2 pillars/pad", "paper"),
+        (
+            "chiplet yield",
+            f"{single.chiplet_yield:.4f}",
+            f"{dual.chiplet_yield:.5f}",
+            "0.8146 -> 0.99998",
+        ),
+        (
+            "expected faulty / wafer",
+            f"{single.expected_faulty:.0f}",
+            f"{dual.expected_faulty:.3f}",
+            "380 -> ~1",
+        ),
+    ]
+    print_series("Sec. V bonding yield", rows)
+
+    assert single.chiplet_yield == pytest.approx(PAPER["single_pillar_yield"], abs=0.01)
+    assert dual.chiplet_yield == pytest.approx(PAPER["dual_pillar_yield"], abs=1e-4)
+    assert single.expected_faulty == pytest.approx(
+        PAPER["single_expected_faulty"], rel=0.05
+    )
+    assert dual.expected_faulty <= PAPER["dual_expected_faulty"]
+
+    benchmark.extra_info["paper"] = PAPER
+    benchmark.extra_info["measured"] = {
+        "single_pillar_yield": single.chiplet_yield,
+        "dual_pillar_yield": dual.chiplet_yield,
+        "single_expected_faulty": single.expected_faulty,
+        "dual_expected_faulty": dual.expected_faulty,
+    }
+
+
+def test_sec5_pillar_redundancy_sweep(benchmark):
+    """Ablation: expected faulty chiplets vs pillars per pad."""
+
+    def sweep():
+        return [
+            (n, BondingYieldModel(pillars_per_pad=n).expected_faulty)
+            for n in (1, 2, 3)
+        ]
+
+    series = benchmark(sweep)
+    print_series("Pillar redundancy ablation", [("pillars", "E[faulty]")] + series)
+    faulty = [f for _, f in series]
+    assert faulty[0] > 100 * faulty[1]      # the paper's dramatic drop
+    assert faulty[1] > faulty[2]

@@ -1,0 +1,71 @@
+"""Fig. 6 — disconnected source-destination pairs: one vs two DoR networks.
+
+The paper's headline resiliency figure.  Monte-Carlo over random fault
+maps on the full 32x32 wafer: the average percentage of communicating
+pairs that lose their round trip, versus fault count, for a single X-Y
+network and for the paper's two complementary networks.
+
+Paper shape: at 5 faulty chiplets, >12% disconnected with one network,
+<2% with two; the gap persists across the sweep.
+"""
+
+import pytest
+
+from repro.noc.connectivity import monte_carlo_disconnection
+
+from conftest import print_series
+
+PAPER = {"five_fault_single_pct": 12.0, "five_fault_dual_pct": 2.0}
+FAULT_COUNTS = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]
+
+
+def test_fig6_disconnection_curves(benchmark, paper_cfg):
+    stats = benchmark.pedantic(
+        monte_carlo_disconnection,
+        args=(paper_cfg, FAULT_COUNTS),
+        kwargs={"trials": 20, "seed": 6},
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [("faults", "single DoR %", "dual DoR %", "improvement")]
+    rows += [
+        (
+            s.fault_count,
+            f"{s.mean_single_pct:.2f}",
+            f"{s.mean_dual_pct:.3f}",
+            f"{s.improvement:.1f}x",
+        )
+        for s in stats
+    ]
+    print_series("Fig. 6 disconnected pairs vs fault count (32x32)", rows)
+
+    at5 = next(s for s in stats if s.fault_count == 5)
+    assert at5.mean_single_pct > PAPER["five_fault_single_pct"]
+    assert at5.mean_dual_pct < PAPER["five_fault_dual_pct"]
+
+    singles = [s.mean_single_pct for s in stats]
+    duals = [s.mean_dual_pct for s in stats]
+    assert singles == sorted(singles)
+    assert duals == sorted(duals)
+    assert all(d < s for s, d in zip(singles, duals))
+
+    benchmark.extra_info["paper"] = PAPER
+    benchmark.extra_info["measured"] = {
+        "five_fault_single_pct": at5.mean_single_pct,
+        "five_fault_dual_pct": at5.mean_dual_pct,
+        "series": [
+            (s.fault_count, s.mean_single_pct, s.mean_dual_pct) for s in stats
+        ],
+    }
+
+
+def test_fig6_single_map_analysis_speed(benchmark, paper_cfg):
+    """Timing bench: one exact 32x32 all-pairs analysis (~1M pairs)."""
+    from repro.noc.connectivity import disconnected_fraction
+    from repro.noc.faults import random_fault_map
+
+    fmap = random_fault_map(paper_cfg, 5, rng=1)
+    result = benchmark(disconnected_fraction, fmap)
+    assert result.healthy_pairs > 1_000_000
+    assert 0.0 <= result.dual <= result.single <= 1.0

@@ -1,0 +1,79 @@
+"""Fig. 7 — dual-network architecture and request/response complementarity.
+
+Regenerates the figure's two properties and measures them on the
+cycle-level simulator:
+
+* a request on X-Y returns its response on Y-X over the same tiles;
+* the kernel balances both-path pairs across the networks.
+"""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.noc.dualnetwork import NetworkId, response_retraces_request
+from repro.noc.faults import FaultMap
+from repro.noc.kernel import KernelRouter
+from repro.noc.packets import Packet, PacketKind
+from repro.noc.simulator import NocSimulator
+
+from conftest import print_series
+
+
+def test_fig7_response_retraces_request(benchmark, paper_cfg):
+    def check_all_pairs():
+        # Every pair in a 16x16 sub-array, both networks.
+        violations = 0
+        for src_r in range(0, 32, 4):
+            for src_c in range(0, 32, 4):
+                for dst_r in range(0, 32, 4):
+                    for dst_c in range(0, 32, 4):
+                        for net in NetworkId:
+                            if not response_retraces_request(
+                                (src_r, src_c), (dst_r, dst_c), net
+                            ):
+                                violations += 1
+        return violations
+
+    violations = benchmark(check_all_pairs)
+    assert violations == 0
+
+
+def test_fig7_request_response_on_simulator(benchmark, reduced_cfg):
+    def run():
+        sim = NocSimulator(reduced_cfg)
+        for col in range(1, 8):
+            sim.inject(
+                Packet(kind=PacketKind.REQUEST, src=(0, 0), dst=(col, col)),
+                NetworkId.XY,
+            )
+        sim.drain()
+        return sim.report()
+
+    report = benchmark(run)
+    rows = [
+        ("requests delivered", report.per_network_delivered[NetworkId.XY]),
+        ("responses delivered", report.per_network_delivered[NetworkId.YX]),
+        ("mean latency", f"{report.mean_latency:.1f} cycles"),
+    ]
+    print_series("Fig. 7 request/response complementarity", rows)
+    # Hardware-baked rule: every request's response used the other network.
+    assert report.per_network_delivered[NetworkId.XY] == 7
+    assert report.per_network_delivered[NetworkId.YX] == 7
+
+
+def test_fig7_kernel_balances_networks(benchmark, reduced_cfg):
+    fmap = FaultMap(reduced_cfg)
+
+    def assign_all():
+        kernel = KernelRouter(fmap)
+        return kernel.assign_all_pairs()
+
+    report = benchmark(assign_all)
+    rows = [
+        ("pairs", report.total_pairs),
+        ("X-Y load", report.load[NetworkId.XY]),
+        ("Y-X load", report.load[NetworkId.YX]),
+        ("balance", f"{report.balance:.3f}"),
+    ]
+    print_series("Kernel network balancing", rows)
+    assert report.balance > 0.9

@@ -1,0 +1,44 @@
+"""Fig. 8 — probe pads vs fine-pitch bonding pads (pre-bond testing).
+
+Regenerates the Section VII-A constraints: fine-pitch pads (10um) are
+below the probe limit (>=50um); the duplicated large test pads are
+probeable; probed pads are never bonded.
+"""
+
+import pytest
+
+from repro.dft.probe import PadSet, ProbeCard, can_probe, probe_plan
+
+from conftest import print_series
+
+
+def test_fig8_probe_plan(benchmark, paper_cfg):
+    plan = benchmark(probe_plan, paper_cfg.ios_per_compute_chiplet)
+
+    rows = [
+        ("fine pads", f"{plan.fine_pads.count} @ {plan.fine_pads.pitch_um}um pitch"),
+        ("probeable?", can_probe(plan.fine_pads)),
+        ("test pads", f"{plan.test_pads.count} @ {plan.test_pads.pitch_um}um pitch"),
+        ("probeable?", can_probe(plan.test_pads)),
+        ("bondable pads", plan.bondable_pads().count),
+    ]
+    print_series("Fig. 8 probe plan", rows)
+
+    assert not can_probe(plan.fine_pads)
+    assert can_probe(plan.test_pads)
+    assert plan.bondable_pads().count == paper_cfg.ios_per_compute_chiplet
+
+
+def test_fig8_probe_pitch_sweep(benchmark):
+    """Where does probeability start?  At the card's 50um limit."""
+
+    def sweep():
+        card = ProbeCard()
+        return [
+            (pitch, card.can_touch(PadSet("p", 10, pitch, pitch * 0.7)))
+            for pitch in (10, 25, 49, 50, 75, 100)
+        ]
+
+    series = benchmark(sweep)
+    print_series("Probe pitch sweep", [("pitch um", "probeable")] + series)
+    assert [ok for _, ok in series] == [False, False, False, True, True, True]

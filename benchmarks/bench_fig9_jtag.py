@@ -1,0 +1,86 @@
+"""Fig. 9 + Section VII — intra-tile test circuitry and multi-chain loading.
+
+Regenerates: the 14-DAP daisy chain with broadcast mode (14x bit-shift
+latency reduction), and the whole-wafer load-time table (single chain
+~2.5 hours vs 32 row chains under 5 minutes, a 32x speedup).
+"""
+
+import pytest
+
+from repro.dft.broadcast import BroadcastLoader, LoadMode
+from repro.dft.dap import ChainMode, TileDapChain
+from repro.dft.multichain import (
+    load_time_model,
+    paper_load_time_comparison,
+    row_chains,
+    single_chain,
+)
+
+from conftest import print_series
+
+PAPER = {
+    "broadcast_reduction": 14.0,
+    "single_chain_hours": 2.5,
+    "multi_chain_minutes": 5.0,
+    "speedup": 32.0,
+}
+
+
+def test_fig9_broadcast_reduction(benchmark):
+    chain = TileDapChain()
+    reduction = benchmark(chain.latency_reduction)
+
+    rows = [
+        ("DAPs per tile", chain.cores),
+        ("visible DAPs (chained)", TileDapChain(mode=ChainMode.CHAINED).visible_dap_count()),
+        ("visible DAPs (broadcast)", TileDapChain(mode=ChainMode.BROADCAST).visible_dap_count()),
+        ("bit-shift latency reduction", f"{reduction:.0f}x (paper: 14x)"),
+    ]
+    print_series("Fig. 9 broadcast mode", rows)
+    assert reduction == pytest.approx(PAPER["broadcast_reduction"])
+
+
+def test_sec7_load_time_table(benchmark, paper_cfg):
+    comparison = benchmark(paper_load_time_comparison, paper_cfg)
+
+    rows = [
+        ("single 1024-tile chain", f"{comparison['single_chain_hours']:.2f} h (paper ~2.5h)"),
+        ("32 row chains", f"{comparison['multi_chain_minutes']:.2f} min (paper <5min)"),
+        ("speedup", f"{comparison['speedup']:.0f}x (paper: up to 32x)"),
+        ("single-chain TCK", f"{single_chain(paper_cfg).tck_hz() / 1e6:.2f} MHz"),
+        ("row-chain TCK", f"{row_chains(paper_cfg).tck_hz() / 1e6:.0f} MHz (paper: 10MHz)"),
+    ]
+    print_series("Sec. VII whole-wafer load time", rows)
+
+    assert comparison["single_chain_hours"] == pytest.approx(
+        PAPER["single_chain_hours"], rel=0.1
+    )
+    assert comparison["multi_chain_minutes"] < PAPER["multi_chain_minutes"]
+    assert comparison["speedup"] == pytest.approx(PAPER["speedup"])
+
+    benchmark.extra_info["paper"] = PAPER
+    benchmark.extra_info["measured"] = comparison
+
+
+def test_sec7_program_load_modes(benchmark):
+    """Ablation: unicast vs tile-broadcast vs chain-broadcast loading."""
+    loader = BroadcastLoader()
+
+    def estimate_all():
+        return {
+            mode: loader.estimate(64 * 1024, mode)      # a 64KB program image
+            for mode in LoadMode
+        }
+
+    estimates = benchmark(estimate_all)
+    rows = [
+        (mode.value, f"{est.total_shift_bits / 8e6:.2f} MB shifted",
+         f"{est.seconds:.2f} s")
+        for mode, est in estimates.items()
+    ]
+    print_series("Program-load mode ablation (64KB image, 32-tile chain)", rows)
+    assert (
+        estimates[LoadMode.BROADCAST_CHAIN].total_shift_bits
+        < estimates[LoadMode.BROADCAST_TILE].total_shift_bits
+        < estimates[LoadMode.UNICAST].total_shift_bits
+    )

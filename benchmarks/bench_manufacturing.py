@@ -1,0 +1,103 @@
+"""Manufacturing-scale benches: assembly policy, lots, logical remapping.
+
+Section VII-B's during-assembly checking quantified as a wastage trade-off
+curve, Section V's pillar redundancy at production-lot scale, and the
+kernel-level logical-grid extraction that lets grid-pinned workloads run
+on faulty wafers.
+"""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.dft.assembly import sweep_check_intervals
+from repro.noc.faults import random_fault_map
+from repro.noc.remap import (
+    best_logical_grid,
+    largest_fault_free_rectangle,
+    row_column_deletion,
+)
+from repro.yieldmodel.lots import pillar_redundancy_lot_comparison
+
+from conftest import print_series
+
+
+def test_sec7b_assembly_check_tradeoff(benchmark, paper_cfg):
+    """KGD wastage vs during-assembly check interval."""
+    evaluations = benchmark.pedantic(
+        sweep_check_intervals,
+        args=(paper_cfg, [0, 32, 128, 512]),
+        kwargs={
+            "trials": 60,
+            "seed": 5,
+            "tile_fail_probability": 0.02,
+            "fault_budget": 8,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    rows = [("check every", "mean KGD wasted", "mean checks", "completion")]
+    for ev in evaluations:
+        label = "never" if ev.policy.check_interval == 0 else str(ev.policy.check_interval)
+        rows.append(
+            (
+                label,
+                f"{ev.mean_kgd_wasted:.0f}",
+                f"{ev.mean_checks:.1f}",
+                f"{ev.completion_rate:.0%}",
+            )
+        )
+    print_series("During-assembly check policy (2% tile-fail stress case)", rows)
+
+    never = next(e for e in evaluations if e.policy.check_interval == 0)
+    frequent = next(e for e in evaluations if e.policy.check_interval == 32)
+    assert frequent.mean_kgd_wasted < never.mean_kgd_wasted
+
+
+def test_sec5_lot_scale_redundancy(benchmark, paper_cfg):
+    """1 vs 2 pillars per pad across a 100-wafer lot."""
+    lots = benchmark.pedantic(
+        pillar_redundancy_lot_comparison,
+        args=(paper_cfg,),
+        kwargs={"wafers": 100, "seed": 2},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [("pillars/pad", "bins", "mean faults/wafer", "sellable")]
+    for pillars, report in lots.items():
+        rows.append(
+            (
+                pillars,
+                report.bins,
+                f"{report.mean_faults:.2f}",
+                f"{report.sellable_fraction:.0%}",
+            )
+        )
+    print_series("Lot outcome vs pillar redundancy", rows)
+    assert lots[1].sellable_fraction == 0.0
+    assert lots[2].sellable_fraction == 1.0
+
+
+def test_logical_grid_extraction(benchmark):
+    """Remapping a faulty 32x32 wafer into the largest logical machine."""
+    cfg = SystemConfig()
+    fmap = random_fault_map(cfg, 8, rng=4)
+
+    grid = benchmark(best_logical_grid, fmap)
+
+    rect = largest_fault_free_rectangle(fmap)
+    deletion = row_column_deletion(fmap)
+    rows = [
+        ("faults", fmap.fault_count),
+        ("healthy tiles", fmap.healthy_count),
+        ("contiguous rectangle", f"{rect.rows}x{rect.cols} = {rect.tiles}"),
+        ("row/col deletion", f"{deletion.rows}x{deletion.cols} = {deletion.tiles}"),
+        ("chosen", f"{grid.rows}x{grid.cols} = {grid.tiles} tiles"),
+        (
+            "capacity retained",
+            f"{grid.tiles / cfg.tiles:.0%} of the physical array",
+        ),
+    ]
+    print_series("Logical-array extraction (32x32, 8 faults)", rows)
+    assert grid.tiles >= max(rect.tiles, deletion.tiles)
+    # 8 scattered faults should still leave most of the wafer usable.
+    assert grid.tiles > 0.5 * cfg.tiles

@@ -1,0 +1,44 @@
+"""Table I — salient features of the waferscale processor system.
+
+Regenerates every row of Table I from the models and checks the headline
+quantities against the paper's published values.
+"""
+
+import pytest
+
+from repro.flow.report import table1_report
+
+from conftest import print_series
+
+PAPER_TABLE1 = {
+    "network_bandwidth_tbps": 9.83,
+    "shared_memory_bandwidth_tbps": 6.144,
+    "compute_throughput_tops": 4.3,
+    "total_area_mm2": 15_100,
+    "total_peak_power_w": 725,
+    "total_cores": 14_336,
+}
+
+
+def test_table1(benchmark, paper_cfg):
+    report = benchmark(table1_report, paper_cfg)
+
+    rows = [(label, value) for label, value in report.rows()]
+    print_series("Table I (re-derived)", rows)
+
+    assert report.total_cores == PAPER_TABLE1["total_cores"]
+    assert report.network_bandwidth_tbps == pytest.approx(9.83, abs=0.01)
+    assert report.shared_memory_bandwidth_tbps == pytest.approx(6.144, abs=0.001)
+    assert report.compute_throughput_tops == pytest.approx(4.3, abs=0.01)
+    assert report.total_area_mm2 == pytest.approx(15_100, rel=0.01)
+    assert report.total_peak_power_w == pytest.approx(725, rel=0.05)
+
+    benchmark.extra_info["paper"] = PAPER_TABLE1
+    benchmark.extra_info["measured"] = {
+        "network_bandwidth_tbps": report.network_bandwidth_tbps,
+        "shared_memory_bandwidth_tbps": report.shared_memory_bandwidth_tbps,
+        "compute_throughput_tops": report.compute_throughput_tops,
+        "total_area_mm2": report.total_area_mm2,
+        "total_peak_power_w": report.total_peak_power_w,
+        "total_cores": report.total_cores,
+    }

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""End-to-end fault-tolerant bring-up of a waferscale system.
+
+The full life of one (reduced, 8x8) wafer, exactly as Sections V-VII
+describe it:
+
+1. show why single-pillar bonding is hopeless (the bonding-informed
+   fault map marks ~30% of tiles bad) and draw a realistic dual-pillar-era
+   fault map instead — a pessimistic wafer with several faulty tiles;
+2. locate the faulty tiles with progressive JTAG chain unrolling, row by
+   row;
+3. run the clock setup phase and confirm every healthy tile gets the
+   forwarded clock;
+4. let the kernel assign source-destination pairs to the two networks
+   around the faults (with software detours for fully-blocked pairs);
+5. boot the system and run distributed BFS on it, validating the result
+   against NetworkX.
+
+Run:  python examples/fault_tolerant_bringup.py
+"""
+
+from repro import SystemConfig
+from repro.arch.system import WaferscaleSystem
+from repro.clock.forwarding import render_forwarding_map, simulate_clock_setup
+from repro.dft.unrolling import locate_faulty_tiles
+from repro.noc.faults import bonding_informed_fault_map, random_fault_map
+from repro.noc.kernel import KernelRouter
+from repro.workloads.bfs import DistributedBfs, reference_bfs
+from repro.workloads.graphs import random_graph
+
+
+def main() -> None:
+    config = SystemConfig(rows=8, cols=8)
+
+    print("-- 1. Assembly: why two pillars per pad --")
+    single = bonding_informed_fault_map(config, rng=11, pillars_per_pad=1)
+    print(f"single-pillar bonding: {single.fault_count}/{config.tiles} tiles "
+          "faulty -- unusable, exactly the paper's Section V argument")
+    # Proceed with a pessimistic dual-pillar-era wafer: a few faulty tiles
+    # (a perfect dual-pillar map would usually have zero; we want to show
+    # the fault-tolerance machinery doing real work).
+    fault_map = random_fault_map(config, 5, rng=11)
+    print(f"this wafer's faulty tiles: {sorted(fault_map.faulty)}")
+
+    print("\n-- 2. Post-assembly test: progressive chain unrolling per row --")
+    located: set = set()
+    for row in range(config.rows):
+        health = [not fault_map.is_faulty((row, col)) for col in range(config.cols)]
+        for col in locate_faulty_tiles(health):
+            located.add((row, col))
+            print(f"row {row}: fault located at tile ({row}, {col})")
+    # Unrolling stops at the first fault per row; re-testing after repair
+    # or skip-chaining finds the rest.  For the demo, take the union of
+    # what the tester found and proceed with the true map.
+    print(f"located by first-pass unrolling: {sorted(located)}")
+
+    print("\n-- 3. Clock setup phase --")
+    result = simulate_clock_setup(config, faulty=fault_map.faulty)
+    print(render_forwarding_map(result))
+    print(f"coverage of healthy tiles: {result.coverage:.1%}, "
+          f"deepest chain {result.max_hops} hops")
+
+    print("\n-- 4. Kernel network assignment around the faults --")
+    kernel = KernelRouter(fault_map)
+    report = kernel.assign_all_pairs(allow_detour=True)
+    print(f"pairs: {report.total_pairs}  direct: {report.direct_pairs}  "
+          f"detoured: {report.detoured_pairs}  unreachable: {report.unreachable_pairs}")
+    print(f"network load balance (XY vs YX): {report.balance:.3f}")
+
+    print("\n-- 5. Boot and run BFS on the degraded wafer --")
+    system = WaferscaleSystem(config, fault_map)
+    graph = random_graph(500, 5.0, seed=2)
+    result_bfs = DistributedBfs(system, graph).run(source=0)
+    correct = result_bfs.distance == reference_bfs(graph, 0)
+    print(f"graph: {graph.number_of_nodes()} nodes / {graph.number_of_edges()} edges")
+    print(f"BFS supersteps: {result_bfs.stats.supersteps}, "
+          f"messages: {result_bfs.stats.messages_sent}, "
+          f"detoured: {result_bfs.stats.detoured_messages}")
+    print(f"BFS matches NetworkX reference: {correct}")
+
+
+if __name__ == "__main__":
+    main()

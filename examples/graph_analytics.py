@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Graph analytics on the emulated waferscale system (paper Section II).
+
+The paper's motivating workload class: run distributed BFS and SSSP over
+three graph shapes (random, grid, RMAT power-law) on an emulated
+multi-tile system, report the communication profile each produces, and
+validate every result against NetworkX.
+
+Run:  python examples/graph_analytics.py
+"""
+
+from repro import SystemConfig
+from repro.arch.system import WaferscaleSystem
+from repro.workloads.bfs import DistributedBfs, reference_bfs
+from repro.workloads.graphs import grid_graph, random_graph, rmat_graph
+from repro.workloads.sssp import DistributedSssp, reference_sssp
+
+
+def main() -> None:
+    system = WaferscaleSystem(SystemConfig(rows=4, cols=4))
+
+    graphs = {
+        "random (n=600, d=6)": random_graph(600, 6.0, seed=1, weighted=True),
+        "grid 24x24": grid_graph(24, weighted=True),
+        "RMAT scale 9": rmat_graph(9, edge_factor=8, seed=1, weighted=True),
+    }
+
+    header = (
+        f"{'graph':>20} {'kernel':>6} {'steps':>6} {'msgs':>8} "
+        f"{'hops/msg':>9} {'cycles':>9} {'ok':>4}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    for name, graph in graphs.items():
+        bfs = DistributedBfs(system, graph).run(source=0)
+        bfs_ok = bfs.distance == reference_bfs(graph, 0)
+        print(f"{name:>20} {'BFS':>6} {bfs.stats.supersteps:>6} "
+              f"{bfs.stats.messages_sent:>8} "
+              f"{bfs.stats.mean_hops_per_message:>9.2f} "
+              f"{bfs.stats.total_cycles:>9} {str(bfs_ok):>4}")
+
+        sssp = DistributedSssp(system, graph).run(source=0)
+        ref = reference_sssp(graph, 0)
+        sssp_ok = all(
+            abs(sssp.distance[n] - d) < 1e-9 for n, d in ref.items()
+        ) and set(sssp.distance) == set(ref)
+        print(f"{name:>20} {'SSSP':>6} {sssp.stats.supersteps:>6} "
+              f"{sssp.stats.messages_sent:>8} "
+              f"{sssp.stats.mean_hops_per_message:>9.2f} "
+              f"{sssp.stats.total_cycles:>9} {str(sssp_ok):>4}")
+
+    print("\nObservations (matching the paper's motivation):")
+    print(" * BFS supersteps track graph diameter: the grid needs many")
+    print("   shallow steps, the power-law RMAT very few wide ones.")
+    print(" * SSSP label correction re-sends improvements, so weighted")
+    print("   graphs produce more messages than their BFS runs.")
+
+
+if __name__ == "__main__":
+    main()

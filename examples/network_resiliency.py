@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Reproduce Fig. 6: dual-DoR network resiliency Monte Carlo.
+
+Sweeps fault counts on the full 32x32 wafer and prints the Fig. 6 series:
+mean percentage of disconnected source-destination round trips for a
+single X-Y network versus the paper's two complementary networks, plus
+the residual analysis (which pairs remain disconnected and why).
+
+Run:  python examples/network_resiliency.py
+"""
+
+from repro import SystemConfig
+from repro.noc.connectivity import (
+    disconnected_fraction,
+    monte_carlo_disconnection,
+    same_row_col_share,
+)
+from repro.noc.faults import random_fault_map
+
+
+def main() -> None:
+    config = SystemConfig()
+
+    print("Fig. 6 — disconnected pairs vs faulty chiplets (32x32 wafer)")
+    print(f"{'faults':>7} {'single DoR %':>13} {'dual DoR %':>11} {'gain':>7}")
+    stats = monte_carlo_disconnection(
+        config, fault_counts=[1, 2, 3, 4, 5, 6, 7, 8, 9, 10],
+        trials=25, seed=0,
+    )
+    for s in stats:
+        print(f"{s.fault_count:>7} {s.mean_single_pct:>13.2f} "
+              f"{s.mean_dual_pct:>11.3f} {s.improvement:>6.1f}x")
+
+    at5 = next(s for s in stats if s.fault_count == 5)
+    print(f"\npaper @5 faults: single >12%, dual <2%")
+    print(f"ours  @5 faults: single {at5.mean_single_pct:.1f}%, "
+          f"dual {at5.mean_dual_pct:.2f}%")
+
+    print("\nResidual analysis: who stays disconnected under two networks?")
+    fmap = random_fault_map(config, 5, rng=7)
+    exact = disconnected_fraction(fmap)
+    share = same_row_col_share(fmap)
+    print(f"one example map with 5 faults: dual-disconnected "
+          f"{exact.dual:.3%} of pairs; {share:.0%} of those share a "
+          "row/column with no second disjoint path (the paper's residue)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Quickstart: re-derive Table I and run the full design flow.
+
+This is the 60-second tour: build the paper's 32x32 configuration,
+regenerate Table I from first principles, then run every stage of the
+design methodology (geometry, power, clock, I/O, network, DfT, substrate)
+on a reduced 8x8 instance and print the stage report.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SystemConfig, run_design_flow, table1_report
+
+
+def main() -> None:
+    paper = SystemConfig()
+
+    print("=" * 64)
+    print("Table I, re-derived from the models (not restated):")
+    print("=" * 64)
+    print(table1_report(paper).render())
+
+    print()
+    print("=" * 64)
+    print("Design flow on a reduced 8x8 instance (all seven stages):")
+    print("=" * 64)
+    flow = run_design_flow(paper.scaled(8, 8), connectivity_trials=10)
+    print(flow.summary())
+
+    print()
+    if flow.ok:
+        print("All design-flow stages passed.")
+    else:
+        failing = [s.name for s in flow.stages if not s.ok]
+        print(f"Stages needing attention: {', '.join(failing)}")
+
+    # Key stage metrics, the numbers the paper's sections argue from.
+    power = flow.stage("power")
+    print(
+        f"\nPower: {power.metrics['max_voltage']:.2f}V edge -> "
+        f"{power.metrics['min_voltage']:.2f}V centre, "
+        f"{power.metrics['total_current_a']:.0f}A total"
+    )
+    network = flow.stage("network")
+    print(
+        f"Network @5 faults: single {network.metrics['single_net_disconnected_pct']:.1f}% "
+        f"vs dual {network.metrics['dual_net_disconnected_pct']:.2f}% disconnected"
+    )
+    dft = flow.stage("dft")
+    print(
+        f"DfT: {dft.metrics['chains']} chains at {dft.metrics['tck_mhz']:.0f}MHz, "
+        f"full memory load in {dft.metrics['full_load_minutes']:.1f} minutes"
+    )
+
+
+if __name__ == "__main__":
+    main()

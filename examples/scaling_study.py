@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Scaling study: beyond the prototype (the paper's future work).
+
+Uses the library as the paper's authors would for their stated ongoing
+work — "characterizing the waferscale prototype and developing design
+methods for higher-power waferscale systems":
+
+1. array-size DSE: where edge power delivery stops working;
+2. what TWV backside delivery and deep-trench decap buy back;
+3. the thermal envelope under air vs liquid cooling;
+4. adaptive (odd-even) routing vs the prototype's dual-DoR networks;
+5. an ASCII droop map of the full wafer for intuition.
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro import SystemConfig
+from repro.analysis.dse import sweep_array_size
+from repro.analysis.render import render_field
+from repro.noc.oddeven import compare_routing_schemes
+from repro.pdn.dtc import dtc_upgrade_summary
+from repro.pdn.solver import solve_pdn
+from repro.pdn.twv import max_tile_power_w, solve_twv_delivery
+from repro.thermal.grid import ThermalGrid
+from repro.thermal.limits import max_power_per_tile_w
+
+
+def main() -> None:
+    paper = SystemConfig()
+
+    print("-- 1. Array-size design-space exploration --")
+    print(f"{'array':>8} {'tiles':>6} {'cores':>7} {'min V':>7} "
+          f"{'clk hops':>9} {'BW TB/s':>8} {'load':>9}")
+    for point in sweep_array_size([8, 16, 24, 32, 40]):
+        print(f"{point.label:>8} {point.tiles:>6} {point.cores:>7} "
+              f"{point.min_delivered_v:>6.2f}V {point.max_clock_hops:>9} "
+              f"{point.network_bw_tbps:>8.2f} {point.load_time_min:>8.1f}m")
+    print("-> at 32x32 the centre voltage sits exactly on the LDO's 1.4V")
+    print("   floor: the prototype is at the edge-delivery wall; 40x40 is")
+    print("   under it, which is why TWV matters for anything bigger.")
+
+    print("\n-- 2. TWV delivery + deep-trench decap --")
+    edge_limit = max_tile_power_w(paper, scheme="edge")
+    twv_limit = max_tile_power_w(paper, scheme="twv")
+    twv = solve_twv_delivery(paper)
+    print(f"edge-delivery tile-power limit: {edge_limit * 1e3:.0f} mW")
+    print(f"TWV tile-power limit:          >= {twv_limit:.0f} W "
+          f"(droop {twv.tile_droop_v * 1e3:.2f} mV at the prototype's load)")
+    dtc = dtc_upgrade_summary(paper)
+    print(f"deep-trench decap: {dtc['dtc_capacitance_nf']:.0f} nF/tile "
+          f"({dtc['capacitance_gain_x']:.0f}x the on-chip MOS decap), "
+          f"reclaiming {dtc['reclaimed_chiplet_area_mm2']:.1f} mm2 of "
+          "silicon per tile")
+
+    print("\n-- 3. Thermal envelope --")
+    for name, h in (("air (h=500)", 500.0), ("cold plate (h=5000)", 5000.0)):
+        limit = max_power_per_tile_w(paper, sink_h_w_per_m2_k=h)
+        grid = ThermalGrid(paper, sink_h_w_per_m2_k=h)
+        prototype = grid.solve()
+        print(f"{name:>20}: prototype hotspot {prototype.max_temperature_c:.0f}C, "
+              f"limit {limit:.1f} W/tile ({limit * paper.tiles / 1e3:.1f} kW wafer)")
+
+    print("\n-- 4. Adaptive routing vs dual DoR (16x16, Monte Carlo) --")
+    print(f"{'faults':>7} {'single DoR':>11} {'dual DoR':>9} {'odd-even':>9}")
+    for row in compare_routing_schemes(SystemConfig(rows=16, cols=16),
+                                       [2, 4, 6], trials=8, seed=1):
+        print(f"{int(row['fault_count']):>7} {row['single_dor_pct']:>10.2f}% "
+              f"{row['dual_dor_pct']:>8.3f}% {row['odd_even_pct']:>8.3f}%")
+
+    print("\n-- 5. Delivered-voltage map (32x32, '@'=2.5V, ' '=1.4V) --")
+    solution = solve_pdn(paper)
+    print(render_field(solution.voltages))
+
+
+if __name__ == "__main__":
+    main()

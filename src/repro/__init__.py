@@ -1,0 +1,40 @@
+"""repro — an open-source reproduction of the DAC 2021 waferscale design flow.
+
+Reimplements, as a Python library, the complete design and analysis flow
+behind *"Designing a 2048-Chiplet, 14336-Core Waferscale Processor"*
+(Pal et al., DAC 2021): waferscale geometry, edge power delivery with
+per-chiplet LDO regulation, the fault-tolerant clock-forwarding network,
+fine-pitch I/O and bonding-yield models, the dual dimension-ordered mesh
+network with its Monte-Carlo resiliency analysis, the JTAG/DfT
+infrastructure, the lightweight jog-free substrate router, and a
+functional multi-tile emulator that runs the paper's validation workloads
+(BFS, SSSP).
+
+Quick start::
+
+    from repro import SystemConfig, run_design_flow, table1_report
+
+    config = SystemConfig()                  # the paper's 32x32 prototype
+    print(table1_report(config).render())    # Table I, re-derived
+    flow = run_design_flow(config)           # full design pass
+    print(flow.summary())
+"""
+
+from .config import SystemConfig, paper_config, reduced_config
+from .errors import ReproError
+from .flow.designer import DesignFlowResult, run_design_flow
+from .flow.report import SystemReport, table1_report
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SystemConfig",
+    "paper_config",
+    "reduced_config",
+    "ReproError",
+    "DesignFlowResult",
+    "run_design_flow",
+    "SystemReport",
+    "table1_report",
+    "__version__",
+]

@@ -1,0 +1,18 @@
+"""Cross-cutting analysis: technology DSE and ASCII field rendering."""
+
+from .dse import (
+    DesignPoint,
+    sweep_array_size,
+    sweep_io_pitch,
+    sweep_link_width,
+)
+from .render import render_field, render_fault_overlay
+
+__all__ = [
+    "DesignPoint",
+    "sweep_array_size",
+    "sweep_io_pitch",
+    "sweep_link_width",
+    "render_field",
+    "render_fault_overlay",
+]

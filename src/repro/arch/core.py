@@ -1,0 +1,169 @@
+"""Functional core model (paper Section II-b).
+
+Each compute chiplet carries 14 independently programmable cores with
+64KB of private SRAM.  The model executes the minimal ISA of
+:mod:`repro.arch.isa` one instruction per cycle; loads and stores issue
+through a memory port supplied by the tile, which decodes local vs remote
+and returns an access latency the core stalls for.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Protocol
+
+from ..errors import EmulatorError
+from .isa import BRANCH_OPS, Instruction, Opcode, Program, WORD_MASK
+
+
+class MemoryPort(Protocol):
+    """What a core needs from its tile: 32-bit accesses with latency."""
+
+    def read(self, core_index: int, address: int) -> tuple[int, int]:
+        """Return ``(value, latency_cycles)``."""
+        ...
+
+    def write(self, core_index: int, address: int, value: int) -> int:
+        """Perform the store; return latency in cycles."""
+        ...
+
+
+class CoreState(enum.Enum):
+    """Execution state of a core."""
+
+    RUNNING = "running"
+    STALLED = "stalled"
+    HALTED = "halted"
+
+
+def _signed(value: int) -> int:
+    """Interpret a 32-bit word as signed."""
+    return value - (1 << 32) if value & (1 << 31) else value
+
+
+class Core:
+    """One in-order, single-issue functional core."""
+
+    def __init__(self, core_index: int, port: MemoryPort):
+        self.core_index = core_index
+        self.port = port
+        self.registers = [0] * 16
+        self.pc = 0
+        self.state = CoreState.HALTED
+        self.program: Program | None = None
+        self.cycles = 0
+        self.instructions_retired = 0
+        self.stall_cycles = 0
+        self._stall_remaining = 0
+
+    def load_program(self, program: Program) -> None:
+        """Reset the core and install a program."""
+        if not program.instructions:
+            raise EmulatorError("cannot load an empty program")
+        self.program = program
+        self.registers = [0] * 16
+        self.pc = 0
+        self.cycles = 0
+        self.instructions_retired = 0
+        self.stall_cycles = 0
+        self._stall_remaining = 0
+        self.state = CoreState.RUNNING
+
+    @property
+    def halted(self) -> bool:
+        """True when the core has executed HALT (or was never started)."""
+        return self.state is CoreState.HALTED
+
+    def step(self) -> None:
+        """Advance one cycle."""
+        if self.state is CoreState.HALTED:
+            return
+        self.cycles += 1
+        if self._stall_remaining > 0:
+            self._stall_remaining -= 1
+            self.stall_cycles += 1
+            if self._stall_remaining == 0:
+                self.state = CoreState.RUNNING
+            return
+
+        assert self.program is not None
+        if self.pc >= len(self.program.instructions):
+            raise EmulatorError(
+                f"core {self.core_index}: pc {self.pc} ran off the program"
+            )
+        instr = self.program.instructions[self.pc]
+        self._execute(instr)
+
+    def run(self, max_cycles: int = 1_000_000) -> int:
+        """Run until HALT; returns cycles consumed."""
+        start = self.cycles
+        while not self.halted:
+            if self.cycles - start >= max_cycles:
+                raise EmulatorError(
+                    f"core {self.core_index} exceeded {max_cycles} cycles"
+                )
+            self.step()
+        return self.cycles - start
+
+    # -- execution -------------------------------------------------------
+
+    def _execute(self, instr: Instruction) -> None:
+        regs = self.registers
+        op = instr.opcode
+        next_pc = self.pc + 1
+
+        if op is Opcode.LDI:
+            regs[instr.rd] = instr.imm & WORD_MASK
+        elif op is Opcode.MOV:
+            regs[instr.rd] = regs[instr.ra]
+        elif op is Opcode.ADD:
+            regs[instr.rd] = (regs[instr.ra] + regs[instr.rb]) & WORD_MASK
+        elif op is Opcode.SUB:
+            regs[instr.rd] = (regs[instr.ra] - regs[instr.rb]) & WORD_MASK
+        elif op is Opcode.MUL:
+            regs[instr.rd] = (regs[instr.ra] * regs[instr.rb]) & WORD_MASK
+        elif op is Opcode.AND:
+            regs[instr.rd] = regs[instr.ra] & regs[instr.rb]
+        elif op is Opcode.OR:
+            regs[instr.rd] = regs[instr.ra] | regs[instr.rb]
+        elif op is Opcode.SHL:
+            regs[instr.rd] = (regs[instr.ra] << (instr.imm & 31)) & WORD_MASK
+        elif op is Opcode.SHR:
+            regs[instr.rd] = (regs[instr.ra] & WORD_MASK) >> (instr.imm & 31)
+        elif op is Opcode.LD:
+            value, latency = self.port.read(self.core_index, regs[instr.ra])
+            regs[instr.rd] = value & WORD_MASK
+            self._begin_stall(latency)
+        elif op is Opcode.ST:
+            latency = self.port.write(
+                self.core_index, regs[instr.ra], regs[instr.rb] & WORD_MASK
+            )
+            self._begin_stall(latency)
+        elif op in BRANCH_OPS:
+            a, b = _signed(regs[instr.ra]), _signed(regs[instr.rb])
+            taken = (
+                (op is Opcode.BEQ and a == b)
+                or (op is Opcode.BNE and a != b)
+                or (op is Opcode.BLT and a < b)
+            )
+            if taken:
+                next_pc = instr.target
+        elif op is Opcode.JMP:
+            next_pc = instr.target
+        elif op is Opcode.NOP:
+            pass
+        elif op is Opcode.HALT:
+            self.state = CoreState.HALTED
+        else:   # pragma: no cover
+            raise EmulatorError(f"unhandled opcode {op}")
+
+        self.instructions_retired += 1
+        self.pc = next_pc
+
+    def _begin_stall(self, latency: int) -> None:
+        """Stall for the extra cycles of a memory access beyond the first."""
+        if latency < 1:
+            raise EmulatorError("memory latency must be >= 1 cycle")
+        if latency > 1:
+            self._stall_remaining = latency - 1
+            self.state = CoreState.STALLED

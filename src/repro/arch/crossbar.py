@@ -1,0 +1,99 @@
+"""Intra-tile crossbar (paper Section II-b).
+
+Inside the compute chiplet, an ARM-BusMatrix-style crossbar connects the
+14 cores, the memory controllers (to the memory chiplet's banks) and the
+network adapters.  The model is a per-cycle arbitration fabric: each
+target (bank or network port) grants one requester per cycle, round-robin
+over masters; everything else stalls.  The emulator uses it to account
+contention cycles; functional data movement happens in the tile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import EmulatorError
+
+
+@dataclass
+class CrossbarStats:
+    """Contention accounting of one crossbar."""
+
+    grants: int = 0
+    stalls: int = 0
+    per_target_grants: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def contention_ratio(self) -> float:
+        """Stalled requests as a fraction of all requests."""
+        total = self.grants + self.stalls
+        return self.stalls / total if total else 0.0
+
+
+class Crossbar:
+    """Round-robin N-masters x M-targets arbitration fabric."""
+
+    def __init__(self, masters: int, targets: list[str]):
+        if masters < 1:
+            raise EmulatorError("crossbar needs at least one master")
+        if not targets:
+            raise EmulatorError("crossbar needs at least one target")
+        if len(set(targets)) != len(targets):
+            raise EmulatorError("duplicate target names")
+        self.masters = masters
+        self.targets = list(targets)
+        self._rr: dict[str, int] = {t: 0 for t in targets}
+        self.stats = CrossbarStats()
+
+    def arbitrate(self, requests: dict[int, str]) -> dict[int, bool]:
+        """One cycle of arbitration.
+
+        ``requests`` maps master index -> target name; the result maps
+        master index -> granted?  One grant per target per cycle,
+        round-robin starting after each target's previous winner.
+        """
+        for master, target in requests.items():
+            if not 0 <= master < self.masters:
+                raise EmulatorError(f"unknown master {master}")
+            if target not in self._rr:
+                raise EmulatorError(f"unknown target {target!r}")
+
+        granted: dict[int, bool] = {m: False for m in requests}
+        by_target: dict[str, list[int]] = {}
+        for master, target in requests.items():
+            by_target.setdefault(target, []).append(master)
+
+        for target, masters in by_target.items():
+            start = self._rr[target]
+            winner = min(masters, key=lambda m: (m - start) % self.masters)
+            granted[winner] = True
+            self._rr[target] = (winner + 1) % self.masters
+            self.stats.grants += 1
+            self.stats.per_target_grants[target] = (
+                self.stats.per_target_grants.get(target, 0) + 1
+            )
+            self.stats.stalls += len(masters) - 1
+        return granted
+
+    def service_cycles(self, requests: dict[int, str]) -> dict[int, int]:
+        """Cycles until each requester is served, re-arbitrating stalls.
+
+        A convenience for analytic models: repeatedly arbitrates the
+        remaining requesters until all are granted, returning each
+        master's completion cycle (1-based).
+        """
+        remaining = dict(requests)
+        done: dict[int, int] = {}
+        cycle = 0
+        while remaining:
+            cycle += 1
+            grants = self.arbitrate(remaining)
+            for master, ok in grants.items():
+                if ok:
+                    done[master] = cycle
+            remaining = {
+                m: t for m, t in remaining.items() if not grants.get(m, False)
+            }
+            if cycle > self.masters * len(self.targets) + 1:
+                raise EmulatorError("arbitration failed to make progress")
+        return done

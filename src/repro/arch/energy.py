@@ -1,0 +1,123 @@
+"""Energy accounting for emulated workloads.
+
+Connects the electrical models to the architectural ones: given a
+workload's :class:`~repro.arch.emulator.EmulationStats` (or raw event
+counts), compute where the joules went — core operations, SRAM accesses,
+NoC hops (using the Section V I/O energy), and the LDO/plane overheads
+from Section III.  The same accounting reproduces the paper's claim that
+on-wafer communication is orders of magnitude cheaper than off-package
+links (Section I's motivation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import params
+from ..config import SystemConfig
+from ..errors import EmulatorError
+from ..io.cell import IoCellModel
+
+# Per-event energy at the 1.1V/300MHz operating point, 40nm-class.
+CORE_OP_ENERGY_J = 12e-12           # one ALU op incl. fetch/decode
+SRAM_ACCESS_ENERGY_J = 6e-12        # one 32-bit bank access
+ROUTER_HOP_ENERGY_J = 4e-12         # buffering + arbitration per packet hop
+
+# Conventional off-package SerDes link energy, for the Section I contrast.
+OFF_PACKAGE_PJ_PER_BIT = 5.0
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Joules by component for one workload run."""
+
+    core_j: float
+    sram_j: float
+    network_link_j: float
+    network_router_j: float
+
+    @property
+    def total_j(self) -> float:
+        """Total dynamic energy."""
+        return self.core_j + self.sram_j + self.network_link_j + self.network_router_j
+
+    @property
+    def communication_fraction(self) -> float:
+        """Share of energy spent moving data between tiles."""
+        if self.total_j == 0:
+            return 0.0
+        return (self.network_link_j + self.network_router_j) / self.total_j
+
+    def rows(self) -> list[tuple[str, str]]:
+        """Printable rows."""
+        return [
+            ("core ops", f"{self.core_j * 1e6:.2f} uJ"),
+            ("SRAM", f"{self.sram_j * 1e6:.2f} uJ"),
+            ("NoC links", f"{self.network_link_j * 1e6:.2f} uJ"),
+            ("NoC routers", f"{self.network_router_j * 1e6:.2f} uJ"),
+            ("total", f"{self.total_j * 1e6:.2f} uJ"),
+            ("communication share", f"{self.communication_fraction:.1%}"),
+        ]
+
+
+class EnergyModel:
+    """Event-count to joules conversion."""
+
+    def __init__(self, config: SystemConfig | None = None, cell: IoCellModel | None = None):
+        self.config = config or SystemConfig()
+        self.cell = cell or IoCellModel()
+
+    def link_energy_per_packet_j(self) -> float:
+        """Energy to move one 100-bit packet across one inter-tile link."""
+        per_bit = self.cell.energy_per_bit_j(params.LINK_LENGTH_UM)
+        return per_bit * self.config.packet_width_bits
+
+    def workload_energy(
+        self,
+        core_ops: int,
+        sram_accesses: int,
+        packet_hops: int,
+    ) -> EnergyBreakdown:
+        """Energy breakdown from raw event counts."""
+        if min(core_ops, sram_accesses, packet_hops) < 0:
+            raise EmulatorError("event counts must be non-negative")
+        return EnergyBreakdown(
+            core_j=core_ops * CORE_OP_ENERGY_J,
+            sram_j=sram_accesses * SRAM_ACCESS_ENERGY_J,
+            network_link_j=packet_hops * self.link_energy_per_packet_j(),
+            network_router_j=packet_hops * ROUTER_HOP_ENERGY_J,
+        )
+
+    def emulation_energy(self, stats, ops_per_compute_cycle: float = 1.0) -> EnergyBreakdown:
+        """Breakdown from an :class:`EmulationStats`.
+
+        Core ops are approximated from compute cycles; each message is a
+        packet traversing its hop count; every message touches SRAM at
+        both ends.
+        """
+        core_ops = int(stats.local_compute_cycles * ops_per_compute_cycle)
+        return self.workload_energy(
+            core_ops=core_ops,
+            sram_accesses=2 * stats.messages_sent,
+            packet_hops=stats.message_hops,
+        )
+
+    def waferscale_vs_off_package(self, bits_moved: int, mean_hops: float) -> dict[str, float]:
+        """Section I's argument, quantified.
+
+        Energy to move ``bits_moved`` bits across the wafer (mean hop
+        count given) versus the same bits over conventional off-package
+        links.
+        """
+        if bits_moved < 0 or mean_hops < 0:
+            raise EmulatorError("counts must be non-negative")
+        per_bit_on_wafer = (
+            self.cell.energy_per_bit_j(params.LINK_LENGTH_UM) * mean_hops
+        )
+        on_wafer = bits_moved * per_bit_on_wafer
+        off_package = bits_moved * OFF_PACKAGE_PJ_PER_BIT * 1e-12
+        return {
+            "on_wafer_j": on_wafer,
+            "off_package_j": off_package,
+            "advantage_x": off_package / on_wafer if on_wafer else float("inf"),
+        }

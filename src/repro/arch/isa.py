@@ -1,0 +1,216 @@
+"""A minimal functional ISA for the core model.
+
+The real chiplets carry ARM Cortex-M3 cores; the paper declares the
+microarchitecture out of scope, and what the system-level emulation needs
+is only "independently programmable cores that load/store into the unified
+address space".  This 16-register load/store ISA covers that, with a tiny
+two-pass assembler for writing test programs and examples.
+
+Instruction set (rd/ra/rb are registers, imm a signed integer, label a
+branch target):
+
+=========  =======================  ====================================
+mnemonic   operands                 semantics
+=========  =======================  ====================================
+``LDI``    rd, imm                  rd = imm
+``MOV``    rd, ra                   rd = ra
+``ADD``    rd, ra, rb               rd = ra + rb
+``SUB``    rd, ra, rb               rd = ra - rb
+``MUL``    rd, ra, rb               rd = ra * rb
+``AND``    rd, ra, rb               bitwise and
+``OR``     rd, ra, rb               bitwise or
+``SHL``    rd, ra, imm              rd = ra << imm
+``SHR``    rd, ra, imm              logical shift right
+``LD``     rd, ra                   rd = mem32[ra]   (global address)
+``ST``     ra, rb                   mem32[ra] = rb
+``BEQ``    ra, rb, label            branch when ra == rb
+``BNE``    ra, rb, label            branch when ra != rb
+``BLT``    ra, rb, label            branch when ra < rb (signed)
+``JMP``    label                    unconditional branch
+``NOP``                             no operation
+``HALT``                            stop the core
+=========  =======================  ====================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import EmulatorError
+
+REGISTER_COUNT = 16
+WORD_MASK = 0xFFFF_FFFF
+
+
+class Opcode(enum.Enum):
+    """All opcodes of the minimal ISA."""
+
+    LDI = "ldi"
+    MOV = "mov"
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    AND = "and"
+    OR = "or"
+    SHL = "shl"
+    SHR = "shr"
+    LD = "ld"
+    ST = "st"
+    BEQ = "beq"
+    BNE = "bne"
+    BLT = "blt"
+    JMP = "jmp"
+    NOP = "nop"
+    HALT = "halt"
+
+
+THREE_REG = {Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.AND, Opcode.OR}
+SHIFT_OPS = {Opcode.SHL, Opcode.SHR}
+BRANCH_OPS = {Opcode.BEQ, Opcode.BNE, Opcode.BLT}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction."""
+
+    opcode: Opcode
+    rd: int = 0
+    ra: int = 0
+    rb: int = 0
+    imm: int = 0
+    target: int = 0             # resolved branch target (instruction index)
+
+    def __post_init__(self) -> None:
+        for reg in (self.rd, self.ra, self.rb):
+            if not 0 <= reg < REGISTER_COUNT:
+                raise EmulatorError(f"register r{reg} out of range")
+
+
+@dataclass
+class Program:
+    """An assembled program."""
+
+    instructions: list[Instruction]
+    labels: dict[str, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+def _parse_register(token: str) -> int:
+    token = token.strip().rstrip(",")
+    if not token.lower().startswith("r"):
+        raise EmulatorError(f"expected register, got {token!r}")
+    try:
+        index = int(token[1:])
+    except ValueError:
+        raise EmulatorError(f"bad register {token!r}") from None
+    if not 0 <= index < REGISTER_COUNT:
+        raise EmulatorError(f"register {token!r} out of range")
+    return index
+
+
+def _parse_imm(token: str) -> int:
+    token = token.strip().rstrip(",")
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise EmulatorError(f"bad immediate {token!r}") from None
+
+
+def assemble(source: str) -> Program:
+    """Two-pass assembler: labels end with ``:``, ``;`` starts a comment."""
+    lines: list[tuple[str, list[str]]] = []
+    labels: dict[str, int] = {}
+
+    for raw in source.splitlines():
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+        while line.endswith(":") or (":" in line and not line.startswith(":")):
+            if ":" not in line:
+                break
+            label, _, rest = line.partition(":")
+            label = label.strip()
+            if not label.isidentifier():
+                raise EmulatorError(f"bad label {label!r}")
+            if label in labels:
+                raise EmulatorError(f"duplicate label {label!r}")
+            labels[label] = len(lines)
+            line = rest.strip()
+            if not line:
+                break
+        if not line:
+            continue
+        parts = line.split()
+        lines.append((parts[0].lower(), parts[1:]))
+
+    instructions: list[Instruction] = []
+    for mnemonic, operands in lines:
+        try:
+            opcode = Opcode(mnemonic)
+        except ValueError:
+            raise EmulatorError(f"unknown mnemonic {mnemonic!r}") from None
+
+        if opcode is Opcode.LDI:
+            instructions.append(
+                Instruction(opcode, rd=_parse_register(operands[0]),
+                            imm=_parse_imm(operands[1]))
+            )
+        elif opcode is Opcode.MOV:
+            instructions.append(
+                Instruction(opcode, rd=_parse_register(operands[0]),
+                            ra=_parse_register(operands[1]))
+            )
+        elif opcode in THREE_REG:
+            instructions.append(
+                Instruction(
+                    opcode,
+                    rd=_parse_register(operands[0]),
+                    ra=_parse_register(operands[1]),
+                    rb=_parse_register(operands[2]),
+                )
+            )
+        elif opcode in SHIFT_OPS:
+            instructions.append(
+                Instruction(
+                    opcode,
+                    rd=_parse_register(operands[0]),
+                    ra=_parse_register(operands[1]),
+                    imm=_parse_imm(operands[2]),
+                )
+            )
+        elif opcode is Opcode.LD:
+            instructions.append(
+                Instruction(opcode, rd=_parse_register(operands[0]),
+                            ra=_parse_register(operands[1]))
+            )
+        elif opcode is Opcode.ST:
+            instructions.append(
+                Instruction(opcode, ra=_parse_register(operands[0]),
+                            rb=_parse_register(operands[1]))
+            )
+        elif opcode in BRANCH_OPS:
+            label = operands[2].strip()
+            if label not in labels:
+                raise EmulatorError(f"undefined label {label!r}")
+            instructions.append(
+                Instruction(
+                    opcode,
+                    ra=_parse_register(operands[0]),
+                    rb=_parse_register(operands[1]),
+                    target=labels[label],
+                )
+            )
+        elif opcode is Opcode.JMP:
+            label = operands[0].strip()
+            if label not in labels:
+                raise EmulatorError(f"undefined label {label!r}")
+            instructions.append(Instruction(opcode, target=labels[label]))
+        elif opcode in (Opcode.NOP, Opcode.HALT):
+            instructions.append(Instruction(opcode))
+        else:   # pragma: no cover - exhaustive above
+            raise EmulatorError(f"unhandled opcode {opcode}")
+
+    return Program(instructions=instructions, labels=labels)

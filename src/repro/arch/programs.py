@@ -1,0 +1,166 @@
+"""Canonical core programs: the "test routines" of Section VII.
+
+The paper loads test routines and programs into the cores through JTAG;
+this module provides the standard little programs such a bring-up uses,
+written for the minimal ISA and returned assembled:
+
+* ``memory_walk`` — write a pattern across a memory range and read it
+  back, accumulating a mismatch count (the core-driven memory test);
+* ``checksum`` — sum a word range into a result location (data-integrity
+  check after program/data loading);
+* ``vector_add`` — C[i] = A[i] + B[i] over shared memory (the smallest
+  "real" kernel, exercising remote loads/stores when ranges live on
+  other tiles);
+* ``spin_counter`` — a calibrated busy loop (used to measure effective
+  frequency during characterization).
+
+Each builder returns a :class:`~repro.arch.isa.Program` plus the result
+address to inspect, so tests and bring-up flows can verify outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import EmulatorError
+from .isa import Program, assemble
+
+
+@dataclass(frozen=True)
+class BuiltProgram:
+    """An assembled program and where it reports its result."""
+
+    program: Program
+    result_address: int
+    description: str
+
+
+def memory_walk(base_address: int, words: int, pattern: int = 0xA5A5A5A5) -> BuiltProgram:
+    """Write/readback test over ``words`` words starting at ``base_address``.
+
+    Result word (at ``base_address``... actually at ``base + words*4``)
+    holds the mismatch count — zero means the range is healthy.
+    """
+    if words < 1:
+        raise EmulatorError("memory_walk needs at least one word")
+    result = base_address + words * 4
+    source = f"""
+        ldi r1, {base_address}  ; cursor
+        ldi r2, {words}         ; remaining
+        ldi r3, {pattern & 0xFFFFFFFF}
+        ldi r4, 0               ; mismatch count
+        ldi r5, 4               ; word stride
+        ldi r6, 1
+        ldi r7, 0
+    write_loop:
+        st r1, r3
+        add r1, r1, r5
+        sub r2, r2, r6
+        bne r2, r7, write_loop
+        ldi r1, {base_address}
+        ldi r2, {words}
+    read_loop:
+        ld r8, r1
+        beq r8, r3, advance
+        add r4, r4, r6          ; mismatch++
+    advance:
+        add r1, r1, r5
+        sub r2, r2, r6
+        bne r2, r7, read_loop
+        ldi r9, {result}
+        st r9, r4
+        halt
+    """
+    return BuiltProgram(
+        program=assemble(source),
+        result_address=result,
+        description=f"memory walk over {words} words at {base_address:#x}",
+    )
+
+
+def checksum(base_address: int, words: int, result_address: int) -> BuiltProgram:
+    """Sum ``words`` words from ``base_address`` into ``result_address``."""
+    if words < 1:
+        raise EmulatorError("checksum needs at least one word")
+    source = f"""
+        ldi r1, {base_address}
+        ldi r2, {words}
+        ldi r3, 0               ; accumulator
+        ldi r5, 4
+        ldi r6, 1
+        ldi r7, 0
+    loop:
+        ld r4, r1
+        add r3, r3, r4
+        add r1, r1, r5
+        sub r2, r2, r6
+        bne r2, r7, loop
+        ldi r8, {result_address}
+        st r8, r3
+        halt
+    """
+    return BuiltProgram(
+        program=assemble(source),
+        result_address=result_address,
+        description=f"checksum of {words} words at {base_address:#x}",
+    )
+
+
+def vector_add(
+    a_address: int, b_address: int, c_address: int, words: int
+) -> BuiltProgram:
+    """C[i] = A[i] + B[i] over three (possibly remote) word ranges."""
+    if words < 1:
+        raise EmulatorError("vector_add needs at least one word")
+    source = f"""
+        ldi r1, {a_address}
+        ldi r2, {b_address}
+        ldi r3, {c_address}
+        ldi r4, {words}
+        ldi r5, 4
+        ldi r6, 1
+        ldi r7, 0
+    loop:
+        ld r8, r1
+        ld r9, r2
+        add r10, r8, r9
+        st r3, r10
+        add r1, r1, r5
+        add r2, r2, r5
+        add r3, r3, r5
+        sub r4, r4, r6
+        bne r4, r7, loop
+        halt
+    """
+    return BuiltProgram(
+        program=assemble(source),
+        result_address=c_address,
+        description=f"vector add of {words} words",
+    )
+
+
+def spin_counter(iterations: int, result_address: int) -> BuiltProgram:
+    """Busy-loop ``iterations`` times, then store the loop count.
+
+    Each iteration is a fixed 3 instructions (add, compare-skip via bne,
+    implicit), so wall-clock at a known frequency calibrates the core
+    clock during characterization.
+    """
+    if iterations < 1:
+        raise EmulatorError("spin_counter needs at least one iteration")
+    source = f"""
+        ldi r1, 0
+        ldi r2, {iterations}
+        ldi r3, 1
+    loop:
+        add r1, r1, r3
+        bne r1, r2, loop
+        ldi r4, {result_address}
+        st r4, r1
+        halt
+    """
+    return BuiltProgram(
+        program=assemble(source),
+        result_address=result_address,
+        description=f"spin loop of {iterations} iterations",
+    )

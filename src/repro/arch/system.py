@@ -1,0 +1,151 @@
+"""The assembled waferscale system (paper Sections II and VI).
+
+Builds the tile grid over a fault map, attaches the kernel's network
+assignment (dual DoR networks, Section VI) and provides:
+
+* a unified-memory view: any core can load/store any shared address, with
+  remote accesses priced by the mesh round trip;
+* whole-system program loading (broadcast, Section VII);
+* lock-step execution of all cores.
+
+Network latency model: a remote access costs
+``base + hop_latency * hops(request) + service + hop_latency * hops(response)``
+where the request/response hop counts come from the kernel-selected
+network's DoR path (they are equal — Fig. 7).  Detoured pairs pay both
+legs plus a software-forwarding penalty at the intermediate tile.
+"""
+
+from __future__ import annotations
+
+from ..config import Coord, SystemConfig
+from ..errors import EmulatorError, NetworkError
+from ..noc.faults import FaultMap
+from ..noc.kernel import KernelRouter
+from ..noc.routing import dor_path
+from .isa import Program
+from .membank import MemoryBank
+from .memorymap import MemoryMap
+from .tile import Tile
+
+HOP_LATENCY = 2         # router + link traversal per hop, cycles
+NETWORK_BASE = 4        # injection + ejection overhead, cycles
+SERVICE_LATENCY = 2     # remote bank access at the destination
+DETOUR_SOFTWARE_PENALTY = 20    # cores forwarding in software (Section VI)
+
+
+class WaferscaleSystem:
+    """A (possibly reduced, possibly faulty) waferscale processor."""
+
+    def __init__(
+        self,
+        config: SystemConfig | None = None,
+        fault_map: FaultMap | None = None,
+    ):
+        self.config = config or SystemConfig()
+        self.fault_map = fault_map or FaultMap(self.config)
+        self.memory_map = MemoryMap(self.config)
+        self.kernel = KernelRouter(self.fault_map)
+        self.tiles: dict[Coord, Tile] = {}
+        for coord in self.config.tile_coords():
+            if not self.fault_map.is_faulty(coord):
+                tile = Tile(
+                    coord,
+                    self.config,
+                    self.memory_map,
+                    remote_access=self._remote_latency,
+                )
+                tile._bank_resolver = self._resolve_bank
+                self.tiles[coord] = tile
+        if not self.tiles:
+            raise EmulatorError("no healthy tiles in the system")
+        self.network_accesses = 0
+        self.network_hops_total = 0
+
+    # -- topology helpers ---------------------------------------------------
+
+    def tile(self, coord: Coord) -> Tile:
+        """A healthy tile (raises for faulty/absent tiles)."""
+        try:
+            return self.tiles[coord]
+        except KeyError:
+            raise EmulatorError(f"tile {coord} is faulty or absent") from None
+
+    def healthy_coords(self) -> list[Coord]:
+        """Healthy tile coordinates, row-major."""
+        return [c for c in self.config.tile_coords() if c in self.tiles]
+
+    # -- network model -------------------------------------------------------
+
+    def _remote_latency(self, src: Coord, dst: Coord, is_write: bool) -> int:
+        """Round-trip latency of one remote shared access."""
+        assignment = self.kernel.assign(src, dst, allow_detour=True)
+        if not assignment.reachable and not assignment.is_detour:
+            raise NetworkError(f"{src} cannot reach {dst} (fault map)")
+        self.network_accesses += 1
+        if assignment.is_detour:
+            via = assignment.detour_via
+            assert via is not None
+            hops = (
+                self._hops(src, via)
+                + self._hops(via, dst)
+            )
+            self.network_hops_total += 2 * hops
+            return (
+                NETWORK_BASE
+                + SERVICE_LATENCY
+                + DETOUR_SOFTWARE_PENALTY
+                + 2 * hops * HOP_LATENCY
+            )
+        assert assignment.network is not None
+        hops = len(dor_path(src, dst, assignment.network.policy)) - 1
+        self.network_hops_total += 2 * hops
+        return NETWORK_BASE + SERVICE_LATENCY + 2 * hops * HOP_LATENCY
+
+    def _hops(self, a: Coord, b: Coord) -> int:
+        return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+    def _resolve_bank(self, coord: Coord, bank: int) -> MemoryBank:
+        """The physical bank behind a shared address (for data movement)."""
+        return self.tile(coord).banks[bank]
+
+    # -- direct memory API (used by workloads and the DfT loader) -----------
+
+    def read_shared(self, tile: Coord, bank: int, offset: int) -> int:
+        """Host-side read of a shared word (no latency accounting)."""
+        return self._resolve_bank(tile, bank).read_word(offset)
+
+    def write_shared(self, tile: Coord, bank: int, offset: int, value: int) -> None:
+        """Host-side write of a shared word (program/data loading path)."""
+        self._resolve_bank(tile, bank).write_word(offset, value)
+
+    # -- program execution ----------------------------------------------------
+
+    def broadcast_program(self, program: Program) -> None:
+        """Load one program into every core of every healthy tile."""
+        for tile in self.tiles.values():
+            tile.load_program_all_cores(program)
+
+    def run_to_completion(self, max_cycles: int = 1_000_000) -> int:
+        """Step all cores in lock-step until every core halts."""
+        cycles = 0
+        while not all(t.all_halted for t in self.tiles.values()):
+            if cycles >= max_cycles:
+                raise EmulatorError(f"system exceeded {max_cycles} cycles")
+            for tile in self.tiles.values():
+                tile.step()
+            cycles += 1
+        return cycles
+
+    # -- accounting -----------------------------------------------------------
+
+    @property
+    def total_remote_accesses(self) -> int:
+        """Remote shared accesses issued system-wide."""
+        return sum(t.remote_reads + t.remote_writes for t in self.tiles.values())
+
+    @property
+    def mean_hops_per_access(self) -> float:
+        """Average round-trip hop count per network access."""
+        if self.network_accesses == 0:
+            return 0.0
+        return self.network_hops_total / self.network_accesses

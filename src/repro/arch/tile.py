@@ -1,0 +1,195 @@
+"""The tile: compute chiplet + memory chiplet (paper Section II, Fig. 1).
+
+A tile bundles 14 cores (each with private SRAM), the five banks of its
+memory chiplet, the intra-tile crossbar and the network adapters.  The
+tile implements the cores' memory port: it decodes global addresses,
+serves local accesses (core SRAM, the tile's shared banks, the
+tile-private bank) and forwards remote shared accesses to the system's
+network model, charging the returned round-trip latency.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from ..config import Coord, SystemConfig
+from ..errors import EmulatorError, MemoryMapError
+from .core import Core
+from .crossbar import Crossbar
+from .isa import Program
+from .membank import MemoryBank
+from .memorymap import AddressRegion, MemoryMap
+
+if TYPE_CHECKING:   # pragma: no cover
+    from .system import WaferscaleSystem
+
+# Local access latencies in cycles (crossbar traversal + SRAM).
+CORE_SRAM_LATENCY = 1
+LOCAL_BANK_LATENCY = 2
+
+
+class Tile:
+    """One tile of the waferscale array."""
+
+    def __init__(
+        self,
+        coord: Coord,
+        config: SystemConfig,
+        memory_map: MemoryMap,
+        remote_access: Callable[[Coord, Coord, bool], int] | None = None,
+    ):
+        """``remote_access(src, dst, is_write) -> latency_cycles``.
+
+        Supplied by :class:`~repro.arch.system.WaferscaleSystem`; a tile
+        created standalone treats remote accesses as errors.
+        """
+        self.coord = coord
+        self.config = config
+        self.memory_map = memory_map
+        self._remote_access = remote_access
+
+        self.banks = [
+            MemoryBank(config.bank_bytes, name=f"tile{coord}-bank{i}")
+            for i in range(config.memory_banks_per_tile)
+        ]
+        self.core_srams = [
+            MemoryBank(
+                config.private_sram_per_core_bytes,
+                name=f"tile{coord}-core{i}-sram",
+            )
+            for i in range(config.cores_per_tile)
+        ]
+        targets = [f"bank{i}" for i in range(config.memory_banks_per_tile)]
+        targets.append("network")
+        self.crossbar = Crossbar(masters=config.cores_per_tile, targets=targets)
+        self.cores = [
+            Core(core_index=i, port=_TilePort(self, i))
+            for i in range(config.cores_per_tile)
+        ]
+        self.remote_reads = 0
+        self.remote_writes = 0
+
+    # -- program loading ---------------------------------------------------
+
+    def load_program_all_cores(self, program: Program) -> None:
+        """Broadcast-load the same program to every core (Section VII)."""
+        for core in self.cores:
+            core.load_program(program)
+
+    def load_program(self, core_index: int, program: Program) -> None:
+        """Load a program into one core."""
+        self.cores[core_index].load_program(program)
+
+    # -- memory access (cores call through _TilePort) ----------------------
+
+    def access(
+        self, core_index: int, address: int, value: int | None
+    ) -> tuple[int, int]:
+        """Serve a core's load (value=None) or store; returns (data, latency)."""
+        decoded = self.memory_map.decode(address)
+
+        if decoded.region is AddressRegion.CORE_PRIVATE:
+            sram = self.core_srams[core_index]
+            if value is None:
+                return (sram.read_word(decoded.offset), CORE_SRAM_LATENCY)
+            sram.write_word(decoded.offset, value)
+            return (0, CORE_SRAM_LATENCY)
+
+        if decoded.region is AddressRegion.TILE_PRIVATE:
+            if decoded.tile != self.coord:
+                raise MemoryMapError(
+                    f"tile-private bank of {decoded.tile} accessed from "
+                    f"{self.coord}"
+                )
+            bank = self.banks[self.config.shared_banks_per_tile]
+            if value is None:
+                return (bank.read_word(decoded.offset), LOCAL_BANK_LATENCY)
+            bank.write_word(decoded.offset, value)
+            return (0, LOCAL_BANK_LATENCY)
+
+        # Shared region.
+        assert decoded.tile is not None and decoded.bank is not None
+        if decoded.tile == self.coord:
+            bank = self.banks[decoded.bank]
+            if value is None:
+                return (bank.read_word(decoded.offset), LOCAL_BANK_LATENCY)
+            bank.write_word(decoded.offset, value)
+            return (0, LOCAL_BANK_LATENCY)
+
+        # Remote shared accesses are handled in _TilePort (they need the
+        # owner tile's banks); reaching here means a standalone tile was
+        # asked for remote data.
+        raise EmulatorError(
+            f"tile {self.coord}: remote access to {decoded.tile} must go "
+            "through a system-attached port"
+        )
+
+    # -- stepping -----------------------------------------------------------
+
+    def step(self) -> None:
+        """Advance every core one cycle."""
+        for core in self.cores:
+            core.step()
+
+    @property
+    def all_halted(self) -> bool:
+        """True when every core has halted."""
+        return all(core.halted for core in self.cores)
+
+    @property
+    def shared_bank_accesses(self) -> int:
+        """Accesses served by this tile's shared banks."""
+        return sum(
+            b.access_count
+            for b in self.banks[: self.config.shared_banks_per_tile]
+        )
+
+
+class _TilePort:
+    """Adapter giving one core its MemoryPort view of the tile."""
+
+    def __init__(self, tile: Tile, core_index: int):
+        self._tile = tile
+        self._core_index = core_index
+
+    def read(self, core_index: int, address: int) -> tuple[int, int]:
+        decoded = self._tile.memory_map.decode(address)
+        if (
+            decoded.region is AddressRegion.SHARED
+            and decoded.tile != self._tile.coord
+        ):
+            # Remote read: fetch from the owner tile's bank + network latency.
+            system = self._tile._remote_access
+            if system is None:
+                raise EmulatorError("remote access without a network")
+            latency = system(self._tile.coord, decoded.tile, False)
+            self._tile.remote_reads += 1
+            owner_bank = self._tile_owner_bank(decoded.tile, decoded.bank)
+            return (owner_bank.read_word(decoded.offset), latency)
+        value, latency = self._tile.access(core_index, address, None)
+        return (value, latency)
+
+    def write(self, core_index: int, address: int, value: int) -> int:
+        decoded = self._tile.memory_map.decode(address)
+        if (
+            decoded.region is AddressRegion.SHARED
+            and decoded.tile != self._tile.coord
+        ):
+            system = self._tile._remote_access
+            if system is None:
+                raise EmulatorError("remote access without a network")
+            latency = system(self._tile.coord, decoded.tile, True)
+            self._tile.remote_writes += 1
+            owner_bank = self._tile_owner_bank(decoded.tile, decoded.bank)
+            owner_bank.write_word(decoded.offset, value)
+            return latency
+        _, latency = self._tile.access(core_index, address, value)
+        return latency
+
+    def _tile_owner_bank(self, tile: Coord, bank: int) -> MemoryBank:
+        resolver = getattr(self._tile, "_bank_resolver", None)
+        if resolver is None:
+            raise EmulatorError(
+                "remote data access requires a system-attached tile"
+            )
+        return resolver(tile, bank)

@@ -1,0 +1,261 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives a downstream user the paper's headline analyses without writing
+code:
+
+=============  =====================================================
+command        output
+=============  =====================================================
+``table1``     Table I re-derived for a configuration
+``flow``       the seven-stage design flow report
+``droop``      Fig. 2 droop numbers + ASCII voltage map
+``fig6``       the Fig. 6 disconnection Monte Carlo
+``clock``      clock setup simulation (optionally with faults)
+``loadtime``   Section VII JTAG load-time table
+``yield``      Section V bonding-yield table
+``shmoo``      prototype characterization (frequency binning)
+``validate``   cross-subsystem consistency checks
+``report``     full Markdown design review (``--output`` to a file)
+``bringup``    bring-up sequence on a randomly-faulted wafer
+``remap``      logical fault-free grid extraction
+``lot``        production-lot binning at 1 vs 2 pillars/pad
+=============  =====================================================
+
+All commands accept ``--rows/--cols`` to scale the array.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .config import SystemConfig
+
+
+def _add_size_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--rows", type=int, default=32, help="tile rows")
+    parser.add_argument("--cols", type=int, default=32, help="tile columns")
+
+
+def _config(args: argparse.Namespace) -> SystemConfig:
+    return SystemConfig(rows=args.rows, cols=args.cols)
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from .flow.report import table1_report
+
+    print(table1_report(_config(args)).render())
+    return 0
+
+
+def _cmd_flow(args: argparse.Namespace) -> int:
+    from .flow.designer import run_design_flow
+
+    flow = run_design_flow(_config(args), connectivity_trials=args.trials)
+    print(flow.summary())
+    return 0 if flow.ok else 1
+
+
+def _cmd_droop(args: argparse.Namespace) -> int:
+    from .analysis.render import render_field
+    from .pdn.solver import solve_pdn
+
+    solution = solve_pdn(_config(args))
+    print(
+        f"edge {solution.max_voltage:.3f}V -> centre {solution.min_voltage:.3f}V, "
+        f"{solution.total_current_a:.0f}A, {solution.supply_power_w:.0f}W"
+    )
+    print(render_field(solution.voltages))
+    return 0
+
+
+def _cmd_fig6(args: argparse.Namespace) -> int:
+    from .noc.connectivity import monte_carlo_disconnection
+
+    stats = monte_carlo_disconnection(
+        _config(args),
+        fault_counts=list(range(1, args.max_faults + 1)),
+        trials=args.trials,
+        seed=args.seed,
+    )
+    print(f"{'faults':>7} {'single %':>9} {'dual %':>8}")
+    for s in stats:
+        print(f"{s.fault_count:>7} {s.mean_single_pct:>9.2f} {s.mean_dual_pct:>8.3f}")
+    return 0
+
+
+def _cmd_clock(args: argparse.Namespace) -> int:
+    from .clock.forwarding import render_forwarding_map, simulate_clock_setup
+    from .noc.faults import random_fault_map
+
+    config = _config(args)
+    faulty = (
+        random_fault_map(config, args.faults, rng=args.seed).faulty
+        if args.faults
+        else frozenset()
+    )
+    result = simulate_clock_setup(config, faulty=faulty)
+    print(render_forwarding_map(result))
+    print(
+        f"coverage {result.coverage:.1%}, max depth {result.max_hops} hops, "
+        f"setup {result.setup_time_s() * 1e6:.1f}us"
+    )
+    return 0
+
+
+def _cmd_loadtime(args: argparse.Namespace) -> int:
+    from .dft.multichain import paper_load_time_comparison
+
+    comparison = paper_load_time_comparison(_config(args))
+    print(f"single chain: {comparison['single_chain_hours']:.2f} h")
+    print(f"row chains:   {comparison['multi_chain_minutes']:.2f} min")
+    print(f"speedup:      {comparison['speedup']:.0f}x")
+    return 0
+
+
+def _cmd_yield(args: argparse.Namespace) -> int:
+    from .io.bonding import BondingYieldModel
+
+    config = _config(args)
+    for pillars in (1, 2):
+        model = BondingYieldModel(
+            chiplet_count=config.chiplets,
+            io_count=config.ios_per_compute_chiplet,
+            pillars_per_pad=pillars,
+        )
+        print(
+            f"{pillars} pillar(s)/pad: chiplet yield {model.chiplet_yield:.5f}, "
+            f"expected faulty {model.expected_faulty:.2f}"
+        )
+    return 0
+
+
+def _cmd_shmoo(args: argparse.Namespace) -> int:
+    from .flow.characterize import characterization_report, characterize
+
+    result = characterize(_config(args), seed=args.seed)
+    print(characterization_report(result))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .flow.validate import validate_design
+
+    report = validate_design(_config(args))
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .flow.export import design_report_markdown, export_design_report
+
+    if args.output:
+        export_design_report(
+            args.output, _config(args), connectivity_trials=args.trials
+        )
+        print(f"wrote design report to {args.output}")
+    else:
+        print(design_report_markdown(_config(args), connectivity_trials=args.trials))
+    return 0
+
+
+def _cmd_bringup(args: argparse.Namespace) -> int:
+    from .flow.bringup import fault_map_to_json, run_bringup
+    from .noc.faults import random_fault_map
+
+    config = _config(args)
+    faults = set(random_fault_map(config, args.faults, rng=args.seed).faulty)
+    report = run_bringup(config, true_bonding_faults=faults)
+    print(f"dead tiles located: {sorted(report.bonding_faults)}")
+    print(f"unroll tests run:   {report.unroll_tests_run}")
+    print(f"clock-unreachable:  {sorted(report.clock_unreachable) or 'none'}")
+    print(f"usable tiles:       {report.usable_tiles}/{config.tiles}")
+    print(fault_map_to_json(report.final_map))
+    return 0
+
+
+def _cmd_remap(args: argparse.Namespace) -> int:
+    from .noc.faults import random_fault_map
+    from .noc.remap import (
+        best_logical_grid,
+        largest_fault_free_rectangle,
+        row_column_deletion,
+    )
+
+    config = _config(args)
+    fmap = random_fault_map(config, args.faults, rng=args.seed)
+    rect = largest_fault_free_rectangle(fmap)
+    deletion = row_column_deletion(fmap)
+    best = best_logical_grid(fmap)
+    print(f"faults: {sorted(fmap.faulty)}")
+    print(f"contiguous rectangle: {rect.rows}x{rect.cols} = {rect.tiles} tiles")
+    print(f"row/col deletion:     {deletion.rows}x{deletion.cols} = {deletion.tiles} tiles")
+    print(f"best logical grid:    {best.rows}x{best.cols} = {best.tiles} tiles")
+    return 0
+
+
+def _cmd_lot(args: argparse.Namespace) -> int:
+    from .yieldmodel.lots import pillar_redundancy_lot_comparison
+
+    lots = pillar_redundancy_lot_comparison(
+        _config(args), wafers=args.wafers, seed=args.seed
+    )
+    for pillars, report in lots.items():
+        print(
+            f"{pillars} pillar(s)/pad: {report.bins} "
+            f"(mean faults {report.mean_faults:.2f}, "
+            f"sellable {report.sellable_fraction:.0%})"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Waferscale chiplet processor design-flow analyses",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, handler, extras in (
+        ("table1", _cmd_table1, ()),
+        ("flow", _cmd_flow, ("trials",)),
+        ("droop", _cmd_droop, ()),
+        ("fig6", _cmd_fig6, ("trials", "seed", "max_faults")),
+        ("clock", _cmd_clock, ("seed", "faults")),
+        ("loadtime", _cmd_loadtime, ()),
+        ("yield", _cmd_yield, ()),
+        ("shmoo", _cmd_shmoo, ("seed",)),
+        ("report", _cmd_report, ("trials", "output")),
+        ("bringup", _cmd_bringup, ("seed", "faults")),
+        ("remap", _cmd_remap, ("seed", "faults")),
+        ("lot", _cmd_lot, ("seed", "wafers")),
+        ("validate", _cmd_validate, ()),
+    ):
+        p = sub.add_parser(name)
+        _add_size_args(p)
+        if "trials" in extras:
+            p.add_argument("--trials", type=int, default=10)
+        if "seed" in extras:
+            p.add_argument("--seed", type=int, default=0)
+        if "max_faults" in extras:
+            p.add_argument("--max-faults", dest="max_faults", type=int, default=10)
+        if "faults" in extras:
+            p.add_argument("--faults", type=int, default=0)
+        if "output" in extras:
+            p.add_argument("--output", type=str, default="")
+        if "wafers" in extras:
+            p.add_argument("--wafers", type=int, default=50)
+        p.set_defaults(handler=handler)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":     # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,126 @@
+"""Clock-domain crossing at inter-chiplet links (paper footnote 3).
+
+The forwarded clock accrues phase delay and jitter tile by tile, but the
+paper notes this "is not a concern since our inter-chiplet communication
+uses asynchronous FIFOs" [12].  This module makes the argument
+quantitative:
+
+* per-hop jitter accumulates as a random walk (``sigma * sqrt(hops)``),
+  phase delay accumulates linearly — both bounded over the 62-hop worst
+  chain;
+* the async FIFO between two mesochronous domains (same frequency,
+  arbitrary phase) needs only enough depth to cover the synchronizer
+  round trip plus the phase uncertainty — a handful of entries;
+* the crossing adds a fixed synchronizer latency but never loses or
+  duplicates data as long as the FIFO never over/underflows, which the
+  depth calculation guarantees.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .. import params
+from ..errors import ClockError
+
+# Per-hop characteristics of the forwarding path (buffer chain + I/O).
+DEFAULT_HOP_DELAY_S = 0.8e-9        # insertion delay per forwarded hop
+DEFAULT_HOP_JITTER_RMS_S = 3e-12    # RMS jitter added per hop
+SYNCHRONIZER_STAGES = 2             # standard 2-FF synchronizer per pointer
+
+
+@dataclass(frozen=True)
+class ForwardedClockQuality:
+    """Phase/jitter budget of the clock after ``hops`` forwarding stages."""
+
+    hops: int
+    clock_hz: float = params.FORWARDED_CLOCK_MAX_HZ
+    hop_delay_s: float = DEFAULT_HOP_DELAY_S
+    hop_jitter_rms_s: float = DEFAULT_HOP_JITTER_RMS_S
+
+    def __post_init__(self) -> None:
+        if self.hops < 0:
+            raise ClockError("hops must be non-negative")
+        if self.clock_hz <= 0:
+            raise ClockError("clock frequency must be positive")
+
+    @property
+    def phase_delay_s(self) -> float:
+        """Total insertion delay: linear in hops (many full cycles deep)."""
+        return self.hops * self.hop_delay_s
+
+    @property
+    def accumulated_jitter_rms_s(self) -> float:
+        """RMS jitter: independent per-hop contributions add in quadrature."""
+        return self.hop_jitter_rms_s * math.sqrt(self.hops)
+
+    @property
+    def peak_jitter_s(self) -> float:
+        """Peak jitter bound (6 sigma)."""
+        return 6.0 * self.accumulated_jitter_rms_s
+
+    @property
+    def synchronous_crossing_viable(self) -> bool:
+        """Could the links run *synchronously* (no FIFO) at this depth?
+
+        Synchronous capture needs the accumulated peak jitter to stay
+        inside the sub-100ps absolute budget.  Deep chains blow through
+        it — which is exactly why the design uses asynchronous FIFOs
+        (footnote 3): the FIFO only cares about adjacent-hop phase, so
+        accumulated jitter stops mattering.
+        """
+        return self.peak_jitter_s <= params.MAX_ABS_JITTER_S
+
+    @property
+    def phase_uncertainty_cycles(self) -> float:
+        """Receiver-side phase uncertainty in cycles (jitter, not delay).
+
+        The fixed phase delay is absorbed at reset; only the jitter and
+        one cycle of unknown alignment matter to the FIFO.
+        """
+        return 1.0 + self.peak_jitter_s * self.clock_hz
+
+
+def required_fifo_depth(
+    quality: ForwardedClockQuality,
+    synchronizer_stages: int = SYNCHRONIZER_STAGES,
+) -> int:
+    """Asynchronous-FIFO depth for safe mesochronous crossing.
+
+    Gray-coded pointers cross through ``stages`` flops each way, so a
+    writer can run ahead of the reader's *view* by the pointer round trip
+    plus the phase uncertainty; the FIFO must hold that many entries:
+
+        depth >= 2 * stages + ceil(phase_uncertainty) + 1
+    """
+    if synchronizer_stages < 2:
+        raise ClockError("metastability needs >= 2 synchronizer stages")
+    slack = math.ceil(quality.phase_uncertainty_cycles)
+    depth = 2 * synchronizer_stages + slack + 1
+    # Round up to a power of two (Gray-code pointer arithmetic).
+    return 1 << (depth - 1).bit_length()
+
+
+def crossing_latency_cycles(synchronizer_stages: int = SYNCHRONIZER_STAGES) -> int:
+    """Fixed latency a word pays to cross one inter-chiplet link."""
+    if synchronizer_stages < 2:
+        raise ClockError("metastability needs >= 2 synchronizer stages")
+    return synchronizer_stages + 1      # pointer sync + read-out
+
+
+def worst_chain_analysis(
+    hops: int = 62, clock_hz: float = params.FORWARDED_CLOCK_MAX_HZ
+) -> dict[str, float]:
+    """Footnote-3 analysis for the deepest chain of the 32x32 wafer."""
+    quality = ForwardedClockQuality(hops=hops, clock_hz=clock_hz)
+    return {
+        "hops": float(hops),
+        "phase_delay_ns": quality.phase_delay_s * 1e9,
+        "phase_delay_cycles": quality.phase_delay_s * clock_hz,
+        "rms_jitter_ps": quality.accumulated_jitter_rms_s * 1e12,
+        "peak_jitter_ps": quality.peak_jitter_s * 1e12,
+        "synchronous_viable": float(quality.synchronous_crossing_viable),
+        "fifo_depth": float(required_fifo_depth(quality)),
+        "crossing_latency_cycles": float(crossing_latency_cycles()),
+    }

@@ -1,0 +1,147 @@
+"""Duty-cycle distortion along the forwarding chain (paper Section IV).
+
+Every tile the clock traverses adds a small duty-cycle distortion (DCD)
+from pull-up/pull-down imbalance in buffers, forwarding muxes and I/O
+drivers.  Forwarded *as-is*, the distortion accumulates monotonically: with
+5% per tile the high (or low) phase vanishes within about 10 tiles and the
+clock dies.  The paper's fixes, both modelled here:
+
+* **Inversion per hop** — forwarding the inverted clock alternates which
+  half-cycle absorbs the distortion, so the error alternates in sign and
+  stays bounded at one tile's worth instead of growing linearly.
+* **A duty-cycle-correction (DCC) unit** per tile that pulls any residual
+  distortion back toward 50% within its correction range/resolution.
+
+Duty cycle is expressed as the high-phase fraction of the period, 0.5 being
+ideal.  A clock "dies" when either phase becomes shorter than the minimum
+pulse width the logic can propagate; we use phase <= 0 as the hard death
+and expose the minimum-pulse margin separately.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ClockError
+
+
+def tiles_until_clock_dies(dcd_per_tile: float, initial_duty: float = 0.5) -> int:
+    """Number of forwarding hops before a *non-inverting* chain kills the clock.
+
+    With distortion ``d`` accumulating in one direction per hop, the duty
+    cycle after ``n`` hops is ``duty0 + n*d``; the clock is dead once duty
+    reaches 1.0 (or 0.0 for negative ``d``).  With the paper's example of
+    5% per tile and 50% initial duty this returns 10.
+    """
+    if not 0.0 < initial_duty < 1.0:
+        raise ClockError("initial duty must be in (0, 1)")
+    if dcd_per_tile == 0.0:
+        raise ClockError("zero distortion never kills the clock")
+    if dcd_per_tile > 0:
+        margin = 1.0 - initial_duty
+    else:
+        margin = initial_duty
+    return math.ceil(margin / abs(dcd_per_tile))
+
+
+@dataclass
+class DccUnit:
+    """All-digital duty-cycle corrector (after Wang & Wang, ISCAS 2004).
+
+    Corrects the duty cycle toward 50% in discrete steps, limited by a
+    correction range and a step resolution (the residual error).
+    """
+
+    correction_range: float = 0.15      # can fix up to +/-15% of period
+    resolution: float = 0.01            # residual error after correction
+
+    def __post_init__(self) -> None:
+        if self.correction_range <= 0 or self.resolution <= 0:
+            raise ClockError("DCC range and resolution must be positive")
+
+    def correct(self, duty: float) -> float:
+        """Duty cycle after one pass through the corrector.
+
+        Errors within the correction range are reduced to (at most) the
+        step resolution; larger errors are reduced by the full range.
+        """
+        if not 0.0 < duty < 1.0:
+            raise ClockError(f"dead clock (duty={duty}) cannot be corrected")
+        error = duty - 0.5
+        magnitude = abs(error)
+        if magnitude <= self.resolution:
+            return duty
+        residual = max(magnitude - self.correction_range, self.resolution)
+        return 0.5 + math.copysign(residual, error)
+
+
+@dataclass
+class DutyCycleTracker:
+    """Tracks duty cycle along a forwarding chain.
+
+    Parameters
+    ----------
+    dcd_per_tile:
+        Signed distortion added per hop (positive widens the high phase).
+    invert_per_hop:
+        The paper's inversion trick.  When True, each hop forwards the
+        complement of its clock, flipping which phase absorbs distortion.
+    dcc:
+        Optional per-tile corrector applied after each hop.
+    min_pulse_fraction:
+        Narrowest phase (fraction of the period) the downstream logic can
+        still propagate; below this the clock is unusable even if nonzero.
+    """
+
+    dcd_per_tile: float
+    invert_per_hop: bool = True
+    dcc: DccUnit | None = None
+    min_pulse_fraction: float = 0.05
+    duty: float = 0.5
+    _inverted: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.min_pulse_fraction < 0.5:
+            raise ClockError("min pulse fraction must be in [0, 0.5)")
+
+    @property
+    def alive(self) -> bool:
+        """True while both phases exceed the minimum pulse width."""
+        return (
+            self.min_pulse_fraction < self.duty < 1.0 - self.min_pulse_fraction
+        )
+
+    def hop(self) -> float:
+        """Forward the clock through one tile; returns the new duty cycle.
+
+        The physical distortion always widens the same *electrical* phase
+        (say the high phase of the wire).  If the clock was inverted an odd
+        number of times, that electrical phase is the *logical* low phase,
+        so the logical duty moves the other way — this is exactly why
+        inversion bounds the accumulation.
+        """
+        if not self.alive:
+            raise ClockError("clock already dead; cannot forward further")
+        sign = -1.0 if self._inverted else 1.0
+        self.duty += sign * self.dcd_per_tile
+        self.duty = min(max(self.duty, 0.0), 1.0)
+        if self.invert_per_hop:
+            self._inverted = not self._inverted
+        if self.dcc is not None and 0.0 < self.duty < 1.0:
+            self.duty = self.dcc.correct(self.duty)
+        return self.duty
+
+    def run(self, hops: int) -> list[float]:
+        """Forward through ``hops`` tiles, returning the duty after each.
+
+        Stops early (returning the partial trace) if the clock dies.
+        """
+        if hops < 0:
+            raise ClockError("hops must be non-negative")
+        trace: list[float] = []
+        for _ in range(hops):
+            if not self.alive:
+                break
+            trace.append(self.hop())
+        return trace

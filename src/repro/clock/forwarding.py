@@ -1,0 +1,247 @@
+"""Clock selection and forwarding protocol simulation (Section IV, Figs 3-4).
+
+Protocol recap (paper Section IV):
+
+1. On boot every tile runs from the software-controlled JTAG clock.
+2. One or more **edge tiles** are configured to generate a fast clock (their
+   PLLs multiply the off-wafer crystal reference) and forward it to all
+   four neighbours.
+3. Every non-edge tile enters **auto-select**: it watches its four
+   forwarded-clock inputs and latches onto whichever input toggles first to
+   a pre-defined count (default 16).  Once selected, the tile forwards its
+   clock (inverted, to bound duty-cycle distortion) to its own neighbours.
+4. Selection is sticky, so no live-lock can occur; faulty tiles never
+   forward, and a tile is clockable iff at least one neighbour forwards a
+   clock to it — which by induction means iff it is grid-connected to a
+   generator through non-faulty tiles.
+
+The simulator is event-driven on "toggle time": the clock reaches tiles in
+breadth-first order from the generators, with per-hop latency modelling the
+toggle-count qualification delay.  It reports, per tile, where its clock
+came from, its hop depth (= inversion parity and DCD exposure) and whether
+it was reachable at all — everything needed to redraw Fig. 4.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass, field
+
+from ..config import Coord, SystemConfig
+from ..errors import ClockError
+from .dcd import DutyCycleTracker
+
+
+class ClockSource(enum.Enum):
+    """What a tile's functional-clock mux ended up selecting."""
+
+    JTAG = "jtag"               # boot default; never left auto-select
+    GENERATED = "generated"     # this tile generates the fast clock (edge)
+    FORWARDED = "forwarded"     # selected a neighbour's forwarded clock
+    NONE = "none"               # faulty tile
+
+
+@dataclass
+class TileClockState:
+    """Per-tile outcome of the clock setup phase."""
+
+    coord: Coord
+    source: ClockSource
+    selected_from: Coord | None = None  # neighbour whose clock was selected
+    hops_from_generator: int | None = None
+    arrival_time_s: float | None = None
+    inverted: bool = False              # odd number of inversions on path
+
+    @property
+    def has_fast_clock(self) -> bool:
+        """True when the tile runs from the generated/forwarded fast clock."""
+        return self.source in (ClockSource.GENERATED, ClockSource.FORWARDED)
+
+
+@dataclass
+class ForwardingResult:
+    """Outcome of a whole-wafer clock setup simulation."""
+
+    config: SystemConfig
+    states: dict[Coord, TileClockState]
+    generators: tuple[Coord, ...]
+    faulty: frozenset[Coord]
+    clock_hz: float
+
+    @property
+    def clocked_tiles(self) -> list[Coord]:
+        """Tiles that received the fast clock."""
+        return [c for c, s in self.states.items() if s.has_fast_clock]
+
+    @property
+    def unclocked_tiles(self) -> list[Coord]:
+        """Non-faulty tiles the fast clock could not reach (Fig. 4's tile 2)."""
+        return [
+            c
+            for c, s in self.states.items()
+            if c not in self.faulty and not s.has_fast_clock
+        ]
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of non-faulty tiles that received the fast clock."""
+        healthy = self.config.tiles - len(self.faulty)
+        if healthy == 0:
+            return 0.0
+        return len(self.clocked_tiles) / healthy
+
+    @property
+    def max_hops(self) -> int:
+        """Deepest forwarding chain — bounds accumulated jitter and DCD."""
+        depths = [
+            s.hops_from_generator
+            for s in self.states.values()
+            if s.hops_from_generator is not None
+        ]
+        return max(depths) if depths else 0
+
+    def setup_time_s(self) -> float:
+        """Time until the last reachable tile locked onto its clock."""
+        times = [
+            s.arrival_time_s
+            for s in self.states.values()
+            if s.arrival_time_s is not None
+        ]
+        return max(times) if times else 0.0
+
+    def duty_at_depth(self, tracker_factory=None) -> dict[Coord, float]:
+        """Duty cycle at each clocked tile given per-hop distortion.
+
+        ``tracker_factory`` builds a fresh :class:`DutyCycleTracker`; the
+        default uses the paper's inversion-per-hop scheme with 1% DCD.
+        """
+        if tracker_factory is None:
+            tracker_factory = lambda: DutyCycleTracker(dcd_per_tile=0.01)
+        out: dict[Coord, float] = {}
+        for coord, state in self.states.items():
+            if state.hops_from_generator is None:
+                continue
+            tracker = tracker_factory()
+            trace = tracker.run(state.hops_from_generator)
+            complete = len(trace) == state.hops_from_generator
+            out[coord] = tracker.duty if complete and tracker.alive else float("nan")
+        return out
+
+
+def simulate_clock_setup(
+    config: SystemConfig,
+    generators: list[Coord] | None = None,
+    faulty: set[Coord] | frozenset[Coord] | None = None,
+    clock_hz: float | None = None,
+    toggle_count: int | None = None,
+) -> ForwardingResult:
+    """Run the clock setup phase over the whole tile array.
+
+    Parameters
+    ----------
+    generators:
+        Edge tiles configured to generate the fast clock.  Defaults to the
+        single north-west corner tile, like Fig. 4's tile 1.  Every
+        generator must be a non-faulty edge tile (only edge tiles have the
+        supply stability to run their PLL — Section IV).
+    faulty:
+        Tiles that neither select nor forward any clock.
+    clock_hz:
+        Generated clock frequency; per-hop qualification latency is
+        ``toggle_count`` periods of this clock.
+    """
+    faulty_set = frozenset(faulty or ())
+    for coord in faulty_set:
+        config.validate_coord(coord)
+
+    if generators is None:
+        candidates = [
+            c for c in config.tile_coords()
+            if config.is_edge_tile(c) and c not in faulty_set
+        ]
+        if not candidates:
+            raise ClockError("no healthy edge tile available to generate clock")
+        generators = [candidates[0]]
+    if not generators:
+        raise ClockError("at least one generator tile is required")
+    for gen in generators:
+        config.validate_coord(gen)
+        if not config.is_edge_tile(gen):
+            raise ClockError(
+                f"generator {gen} is not an edge tile; interior supplies "
+                "are too noisy for PLL lock (Section IV)"
+            )
+        if gen in faulty_set:
+            raise ClockError(f"generator {gen} is marked faulty")
+
+    hz = clock_hz or config.forwarded_clock_hz
+    toggles = toggle_count or config.toggle_count
+    if toggles < 1:
+        raise ClockError("toggle count must be >= 1")
+    hop_latency_s = toggles / hz
+
+    states: dict[Coord, TileClockState] = {}
+    for coord in config.tile_coords():
+        if coord in faulty_set:
+            states[coord] = TileClockState(coord=coord, source=ClockSource.NONE)
+        else:
+            states[coord] = TileClockState(coord=coord, source=ClockSource.JTAG)
+
+    # Dijkstra-flavoured BFS: all hops cost the same qualification latency,
+    # but a heap keeps arrival times correct if generators start staggered.
+    heap: list[tuple[float, int, Coord, Coord | None]] = []
+    for gen in generators:
+        heapq.heappush(heap, (0.0, 0, gen, None))
+
+    while heap:
+        time_s, hops, coord, parent = heapq.heappop(heap)
+        state = states[coord]
+        if state.has_fast_clock:
+            continue    # selection is sticky: first qualified clock wins
+        if coord in faulty_set:
+            continue
+        if parent is None:
+            state.source = ClockSource.GENERATED
+        else:
+            state.source = ClockSource.FORWARDED
+            state.selected_from = parent
+        state.hops_from_generator = hops
+        state.arrival_time_s = time_s
+        state.inverted = hops % 2 == 1
+        for nbr in config.neighbors(coord):
+            if nbr in faulty_set or states[nbr].has_fast_clock:
+                continue
+            heapq.heappush(heap, (time_s + hop_latency_s, hops + 1, nbr, coord))
+
+    return ForwardingResult(
+        config=config,
+        states=states,
+        generators=tuple(generators),
+        faulty=faulty_set,
+        clock_hz=hz,
+    )
+
+
+def render_forwarding_map(result: ForwardingResult) -> str:
+    """ASCII rendering of a forwarding outcome (Fig. 4 style).
+
+    ``G`` generator, ``#`` faulty, ``.`` clocked, ``X`` unreachable healthy
+    tile (the yellow tile of Fig. 4).
+    """
+    rows = []
+    for r in range(result.config.rows):
+        cells = []
+        for c in range(result.config.cols):
+            coord = (r, c)
+            state = result.states[coord]
+            if coord in result.faulty:
+                cells.append("#")
+            elif state.source is ClockSource.GENERATED:
+                cells.append("G")
+            elif state.has_fast_clock:
+                cells.append(".")
+            else:
+                cells.append("X")
+        rows.append(" ".join(cells))
+    return "\n".join(rows)

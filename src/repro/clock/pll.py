@@ -1,0 +1,74 @@
+"""Behavioural PLL model (paper Section IV).
+
+Each compute chiplet embeds a PLL that multiplies a 10-133MHz reference up
+to 400MHz.  The IP needs a stable reference voltage: tiles away from the
+edge see their regulated supply wander within the 1.0-1.2V band (their
+decap is on-chip only), so reliable clock *generation* is restricted to
+edge tiles that sit next to off-wafer decoupling capacitors.  That
+restriction is why the system forwards a generated clock instead of running
+a PLL per tile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import params
+from ..errors import ClockError
+
+# Supply ripple (peak-to-peak) above which the PLL IP cannot hold lock.
+# Edge tiles, backed by off-wafer capacitors, stay well under this; interior
+# tiles can swing across the full 1.0-1.2V regulation band (200mV).
+DEFAULT_MAX_SUPPLY_RIPPLE_V = 0.05
+
+
+@dataclass(frozen=True)
+class PllModel:
+    """Integer-N PLL behavioural model."""
+
+    ref_min_hz: float = params.PLL_REF_MIN_HZ
+    ref_max_hz: float = params.PLL_REF_MAX_HZ
+    out_max_hz: float = params.PLL_OUT_MAX_HZ
+    max_supply_ripple_v: float = DEFAULT_MAX_SUPPLY_RIPPLE_V
+
+    def ref_in_range(self, ref_hz: float) -> bool:
+        """True when the reference frequency is within the input range."""
+        return self.ref_min_hz <= ref_hz <= self.ref_max_hz
+
+    def can_lock(self, ref_hz: float, supply_ripple_v: float) -> bool:
+        """True when the PLL can acquire and hold lock."""
+        return (
+            self.ref_in_range(ref_hz)
+            and 0.0 <= supply_ripple_v <= self.max_supply_ripple_v
+        )
+
+    def output_hz(
+        self, ref_hz: float, multiplier: int, supply_ripple_v: float = 0.0
+    ) -> float:
+        """Generate the output clock, validating every operating limit."""
+        if multiplier < 1:
+            raise ClockError("PLL multiplier must be >= 1")
+        if not self.ref_in_range(ref_hz):
+            raise ClockError(
+                f"reference {ref_hz/1e6:.1f}MHz outside "
+                f"[{self.ref_min_hz/1e6:.0f}, {self.ref_max_hz/1e6:.0f}]MHz"
+            )
+        if supply_ripple_v > self.max_supply_ripple_v:
+            raise ClockError(
+                "supply too noisy for PLL lock "
+                f"({supply_ripple_v*1e3:.0f}mVpp > "
+                f"{self.max_supply_ripple_v*1e3:.0f}mVpp)"
+            )
+        out = ref_hz * multiplier
+        if out > self.out_max_hz:
+            raise ClockError(
+                f"output {out/1e6:.0f}MHz exceeds PLL range "
+                f"({self.out_max_hz/1e6:.0f}MHz)"
+            )
+        return out
+
+    def max_multiplier(self, ref_hz: float) -> int:
+        """Largest integer multiplier keeping the output in range."""
+        if not self.ref_in_range(ref_hz):
+            raise ClockError("reference out of range")
+        return int(self.out_max_hz // ref_hz)

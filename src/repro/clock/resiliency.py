@@ -1,0 +1,156 @@
+"""Clock-forwarding resiliency analysis (paper Section IV).
+
+The paper argues (by induction) that the generated fast clock reaches every
+non-faulty tile *unless all of a tile's neighbours are faulty* — more
+precisely, unless the tile is disconnected from every generator in the
+subgraph of healthy tiles.  This module provides:
+
+* :func:`unreachable_tiles` — exact reachability via the forwarding
+  simulator;
+* :func:`clock_coverage_theorem_holds` — machine-checks the paper's
+  induction claim on arbitrary fault maps;
+* :func:`monte_carlo_clock_coverage` — coverage statistics versus fault
+  count, the clock-network analogue of Fig. 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import Coord, SystemConfig
+from ..errors import ClockError
+from .forwarding import simulate_clock_setup
+
+
+def unreachable_tiles(
+    config: SystemConfig,
+    faulty: set[Coord] | frozenset[Coord],
+    generators: list[Coord] | None = None,
+) -> set[Coord]:
+    """Healthy tiles the fast clock cannot reach."""
+    result = simulate_clock_setup(config, generators=generators, faulty=faulty)
+    return set(result.unclocked_tiles)
+
+
+def isolated_tiles(config: SystemConfig, faulty: set[Coord] | frozenset[Coord]) -> set[Coord]:
+    """Healthy tiles whose four neighbours are all faulty.
+
+    These are unusable regardless of clocking: the inter-tile network
+    cannot reach them either (the paper's point about Fig. 4's tile 2).
+    """
+    out: set[Coord] = set()
+    for coord in config.tile_coords():
+        if coord in faulty:
+            continue
+        nbrs = config.neighbors(coord)
+        if nbrs and all(n in faulty for n in nbrs):
+            out.add(coord)
+    return out
+
+
+def clock_coverage_theorem_holds(
+    config: SystemConfig,
+    faulty: set[Coord] | frozenset[Coord],
+    generators: list[Coord] | None = None,
+) -> bool:
+    """Check the paper's reachability claim on one fault map.
+
+    Claim: a healthy tile misses the clock *iff* it is disconnected from
+    every generator within the healthy-tile grid graph.  (The paper states
+    the special case "all four neighbours faulty"; disconnection is the
+    general condition its induction actually proves.)
+    """
+    import networkx as nx
+
+    result = simulate_clock_setup(config, generators=generators, faulty=faulty)
+    graph = nx.Graph()
+    healthy = [c for c in config.tile_coords() if c not in result.faulty]
+    graph.add_nodes_from(healthy)
+    for coord in healthy:
+        for nbr in config.neighbors(coord):
+            if nbr not in result.faulty:
+                graph.add_edge(coord, nbr)
+
+    reachable_ref: set[Coord] = set()
+    for gen in result.generators:
+        reachable_ref |= nx.node_connected_component(graph, gen)
+
+    simulated = {c for c in healthy if result.states[c].has_fast_clock}
+    return simulated == reachable_ref
+
+
+@dataclass(frozen=True)
+class ClockCoverageStats:
+    """Monte-Carlo coverage statistics for one fault count."""
+
+    fault_count: int
+    trials: int
+    mean_coverage: float        # mean fraction of healthy tiles clocked
+    min_coverage: float
+    mean_unreachable: float     # mean count of healthy-but-unclocked tiles
+
+
+def monte_carlo_clock_coverage(
+    config: SystemConfig,
+    fault_counts: list[int],
+    trials: int = 200,
+    seed: int = 0,
+) -> list[ClockCoverageStats]:
+    """Coverage statistics over random fault maps.
+
+    Faults are drawn uniformly over the array; the generator is the first
+    healthy edge tile (matching the single-generator bring-up of Fig. 4 —
+    resiliency does not depend on multiple generators, only availability
+    does).
+    """
+    rng = np.random.default_rng(seed)
+    stats: list[ClockCoverageStats] = []
+    all_coords = list(config.tile_coords())
+    for count in fault_counts:
+        if count >= config.tiles:
+            raise ClockError("cannot fault every tile")
+        coverages = []
+        unreachables = []
+        for _ in range(trials):
+            idx = rng.choice(len(all_coords), size=count, replace=False)
+            faulty = {all_coords[i] for i in idx}
+            edge_ok = [
+                c for c in all_coords
+                if config.is_edge_tile(c) and c not in faulty
+            ]
+            if not edge_ok:
+                continue    # pathological map: no generator possible
+            result = simulate_clock_setup(
+                config, generators=[edge_ok[0]], faulty=faulty
+            )
+            coverages.append(result.coverage)
+            unreachables.append(len(result.unclocked_tiles))
+        stats.append(
+            ClockCoverageStats(
+                fault_count=count,
+                trials=len(coverages),
+                mean_coverage=float(np.mean(coverages)) if coverages else 0.0,
+                min_coverage=float(np.min(coverages)) if coverages else 0.0,
+                mean_unreachable=float(np.mean(unreachables)) if unreachables else 0.0,
+            )
+        )
+    return stats
+
+
+def fig4_fault_map() -> tuple[SystemConfig, list[Coord], set[Coord]]:
+    """The 8x8 example of Fig. 4: one corner generator, six faulty tiles.
+
+    The fault pattern surrounds one interior tile on all four sides (the
+    yellow tile of the figure), plus one more fault elsewhere, so the
+    simulation shows exactly one healthy-but-unclocked tile and one tile
+    (Fig. 4's tile 3) that still gets its clock through its single healthy
+    neighbour.
+    """
+    config = SystemConfig(rows=8, cols=8)
+    generator = [(0, 0)]
+    # Surround tile (3, 3): faults N/S/W/E of it; tile (5, 6) keeps exactly
+    # one healthy neighbour thanks to faults on three sides.
+    faulty = {(2, 3), (4, 3), (3, 2), (3, 4), (5, 5), (4, 6)}
+    return config, generator, faulty

@@ -1,0 +1,209 @@
+"""During-assembly testing policy simulation (paper Section VII-B).
+
+The paper: progressive unrolling "can also be used for during-assembly
+testing to intermittently check for failures in a partially bonded
+system.  This scheme would help to identify and discard partially
+populated faulty systems and minimize wastage of KGD chiplets."
+
+Whether that pays off depends on *policy*: checking after every bond
+catches bad wafers earliest but costs tester time; never checking wastes
+every known-good die bonded after the (undetected) first failure on a
+wafer that will be scrapped.  This module simulates the bonding sequence
+with Bernoulli per-chiplet bond failures and evaluates check policies by
+their expected KGD wastage and test invocations.
+
+A wafer is *scrapped* when its accumulated faulty-tile count exceeds the
+fault budget the system architecture can tolerate (Section VI); faults
+within the budget are simply recorded in the fault map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..errors import JtagError
+from ..io.bonding import chiplet_bond_yield
+
+
+@dataclass(frozen=True)
+class AssemblyPolicy:
+    """When to run the during-assembly check."""
+
+    check_interval: int         # run a check after every N tiles (0 = never)
+    fault_budget: int = 16      # faults tolerated before the wafer is scrap
+
+    def __post_init__(self) -> None:
+        if self.check_interval < 0:
+            raise JtagError("check interval must be non-negative")
+        if self.fault_budget < 0:
+            raise JtagError("fault budget must be non-negative")
+
+
+@dataclass
+class AssemblyOutcome:
+    """Result of assembling one wafer under a policy."""
+
+    completed: bool             # wafer fully populated and within budget
+    tiles_bonded: int
+    faults_found: int
+    kgd_wasted: int             # good chiplets bonded to a doomed wafer
+    checks_run: int
+
+
+def _tile_fail_probability(config: SystemConfig) -> float:
+    """Per-tile bonding-failure probability from the Section V model."""
+    y_compute = chiplet_bond_yield(
+        config.ios_per_compute_chiplet, config.pillar_bond_yield,
+        config.pillars_per_pad,
+    )
+    y_memory = chiplet_bond_yield(
+        config.ios_per_memory_chiplet, config.pillar_bond_yield,
+        config.pillars_per_pad,
+    )
+    return 1.0 - y_compute * y_memory
+
+
+def assemble_wafer(
+    config: SystemConfig,
+    policy: AssemblyPolicy,
+    rng: np.random.Generator | int | None = None,
+    tile_fail_probability: float | None = None,
+) -> AssemblyOutcome:
+    """Bond tiles one at a time under a checking policy.
+
+    Faults are only *discovered* at checks (or at the end); a wafer whose
+    discovered fault count exceeds the budget is abandoned immediately —
+    every good chiplet pair bonded after the budget-busting fault (and
+    all good pairs on the wafer, since it is scrap) counts as wasted KGD.
+    """
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    p_fail = (
+        tile_fail_probability
+        if tile_fail_probability is not None
+        else _tile_fail_probability(config)
+    )
+    if not 0.0 <= p_fail <= 1.0:
+        raise JtagError("tile failure probability must be in [0, 1]")
+
+    total = config.tiles
+    bonded = 0
+    discovered = 0
+    undiscovered = 0
+    checks = 0
+    good_bonded = 0
+
+    for _ in range(total):
+        bonded += 1
+        if rng.random() < p_fail:
+            undiscovered += 1
+        else:
+            good_bonded += 1
+
+        run_check = (
+            policy.check_interval > 0 and bonded % policy.check_interval == 0
+        )
+        if run_check:
+            checks += 1
+            discovered += undiscovered
+            undiscovered = 0
+            if discovered > policy.fault_budget:
+                # Abandon: all good chiplets bonded so far are wasted
+                # (2 chiplets per tile).
+                return AssemblyOutcome(
+                    completed=False,
+                    tiles_bonded=bonded,
+                    faults_found=discovered,
+                    kgd_wasted=2 * good_bonded,
+                    checks_run=checks,
+                )
+
+    # Final post-assembly test always runs.
+    checks += 1
+    discovered += undiscovered
+    if discovered > policy.fault_budget:
+        return AssemblyOutcome(
+            completed=False,
+            tiles_bonded=total,
+            faults_found=discovered,
+            kgd_wasted=2 * good_bonded,
+            checks_run=checks,
+        )
+    return AssemblyOutcome(
+        completed=True,
+        tiles_bonded=total,
+        faults_found=discovered,
+        kgd_wasted=0,
+        checks_run=checks,
+    )
+
+
+@dataclass(frozen=True)
+class PolicyEvaluation:
+    """Monte-Carlo statistics for one checking policy."""
+
+    policy: AssemblyPolicy
+    trials: int
+    completion_rate: float
+    mean_kgd_wasted: float
+    mean_checks: float
+    mean_tiles_bonded_when_scrapped: float
+
+
+def evaluate_policy(
+    config: SystemConfig,
+    policy: AssemblyPolicy,
+    trials: int = 200,
+    seed: int = 0,
+    tile_fail_probability: float | None = None,
+) -> PolicyEvaluation:
+    """Monte-Carlo a checking policy."""
+    rng = np.random.default_rng(seed)
+    completed = 0
+    wasted: list[int] = []
+    checks: list[int] = []
+    scrapped_at: list[int] = []
+    for _ in range(trials):
+        outcome = assemble_wafer(
+            config, policy, rng, tile_fail_probability=tile_fail_probability
+        )
+        if outcome.completed:
+            completed += 1
+        else:
+            scrapped_at.append(outcome.tiles_bonded)
+        wasted.append(outcome.kgd_wasted)
+        checks.append(outcome.checks_run)
+    return PolicyEvaluation(
+        policy=policy,
+        trials=trials,
+        completion_rate=completed / trials,
+        mean_kgd_wasted=float(np.mean(wasted)),
+        mean_checks=float(np.mean(checks)),
+        mean_tiles_bonded_when_scrapped=(
+            float(np.mean(scrapped_at)) if scrapped_at else float("nan")
+        ),
+    )
+
+
+def sweep_check_intervals(
+    config: SystemConfig,
+    intervals: list[int],
+    trials: int = 200,
+    seed: int = 0,
+    tile_fail_probability: float | None = None,
+    fault_budget: int = 16,
+) -> list[PolicyEvaluation]:
+    """The Section VII-B trade-off: wastage vs checking frequency."""
+    return [
+        evaluate_policy(
+            config,
+            AssemblyPolicy(check_interval=interval, fault_budget=fault_budget),
+            trials=trials,
+            seed=seed,
+            tile_fail_probability=tile_fail_probability,
+        )
+        for interval in intervals
+    ]

@@ -1,0 +1,112 @@
+"""Broadcast program loading across cores and tiles (paper Section VII).
+
+Analysis of the paper's irregular workloads showed most cores run the
+*same* program (independently, on different data).  The test circuitry
+exploits this: the tile's TDI is broadcast to all 14 DAPs and TDO is taken
+from the first core, so the external controller shifts each program word
+once per tile instead of once per core — a 14x latency reduction — and
+the same trick extends across tiles in a chain.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import JtagError
+from .dap import DAP_ACCESS_DR_BITS, ChainMode, TileDapChain
+
+
+class LoadMode(enum.Enum):
+    """How program/data words reach the cores."""
+
+    UNICAST = "unicast"         # distinct image per core (chained shifts)
+    BROADCAST_TILE = "broadcast_tile"   # same image to all cores of a tile
+    BROADCAST_CHAIN = "broadcast_chain" # same image to all tiles of a chain
+
+
+@dataclass(frozen=True)
+class LoadEstimate:
+    """Shift-bit and time estimate for one load operation."""
+
+    mode: LoadMode
+    program_bits: int
+    total_shift_bits: int
+    tck_hz: float
+
+    @property
+    def seconds(self) -> float:
+        """Wall-clock shift time at the configured TCK."""
+        return self.total_shift_bits / self.tck_hz
+
+    @property
+    def reduction_vs_unicast(self) -> float:
+        """Latency ratio against loading each core separately."""
+        if self.total_shift_bits == 0:
+            return 1.0
+        # Unicast shifts the image once per core of every target tile.
+        return self._unicast_bits / self.total_shift_bits
+
+    @property
+    def _unicast_bits(self) -> int:
+        return self.program_bits * self._cores_targeted
+
+    # populated by BroadcastLoader
+    _cores_targeted: int = 1
+
+
+class BroadcastLoader:
+    """Estimates and simulates broadcast loading (Fig. 9's optimisation)."""
+
+    def __init__(
+        self,
+        cores_per_tile: int = 14,
+        tiles_in_chain: int = 32,
+        tck_hz: float = 10e6,
+    ):
+        if cores_per_tile < 1 or tiles_in_chain < 1:
+            raise JtagError("cores and tiles must be positive")
+        if tck_hz <= 0:
+            raise JtagError("TCK must be positive")
+        self.cores_per_tile = cores_per_tile
+        self.tiles_in_chain = tiles_in_chain
+        self.tck_hz = tck_hz
+
+    def estimate(self, program_bytes: int, mode: LoadMode) -> LoadEstimate:
+        """Shift-bit count to load one program image in the given mode."""
+        if program_bytes < 0:
+            raise JtagError("program size must be non-negative")
+        program_bits = program_bytes * 8
+        cores_total = self.cores_per_tile * self.tiles_in_chain
+
+        if mode is LoadMode.UNICAST:
+            total = program_bits * cores_total
+            targeted = cores_total
+        elif mode is LoadMode.BROADCAST_TILE:
+            # One shift per tile reaches all that tile's cores.
+            total = program_bits * self.tiles_in_chain
+            targeted = cores_total
+        else:
+            # One shift reaches every core of every tile in the chain.
+            total = program_bits
+            targeted = cores_total
+
+        estimate = LoadEstimate(
+            mode=mode,
+            program_bits=program_bits,
+            total_shift_bits=total,
+            tck_hz=self.tck_hz,
+        )
+        object.__setattr__(estimate, "_cores_targeted", targeted)
+        return estimate
+
+    def tile_latency_reduction(self) -> float:
+        """The paper's headline: broadcast turns 14 visible DAPs into 1."""
+        chain = TileDapChain(self.cores_per_tile, ChainMode.CHAINED)
+        return chain.latency_reduction(DAP_ACCESS_DR_BITS)
+
+    def simulate_tile_load(self, words: list[int]) -> TileDapChain:
+        """Broadcast a word list into a tile; returns the loaded chain."""
+        tile = TileDapChain(self.cores_per_tile, ChainMode.BROADCAST)
+        tile.broadcast_load(words)
+        return tile

@@ -1,0 +1,127 @@
+"""Per-core Debug Access Ports and the intra-tile DAP chain (Fig. 9).
+
+Each of the 14 Cortex-M3 cores exposes a DAP (JTAG IR = 4 bits; the data
+scans we model are the 35-bit AP/DP access registers: 32 data + 2 register
+select + 1 RnW).  Inside the compute chiplet the 14 DAPs are daisy-chained
+so one tile needs only one JTAG interface.  Two access modes exist:
+
+* **chained** — the standard serial chain: a scan targeting every core
+  must shift 14x the data (each DAP's DR sits in series);
+* **broadcast** — TDI fans out to *all* DAPs in parallel and TDO is taken
+  from the first core; the external controller sees a single DAP, cutting
+  bit-shift latency by 14x when all cores receive the same program, the
+  common case in the paper's workloads.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import JtagError
+from .jtag import JtagChain, JtagDevice
+
+DAP_IR_BITS = 4
+DAP_ACCESS_DR_BITS = 35     # 32 data + 2 addr + RnW
+
+
+def make_dap(name: str) -> JtagDevice:
+    """One ARM-style DAP as a JTAG chain device."""
+    return JtagDevice(
+        name=name,
+        ir_length=DAP_IR_BITS,
+        dr_lengths={
+            "BYPASS": 1,
+            "IDCODE": 32,
+            "DPACC": DAP_ACCESS_DR_BITS,
+            "APACC": DAP_ACCESS_DR_BITS,
+        },
+    )
+
+
+class CoreDap:
+    """Debug access to one core through its DAP."""
+
+    def __init__(self, core_index: int):
+        if core_index < 0:
+            raise JtagError("core index must be non-negative")
+        self.core_index = core_index
+        self.device = make_dap(f"core{core_index}-dap")
+        self.loaded_words: list[int] = []
+
+    def load_word(self, word: int) -> None:
+        """Model a 32-bit memory write arriving through the DAP."""
+        if not 0 <= word < (1 << 32):
+            raise JtagError("word exceeds 32 bits")
+        self.loaded_words.append(word)
+
+
+class ChainMode(enum.Enum):
+    """Intra-tile DAP chain access modes (Fig. 9)."""
+
+    CHAINED = "chained"
+    BROADCAST = "broadcast"
+
+
+@dataclass
+class TileDapChain:
+    """The 14-DAP daisy chain inside one compute chiplet."""
+
+    cores: int = 14
+    mode: ChainMode = ChainMode.CHAINED
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise JtagError("tile needs at least one core")
+        self.daps = [CoreDap(i) for i in range(self.cores)]
+        self._chain = JtagChain([d.device for d in self.daps])
+
+    @property
+    def chain(self) -> JtagChain:
+        """The underlying JTAG chain (chained-mode view)."""
+        return self._chain
+
+    def visible_dap_count(self) -> int:
+        """DAPs the external controller sees: 14 chained, 1 in broadcast."""
+        return 1 if self.mode is ChainMode.BROADCAST else self.cores
+
+    def scan_bits_for_all_cores(self, payload_bits: int) -> int:
+        """Bits shifted to deliver ``payload_bits`` to every core.
+
+        Chained mode shifts every DAP's slice through the serial chain
+        (``cores x payload``); broadcast mode shifts the payload once.
+        """
+        if payload_bits < 1:
+            raise JtagError("payload must be at least one bit")
+        if self.mode is ChainMode.BROADCAST:
+            return payload_bits
+        return self.cores * payload_bits
+
+    def latency_reduction(self, payload_bits: int = DAP_ACCESS_DR_BITS) -> float:
+        """Broadcast-vs-chained shift-latency ratio (the paper's 14x)."""
+        chained = TileDapChain(self.cores, ChainMode.CHAINED)
+        broadcast = TileDapChain(self.cores, ChainMode.BROADCAST)
+        return (
+            chained.scan_bits_for_all_cores(payload_bits)
+            / broadcast.scan_bits_for_all_cores(payload_bits)
+        )
+
+    def broadcast_load(self, words: list[int]) -> None:
+        """Deliver the same words to all cores (broadcast mode only)."""
+        if self.mode is not ChainMode.BROADCAST:
+            raise JtagError("broadcast_load requires BROADCAST mode")
+        for word in words:
+            for dap in self.daps:
+                dap.load_word(word)
+
+    def chained_load(self, per_core_words: list[list[int]]) -> None:
+        """Deliver distinct words per core (chained mode only)."""
+        if self.mode is not ChainMode.CHAINED:
+            raise JtagError("chained_load requires CHAINED mode")
+        if len(per_core_words) != self.cores:
+            raise JtagError(
+                f"expected {self.cores} word lists, got {len(per_core_words)}"
+            )
+        for dap, words in zip(self.daps, per_core_words):
+            for word in words:
+                dap.load_word(word)

@@ -1,0 +1,162 @@
+"""Multi-chain JTAG organisation and load-time modelling (Section VII-B-b).
+
+One 1024-tile daisy chain would make testing and program/data loading
+serial and put the broadcast TMS/TCK signals behind a 1024-tile load.
+The prototype instead runs **32 chains, one per tile row**:
+
+1. the rows are tested/loaded in parallel — up to a 32x speedup, taking
+   the whole-wafer memory load from ~2.5 hours to roughly under 5 minutes;
+2. each row has private TMS/TCK, cutting their fan-out 32x and allowing
+   up to 10 MHz operation.
+
+The load-time model charges a fixed number of TCK cycles per 32-bit word
+delivered through a DAP (DR scan + ACK/state overhead) and divides the
+work across chains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import params
+from ..config import SystemConfig
+from ..errors import JtagError
+
+# TCK cycles to deliver one 32-bit word through an ARM DAP: the 35-bit
+# APACC scan plus controller state moves, ACK polling and periodic address
+# setup.  Calibrated against the paper's own estimate (2.5 hours for the
+# full wafer over a single chain at 10 MHz).
+CYCLES_PER_WORD_DEFAULT = 224
+
+# TMS/TCK fan-out limit: a chain of n tiles loads the broadcast signals;
+# the prototype's buffers sustain 10 MHz at 32 tiles.
+TCK_FANOUT_LIMIT_HZ_TILES = 10e6 * 32
+
+
+@dataclass(frozen=True)
+class ChainPlan:
+    """One JTAG chain: which tiles it covers."""
+
+    chain_index: int
+    tiles: tuple[tuple[int, int], ...]
+
+    @property
+    def length(self) -> int:
+        """Tiles in this chain."""
+        return len(self.tiles)
+
+
+@dataclass(frozen=True)
+class MultiChainPlan:
+    """The wafer's chain organisation (rows by default)."""
+
+    config: SystemConfig
+    chains: tuple[ChainPlan, ...]
+
+    @property
+    def chain_count(self) -> int:
+        """Number of parallel chains."""
+        return len(self.chains)
+
+    @property
+    def max_chain_length(self) -> int:
+        """Longest chain (bounds the serial part of testing)."""
+        return max(c.length for c in self.chains)
+
+    def tck_hz(self) -> float:
+        """Achievable TCK given per-chain TMS/TCK fan-out."""
+        return min(params.JTAG_TCK_MAX_HZ, TCK_FANOUT_LIMIT_HZ_TILES / self.max_chain_length)
+
+
+def row_chains(config: SystemConfig | None = None) -> MultiChainPlan:
+    """The paper's organisation: one chain per tile row."""
+    cfg = config or SystemConfig()
+    chains = tuple(
+        ChainPlan(
+            chain_index=r,
+            tiles=tuple((r, c) for c in range(cfg.cols)),
+        )
+        for r in range(cfg.rows)
+    )
+    return MultiChainPlan(config=cfg, chains=chains)
+
+
+def single_chain(config: SystemConfig | None = None) -> MultiChainPlan:
+    """The rejected baseline: one serpentine chain over all 1024 tiles."""
+    cfg = config or SystemConfig()
+    tiles: list[tuple[int, int]] = []
+    for r in range(cfg.rows):
+        cols = range(cfg.cols) if r % 2 == 0 else range(cfg.cols - 1, -1, -1)
+        tiles.extend((r, c) for c in cols)
+    return MultiChainPlan(
+        config=cfg, chains=(ChainPlan(chain_index=0, tiles=tuple(tiles)),)
+    )
+
+
+@dataclass(frozen=True)
+class LoadTimeEstimate:
+    """Whole-wafer memory load-time estimate."""
+
+    plan_chains: int
+    total_bytes: int
+    tck_hz: float
+    cycles_per_word: int
+    seconds: float
+
+    @property
+    def minutes(self) -> float:
+        """Load time in minutes."""
+        return self.seconds / 60.0
+
+    @property
+    def hours(self) -> float:
+        """Load time in hours."""
+        return self.seconds / 3600.0
+
+
+def load_time_model(
+    plan: MultiChainPlan,
+    total_bytes: int | None = None,
+    tck_hz: float | None = None,
+    cycles_per_word: int = CYCLES_PER_WORD_DEFAULT,
+) -> LoadTimeEstimate:
+    """Time to load ``total_bytes`` across the wafer through JTAG.
+
+    Defaults to loading *all* memory in the system (shared banks, the
+    tile-private bank and every core's private SRAM), the workload behind
+    the paper's 2.5-hour/5-minute comparison.  Chains work in parallel;
+    within a chain, words stream through back-to-back.
+    """
+    cfg = plan.config
+    if total_bytes is None:
+        total_bytes = cfg.total_memory_bytes
+    if total_bytes < 0:
+        raise JtagError("total_bytes must be non-negative")
+    if cycles_per_word < 1:
+        raise JtagError("cycles_per_word must be positive")
+    hz = tck_hz if tck_hz is not None else params.JTAG_TCK_MAX_HZ
+    if hz <= 0:
+        raise JtagError("TCK must be positive")
+
+    words = total_bytes // 4
+    words_per_chain = -(-words // plan.chain_count)    # ceil
+    seconds = words_per_chain * cycles_per_word / hz
+    return LoadTimeEstimate(
+        plan_chains=plan.chain_count,
+        total_bytes=total_bytes,
+        tck_hz=hz,
+        cycles_per_word=cycles_per_word,
+        seconds=seconds,
+    )
+
+
+def paper_load_time_comparison(config: SystemConfig | None = None) -> dict[str, float]:
+    """The Section VII numbers: single-chain hours vs 32-chain minutes."""
+    cfg = config or SystemConfig()
+    single = load_time_model(single_chain(cfg))
+    multi = load_time_model(row_chains(cfg))
+    return {
+        "single_chain_hours": single.hours,
+        "multi_chain_minutes": multi.minutes,
+        "speedup": single.seconds / multi.seconds,
+    }

@@ -1,0 +1,112 @@
+"""Pre-bond probe testing and the duplicate-pad scheme (Sec. VII-A, Fig. 8).
+
+Fine-pitch Si-IF pads (10um pitch, 7um wide) cannot be touched by probe
+cards: probe pitch is >=50um, and a probe scrub ruins the pad planarity
+that direct metal-metal bonding needs.  The chiplets therefore carry
+**larger duplicate pads** for the JTAG and auxiliary test signals:
+
+* pre-bond (known-good-die) testing probes only the large pads;
+* bonding uses only the *unprobed* fine-pitch pads (pillars are never
+  placed on probed pads);
+* post-bond, the same JTAG signals are reachable through the fine-pitch
+  pillars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import params
+from ..errors import JtagError
+
+
+@dataclass(frozen=True)
+class PadSet:
+    """A set of same-geometry pads on a chiplet."""
+
+    name: str
+    count: int
+    pitch_um: float
+    width_um: float
+    probed: bool = False        # probing destroys bonding planarity
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise JtagError("pad count must be non-negative")
+        if self.pitch_um <= 0 or self.width_um <= 0:
+            raise JtagError("pad geometry must be positive")
+        if self.width_um > self.pitch_um:
+            raise JtagError("pad width cannot exceed pitch")
+
+
+@dataclass(frozen=True)
+class ProbeCard:
+    """A probe card's mechanical capability."""
+
+    min_pitch_um: float = params.PROBE_PITCH_MIN_UM
+
+    def can_touch(self, pads: PadSet) -> bool:
+        """True when the card's probes can land on this pad set."""
+        return pads.pitch_um >= self.min_pitch_um
+
+
+def can_probe(pads: PadSet, card: ProbeCard | None = None) -> bool:
+    """Is probe-card testing of this pad set possible?"""
+    return (card or ProbeCard()).can_touch(pads)
+
+
+@dataclass(frozen=True)
+class ProbePlan:
+    """Pre-bond test plan for one chiplet."""
+
+    fine_pads: PadSet
+    test_pads: PadSet
+
+    def validate(self, card: ProbeCard | None = None) -> None:
+        """Check the plan satisfies every Section VII-A constraint."""
+        probe = card or ProbeCard()
+        if probe.can_touch(self.fine_pads):
+            # Not an error per se, but the design intent is that fine
+            # pads are beyond probing — flag a mis-sized pad set.
+            raise JtagError("fine-pitch pads should not be probeable")
+        if not probe.can_touch(self.test_pads):
+            raise JtagError(
+                f"test pads at {self.test_pads.pitch_um}um pitch are below "
+                f"the {probe.min_pitch_um}um probe limit"
+            )
+        if self.test_pads.probed and self.fine_pads.probed:
+            raise JtagError("fine pads must never be probed")
+
+    def bondable_pads(self) -> PadSet:
+        """Pads eligible for Cu-pillar bonding: unprobed fine pads only."""
+        if self.fine_pads.probed:
+            raise JtagError("probed pads lost planarity; cannot bond")
+        return self.fine_pads
+
+
+def probe_plan(
+    fine_pad_count: int,
+    test_signal_count: int = 12,
+    probe_pad_pitch_um: float = 90.0,
+) -> ProbePlan:
+    """Build the paper's duplicate-pad plan for one chiplet.
+
+    ``test_signal_count`` covers JTAG (TDI/TDO/TMS/TCK), clock and a few
+    auxiliary signals, each duplicated onto a large probeable pad.
+    """
+    fine = PadSet(
+        name="fine-pitch",
+        count=fine_pad_count,
+        pitch_um=params.CU_PILLAR_PITCH_UM,
+        width_um=params.IO_PAD_WIDTH_UM,
+    )
+    test = PadSet(
+        name="probe-test",
+        count=test_signal_count,
+        pitch_um=probe_pad_pitch_um,
+        width_um=probe_pad_pitch_um * 0.7,
+        probed=True,
+    )
+    plan = ProbePlan(fine_pads=fine, test_pads=test)
+    plan.validate()
+    return plan

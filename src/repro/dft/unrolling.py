@@ -1,0 +1,149 @@
+"""Progressive multi-chiplet JTAG chain unrolling (Section VII-B, Fig. 10).
+
+Every tile's JTAG interface can either forward its TDO to the next tile in
+the chain or **loop it back** toward the external controller through the
+upstream tiles' TDI-bypass path (similar in spirit to the IEEE P1838
+serial control mechanism for 3D stacks).  On power-up every tile is in
+loop-back, so the controller initially sees only the first tile.  Testing
+proceeds by *unrolling*:
+
+1. test the first tile in loop-back;
+2. if it passes, switch it to forward mode — the controller now sees the
+   second tile through it — and test that one;
+3. repeat down the chain; the first test failure pin-points the faulty
+   chiplet (everything nearer the controller already passed).
+
+The same procedure runs *during* assembly on partially-bonded wafers, so
+a bad wafer is caught before more known-good chiplets are wasted on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import JtagError
+
+
+@dataclass
+class TileUnderTest:
+    """One tile's test view in a chain."""
+
+    index: int
+    healthy: bool = True
+    bonded: bool = True
+    forward_mode: bool = False      # False = loop-back (power-up default)
+
+    def responds(self) -> bool:
+        """Does a test of this tile pass?
+
+        Requires the chiplet to be bonded and internally healthy.
+        """
+        return self.bonded and self.healthy
+
+
+@dataclass
+class UnrollStep:
+    """Record of one test in the unrolling procedure."""
+
+    tile_index: int
+    passed: bool
+    visible_chain_length: int
+
+
+@dataclass
+class ChainTestSession:
+    """Progressive unrolling over one chain of tiles."""
+
+    tiles: list[TileUnderTest]
+    steps: list[UnrollStep] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.tiles:
+            raise JtagError("chain has no tiles")
+        for i, tile in enumerate(self.tiles):
+            if tile.index != i:
+                raise JtagError("tile indices must match chain positions")
+
+    def reachable_prefix(self) -> int:
+        """Tiles reachable from the controller given current modes.
+
+        Tile k is reachable when tiles 0..k-1 are all in forward mode and
+        all bonded (a missing/faulty chiplet physically breaks the chain
+        wiring through its bypass path).
+        """
+        for i, tile in enumerate(self.tiles):
+            if not tile.bonded:
+                return i
+            if not tile.forward_mode:
+                return i + 1
+        return len(self.tiles)
+
+    def test_tile(self, index: int) -> bool:
+        """Run the test routine on one tile (must be the unroll frontier)."""
+        frontier = self.reachable_prefix() - 1
+        if index != frontier:
+            raise JtagError(
+                f"tile {index} is not the unroll frontier ({frontier})"
+            )
+        tile = self.tiles[index]
+        passed = tile.responds()
+        self.steps.append(
+            UnrollStep(
+                tile_index=index,
+                passed=passed,
+                visible_chain_length=index + 1,
+            )
+        )
+        return passed
+
+    def unroll(self) -> list[int]:
+        """Run the full progressive procedure; returns faulty tile indices.
+
+        A failing tile is left in loop-back and skipped logically — in
+        hardware the physical chain cannot continue past a dead chiplet,
+        so unrolling stops at the first failure.  (The 32-row multi-chain
+        organisation bounds the blast radius of one dead tile to its row.)
+        """
+        faulty: list[int] = []
+        for index, tile in enumerate(self.tiles):
+            passed = self.test_tile(index)
+            if not passed:
+                faulty.append(index)
+                break
+            tile.forward_mode = True
+        return faulty
+
+    @property
+    def tests_run(self) -> int:
+        """Number of per-tile test invocations so far."""
+        return len(self.steps)
+
+
+def locate_faulty_tiles(health: list[bool]) -> list[int]:
+    """Convenience wrapper: unroll a chain described by a health vector."""
+    tiles = [TileUnderTest(index=i, healthy=h) for i, h in enumerate(health)]
+    return ChainTestSession(tiles=tiles).unroll()
+
+
+def during_assembly_check(bonded_count: int, health: list[bool]) -> tuple[list[int], bool]:
+    """Intermittent check of a partially-bonded chain (Section VII-B).
+
+    Only the first ``bonded_count`` tiles exist; returns the faulty
+    indices found and whether the partial assembly is still good (no
+    failures among bonded tiles), letting the fab abandon a bad wafer
+    before wasting more known-good chiplets on it.
+    """
+    if bonded_count < 0 or bonded_count > len(health):
+        raise JtagError("bonded_count out of range")
+    tiles = [
+        TileUnderTest(index=i, healthy=h, bonded=i < bonded_count)
+        for i, h in enumerate(health)
+    ]
+    session = ChainTestSession(tiles=tiles)
+    faulty: list[int] = []
+    for index in range(bonded_count):
+        if not session.test_tile(index):
+            faulty.append(index)
+            break
+        session.tiles[index].forward_mode = True
+    return faulty, not faulty

@@ -1,0 +1,133 @@
+"""Prototype characterization: frequency/voltage shmoo and binning.
+
+The paper's closing line: "Our ongoing work aims at characterizing the
+waferscale prototype..."  Characterization of a fabricated wafer means
+shmoo-ing: sweep frequency (and supply) per tile, find where each tile
+still passes its test routine, and bin the wafer.
+
+The silicon substitute here is an alpha-power-law delay model
+
+    f_max(V) = k * (V - V_th)^alpha / V
+
+calibrated so the nominal corner (1.1V) yields the 300MHz nominal
+frequency with margin, and the fast-fast corner (1.21V) supports the
+PLL-limited 400MHz ceiling.  Per-tile regulated voltage comes from the
+LDO over the PDN solve, with a per-tile process-corner spread, so the
+shmoo shows realistic wafer-position and process structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import params
+from ..config import SystemConfig
+from ..errors import ReproError
+from ..pdn.ldo import LdoModel
+from ..pdn.solver import PdnSolver
+
+ALPHA = 1.3                 # alpha-power-law exponent for 40nm-class
+V_THRESHOLD = 0.45          # effective threshold voltage
+
+
+def _fmax_hz(v: float, k: float) -> float:
+    if v <= V_THRESHOLD:
+        return 0.0
+    return k * (v - V_THRESHOLD) ** ALPHA / v
+
+
+def _calibrate_k() -> float:
+    """Pick k so the FF corner (1.21V) lands on the 400MHz PLL ceiling."""
+    v = params.FF_CORNER_VOLTAGE
+    return params.PLL_OUT_MAX_HZ * v / (v - V_THRESHOLD) ** ALPHA
+
+
+@dataclass
+class ShmooResult:
+    """Per-tile maximum frequency and wafer-level binning."""
+
+    config: SystemConfig
+    fmax_hz: np.ndarray             # (rows, cols)
+    regulated_v: np.ndarray
+
+    @property
+    def system_fmax_hz(self) -> float:
+        """Lock-step system frequency: the slowest tile sets it."""
+        return float(self.fmax_hz.min())
+
+    @property
+    def mean_fmax_hz(self) -> float:
+        """Average per-tile maximum frequency."""
+        return float(self.fmax_hz.mean())
+
+    def passing_fraction(self, freq_hz: float) -> float:
+        """Fraction of tiles passing at a target frequency."""
+        if freq_hz <= 0:
+            raise ReproError("frequency must be positive")
+        return float((self.fmax_hz >= freq_hz).mean())
+
+    def shmoo_row(self, freqs_hz: list[float]) -> list[tuple[float, float]]:
+        """The classic shmoo table: (frequency, passing fraction)."""
+        return [(f, self.passing_fraction(f)) for f in freqs_hz]
+
+    def bin_counts(self, bin_edges_hz: list[float]) -> dict[str, int]:
+        """Speed-bin the tiles by their fmax."""
+        edges = sorted(bin_edges_hz)
+        counts: dict[str, int] = {}
+        flat = self.fmax_hz.reshape(-1)
+        previous = 0.0
+        for edge in edges:
+            label = f"<{edge / 1e6:.0f}MHz"
+            counts[label] = int(((flat >= previous) & (flat < edge)).sum())
+            previous = edge
+        counts[f">={edges[-1] / 1e6:.0f}MHz"] = int((flat >= edges[-1]).sum())
+        return counts
+
+
+def characterize(
+    config: SystemConfig | None = None,
+    process_sigma: float = 0.02,
+    seed: int = 0,
+) -> ShmooResult:
+    """Shmoo the (simulated) prototype.
+
+    Per-tile max frequency from the alpha-power law at the tile's
+    regulated voltage, with a lognormal-ish process spread of
+    ``process_sigma`` (relative) across the wafer.
+    """
+    cfg = config or SystemConfig()
+    if process_sigma < 0:
+        raise ReproError("process sigma must be non-negative")
+    solution = PdnSolver(cfg).solve()
+    ldo = LdoModel()
+    k = _calibrate_k()
+    rng = np.random.default_rng(seed)
+    spread = rng.normal(1.0, process_sigma, size=(cfg.rows, cfg.cols))
+
+    regulated = np.empty((cfg.rows, cfg.cols))
+    fmax = np.empty((cfg.rows, cfg.cols))
+    for coord in cfg.tile_coords():
+        v_in = solution.voltage_at(coord)
+        v_reg = ldo.regulate(v_in)
+        regulated[coord] = v_reg
+        fmax[coord] = _fmax_hz(v_reg, k) * float(spread[coord])
+
+    return ShmooResult(config=cfg, fmax_hz=fmax, regulated_v=regulated)
+
+
+def characterization_report(result: ShmooResult) -> str:
+    """Human-readable characterization summary."""
+    lines = [
+        f"tiles: {result.config.tiles}",
+        f"regulated voltage: {result.regulated_v.min():.3f}"
+        f"-{result.regulated_v.max():.3f} V",
+        f"per-tile fmax: {result.fmax_hz.min() / 1e6:.0f}"
+        f"-{result.fmax_hz.max() / 1e6:.0f} MHz "
+        f"(mean {result.mean_fmax_hz / 1e6:.0f})",
+        f"system lock-step fmax: {result.system_fmax_hz / 1e6:.0f} MHz",
+        f"pass rate at 300MHz nominal: {result.passing_fraction(300e6):.1%}",
+        f"pass rate at 350MHz: {result.passing_fraction(350e6):.1%}",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,266 @@
+"""End-to-end design-flow pass (the library's "main entry point").
+
+Runs every stage of the paper's design methodology on a configuration and
+collects pass/fail plus key metrics per stage:
+
+1.  geometry — wafer layout and reticle step-and-repeat plan;
+2.  power — mesh IR-droop solve, LDO tracking-range check, decap sizing;
+3.  clock — passive-CDN infeasibility, forwarding coverage on the wafer;
+4.  io — bonding-yield model, cell-under-pad and budget checks;
+5.  network — dual-DoR connectivity analysis at the expected fault count;
+6.  dft — probe plan, chain organisation, load-time model;
+7.  substrate — netlist extraction, jog-free routing, DRC, edge fan-out.
+
+A downstream user exploring a different waferscale design changes the
+:class:`~repro.config.SystemConfig` and reruns the flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .. import params
+from ..config import SystemConfig
+from ..clock.forwarding import simulate_clock_setup
+from ..clock.passive_cdn import passive_cdn_is_viable
+from ..errors import ReproError
+from ..geometry.reticle import plan_reticles
+from ..geometry.wafer import WaferLayout
+from ..io.bonding import BondingYieldModel
+from ..io.budget import compute_io_budget, memory_io_budget
+from ..io.cell import IoCellModel
+from ..noc.connectivity import monte_carlo_disconnection
+from ..pdn.decap import DecapModel
+from ..pdn.ldo import LdoModel
+from ..pdn.solver import PdnSolver
+from ..dft.multichain import load_time_model, row_chains
+from ..dft.probe import probe_plan
+from ..substrate.drc import run_drc
+from ..substrate.fanout import plan_edge_fanout
+from ..substrate.netlist import extract_netlist
+from ..substrate.router import SubstrateRouter
+
+
+@dataclass
+class StageResult:
+    """Outcome of one flow stage."""
+
+    name: str
+    ok: bool
+    metrics: dict[str, float | int | bool | str] = field(default_factory=dict)
+    notes: str = ""
+
+
+@dataclass
+class DesignFlowResult:
+    """All stage results of one flow run."""
+
+    config: SystemConfig
+    stages: list[StageResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every stage passed."""
+        return all(stage.ok for stage in self.stages)
+
+    def stage(self, name: str) -> StageResult:
+        """Look up one stage by name."""
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise ReproError(f"no stage named {name!r}")
+
+    def summary(self) -> str:
+        """One line per stage."""
+        lines = []
+        for stage in self.stages:
+            mark = "PASS" if stage.ok else "FAIL"
+            lines.append(f"[{mark}] {stage.name}: {stage.notes}")
+        return "\n".join(lines)
+
+
+def run_design_flow(
+    config: SystemConfig | None = None,
+    connectivity_trials: int = 20,
+) -> DesignFlowResult:
+    """Run the complete design flow on a configuration."""
+    cfg = config or SystemConfig()
+    result = DesignFlowResult(config=cfg)
+
+    # 1. Geometry.
+    layout = WaferLayout(cfg)
+    reticles = plan_reticles(cfg)
+    result.stages.append(
+        StageResult(
+            name="geometry",
+            ok=True,
+            metrics={
+                "active_area_mm2": layout.active_area_mm2,
+                "array_area_mm2": layout.array_area_mm2,
+                "max_edge_distance_mm": layout.max_edge_distance_mm(),
+                "reticle_steps": reticles.step_count,
+            },
+            notes=(
+                f"{cfg.tiles} tiles, {layout.array_area_mm2:.0f}mm2 array, "
+                f"{reticles.step_count} reticle steps"
+            ),
+        )
+    )
+
+    # 2. Power.
+    solution = PdnSolver(cfg).solve()
+    ldo = LdoModel()
+    regulation_ok = all(
+        ldo.regulation_ok(solution.voltage_at(c)) for c in cfg.tile_coords()
+    )
+    from ..geometry.chiplet import tile_area_mm2
+
+    decap = DecapModel(tile_area_mm2(cfg))
+    power_ok = regulation_ok and decap.meets_band()
+    result.stages.append(
+        StageResult(
+            name="power",
+            ok=power_ok,
+            metrics={
+                "min_voltage": solution.min_voltage,
+                "max_voltage": solution.max_voltage,
+                "total_current_a": solution.total_current_a,
+                "supply_power_w": solution.supply_power_w,
+                "decap_nf": decap.capacitance_f * 1e9,
+                "decap_droop_mv": decap.droop_for_step() * 1e3,
+            },
+            notes=(
+                f"edge {solution.max_voltage:.2f}V -> centre "
+                f"{solution.min_voltage:.2f}V, {solution.total_current_a:.0f}A, "
+                f"LDO regulation {'OK' if regulation_ok else 'VIOLATED'}"
+            ),
+        )
+    )
+
+    # 3. Clock.  A clockable design needs full forwarding coverage; the
+    # passive-CDN check is reported because it is the *reason* forwarding
+    # exists at waferscale (small arrays could use a passive tree).
+    passive_viable = passive_cdn_is_viable(cfg)
+    forwarding = simulate_clock_setup(cfg)
+    clock_ok = forwarding.coverage == 1.0
+    result.stages.append(
+        StageResult(
+            name="clock",
+            ok=clock_ok,
+            metrics={
+                "passive_cdn_viable": passive_viable,
+                "forwarding_coverage": forwarding.coverage,
+                "max_hops": forwarding.max_hops,
+                "setup_time_us": forwarding.setup_time_s() * 1e6,
+            },
+            notes=(
+                f"passive CDN {'viable' if passive_viable else 'rejected'}; "
+                f"forwarding covers {forwarding.coverage:.0%} in "
+                f"{forwarding.max_hops} hops"
+            ),
+        )
+    )
+
+    # 4. I/O.
+    bonding = BondingYieldModel(
+        chiplet_count=cfg.chiplets,
+        io_count=cfg.ios_per_compute_chiplet,
+        pillar_yield=cfg.pillar_bond_yield,
+        pillars_per_pad=cfg.pillars_per_pad,
+    )
+    cell = IoCellModel()
+    budgets_ok = (
+        compute_io_budget(cfg).fits_perimeter(cfg.io_pad_pitch_um)
+        and memory_io_budget(cfg).fits_perimeter(cfg.io_pad_pitch_um)
+    )
+    io_ok = (
+        budgets_ok
+        and cell.fits_under_pads(1, cfg.io_pad_pitch_um)
+        and bonding.expected_faulty < 5.0
+    )
+    result.stages.append(
+        StageResult(
+            name="io",
+            ok=io_ok,
+            metrics={
+                "chiplet_bond_yield": bonding.chiplet_yield,
+                "expected_faulty_chiplets": bonding.expected_faulty,
+                "energy_pj_per_bit": cell.energy_per_bit_j() * 1e12,
+            },
+            notes=(
+                f"chiplet bond yield {bonding.chiplet_yield:.4%}, expected "
+                f"faulty {bonding.expected_faulty:.2f}"
+            ),
+        )
+    )
+
+    # 5. Network resiliency at the single-pillar-era fault scale (5 faults).
+    stats = monte_carlo_disconnection(
+        cfg, [5], trials=connectivity_trials, seed=7
+    )[0]
+    network_ok = stats.mean_dual_pct < stats.mean_single_pct
+    result.stages.append(
+        StageResult(
+            name="network",
+            ok=network_ok,
+            metrics={
+                "single_net_disconnected_pct": stats.mean_single_pct,
+                "dual_net_disconnected_pct": stats.mean_dual_pct,
+                "improvement": stats.improvement,
+            },
+            notes=(
+                f"@5 faults: single {stats.mean_single_pct:.1f}% vs dual "
+                f"{stats.mean_dual_pct:.2f}% disconnected"
+            ),
+        )
+    )
+
+    # 6. DfT.
+    probe = probe_plan(cfg.ios_per_compute_chiplet)
+    plan = row_chains(cfg)
+    load = load_time_model(plan)
+    dft_ok = plan.tck_hz() >= 1e6
+    result.stages.append(
+        StageResult(
+            name="dft",
+            ok=dft_ok,
+            metrics={
+                "chains": plan.chain_count,
+                "tck_mhz": plan.tck_hz() / 1e6,
+                "full_load_minutes": load.minutes,
+            },
+            notes=(
+                f"{plan.chain_count} chains at {plan.tck_hz() / 1e6:.0f}MHz, "
+                f"full load {load.minutes:.1f}min"
+            ),
+        )
+    )
+
+    # 7. Substrate.
+    router = SubstrateRouter(cfg, reticles=reticles)
+    nets = extract_netlist(cfg)
+    routing = router.route(nets)
+    drc = run_drc(routing)
+    fanout = plan_edge_fanout(cfg)
+    substrate_ok = routing.success and drc.clean and fanout.density_ok()
+    result.stages.append(
+        StageResult(
+            name="substrate",
+            ok=substrate_ok,
+            metrics={
+                "nets": len(nets),
+                "routed": routing.routed_count,
+                "max_channel_utilization": routing.max_utilization,
+                "stitch_wires": routing.stitch_wire_count(),
+                "drc_clean": drc.clean,
+                "wirelength_m": routing.total_wirelength_mm / 1000.0,
+            },
+            notes=(
+                f"{routing.routed_count}/{len(nets)} nets routed, DRC "
+                f"{'clean' if drc.clean else 'VIOLATIONS'}, "
+                f"{routing.stitch_wire_count()} stitch wires"
+            ),
+        )
+    )
+
+    return result

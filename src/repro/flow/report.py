@@ -1,0 +1,130 @@
+"""System reporting: Table I re-derived from first principles.
+
+Every row of the paper's Table I is computed from the configuration and
+the models in this library, not restated — so changing the config (a
+smaller array, a different frequency) produces a consistent new table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import params
+from ..config import SystemConfig
+from ..geometry.chiplet import compute_chiplet, memory_chiplet
+from ..noc.topology import MeshTopology
+
+# Width of the edge fan-out / connector ring around the tile array,
+# calibrated so the paper's 32x32 configuration lands on Table I's
+# 15,100 mm^2 "total area w/ edge I/Os".
+EDGE_RING_WIDTH_MM = 5.95
+
+# The cores are single-issue (one op per cycle), which is how 14,336
+# cores at 300MHz give Table I's 4.3 TOPS.
+OPS_PER_CORE_PER_CYCLE = 1
+
+
+@dataclass(frozen=True)
+class SystemReport:
+    """The Table I quantities for one configuration."""
+
+    compute_chiplets: int
+    memory_chiplets: int
+    cores_per_tile: int
+    compute_chiplet_size_mm: tuple[float, float]
+    memory_chiplet_size_mm: tuple[float, float]
+    network_bandwidth_tbps: float
+    private_memory_per_core_bytes: int
+    total_shared_memory_bytes: int
+    total_cores: int
+    compute_throughput_tops: float
+    shared_memory_bandwidth_tbps: float
+    ios_per_compute_chiplet: int
+    ios_per_memory_chiplet: int
+    total_area_mm2: float
+    nominal_freq_hz: float
+    nominal_vdd: float
+    total_peak_power_w: float
+
+    def rows(self) -> list[tuple[str, str]]:
+        """Human-readable (label, value) rows in Table I's order."""
+        cw, ch = self.compute_chiplet_size_mm
+        mw, mh = self.memory_chiplet_size_mm
+        return [
+            ("# Compute Chiplets", f"{self.compute_chiplets}"),
+            ("# Memory Chiplets", f"{self.memory_chiplets}"),
+            ("# Cores per Tile", f"{self.cores_per_tile}"),
+            ("Compute Chiplet Size", f"{cw}mm x {ch}mm"),
+            ("Memory Chiplet Size", f"{mw}mm x {mh}mm"),
+            ("Network B/W", f"{self.network_bandwidth_tbps:.2f} TBps"),
+            (
+                "Private Memory per Core",
+                f"{self.private_memory_per_core_bytes // 1024}KB",
+            ),
+            (
+                "Total Shared Memory",
+                f"{self.total_shared_memory_bytes // (1024 * 1024)} MB",
+            ),
+            ("Total # Cores", f"{self.total_cores}"),
+            ("Compute Throughput", f"{self.compute_throughput_tops:.1f} TOPS"),
+            (
+                "Shared Memory B/W",
+                f"{self.shared_memory_bandwidth_tbps:.3f} TB/s",
+            ),
+            (
+                "# I/Os per Chiplet",
+                f"{self.ios_per_compute_chiplet}(C)/{self.ios_per_memory_chiplet}(M)",
+            ),
+            ("Total Area (w/ edge I/Os)", f"{self.total_area_mm2:.0f} mm2"),
+            (
+                "Nominal Freq./Voltage",
+                f"{self.nominal_freq_hz / 1e6:.0f} MHz/{self.nominal_vdd}V",
+            ),
+            ("Total Peak Power", f"{self.total_peak_power_w:.0f}W"),
+        ]
+
+    def render(self) -> str:
+        """ASCII rendering of the table."""
+        rows = self.rows()
+        width = max(len(label) for label, _ in rows)
+        return "\n".join(f"{label:<{width}}  {value}" for label, value in rows)
+
+
+def table1_report(config: SystemConfig | None = None) -> SystemReport:
+    """Compute the full Table I report for a configuration."""
+    cfg = config or SystemConfig()
+    topo = MeshTopology(cfg)
+    compute = compute_chiplet(cfg)
+    memory = memory_chiplet(cfg)
+
+    shared_bw = (
+        cfg.tiles
+        * cfg.memory_banks_per_tile
+        * 4                     # 32-bit word per bank per cycle
+        * cfg.nominal_freq_hz
+    )
+    throughput_ops = cfg.cores * cfg.nominal_freq_hz * OPS_PER_CORE_PER_CYCLE
+
+    total_area = (cfg.array_width_mm + 2 * EDGE_RING_WIDTH_MM) * (
+        cfg.array_height_mm + 2 * EDGE_RING_WIDTH_MM
+    )
+
+    return SystemReport(
+        compute_chiplets=cfg.tiles,
+        memory_chiplets=cfg.tiles,
+        cores_per_tile=cfg.cores_per_tile,
+        compute_chiplet_size_mm=(compute.width_mm, compute.height_mm),
+        memory_chiplet_size_mm=(memory.width_mm, memory.height_mm),
+        network_bandwidth_tbps=topo.aggregate_bandwidth_bytes_per_s() / 1e12,
+        private_memory_per_core_bytes=cfg.private_sram_per_core_bytes,
+        total_shared_memory_bytes=cfg.shared_memory_bytes,
+        total_cores=cfg.cores,
+        compute_throughput_tops=throughput_ops / 1e12,
+        shared_memory_bandwidth_tbps=shared_bw / 1e12,
+        ios_per_compute_chiplet=cfg.ios_per_compute_chiplet,
+        ios_per_memory_chiplet=cfg.ios_per_memory_chiplet,
+        total_area_mm2=total_area,
+        nominal_freq_hz=cfg.nominal_freq_hz,
+        nominal_vdd=cfg.nominal_vdd,
+        total_peak_power_w=cfg.total_peak_power_w,
+    )

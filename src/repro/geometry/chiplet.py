@@ -1,0 +1,113 @@
+"""Chiplet specifications (paper Section II, Figure 1, Table I).
+
+Each tile holds two chiplets fabricated in TSMC 40nm-LP:
+
+* a **compute chiplet** (3.15mm x 2.4mm): 14 ARM Cortex-M3 cores with 64KB
+  private SRAM each, memory controllers, the inter-tile network routers, an
+  intra-tile crossbar, the LDO/decap power components and the clock
+  selection/forwarding circuitry;
+* a **memory chiplet** (3.15mm x 1.1mm): five 128KB SRAM banks (four in the
+  global shared address space, one tile-private), buffered north-south
+  feedthroughs, and two decap banks.
+
+This module captures the physical envelope and budget-level contents of the
+chiplets; behaviour lives in :mod:`repro.arch` and the electrical models in
+:mod:`repro.pdn`/:mod:`repro.clock`/:mod:`repro.io`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .. import params
+from ..config import SystemConfig
+from ..errors import GeometryError
+
+
+class ChipletKind(enum.Enum):
+    """The two chiplet types in a tile."""
+
+    COMPUTE = "compute"
+    MEMORY = "memory"
+
+
+@dataclass(frozen=True)
+class ChipletSpec:
+    """Physical and budget-level description of one chiplet type."""
+
+    kind: ChipletKind
+    width_mm: float
+    height_mm: float
+    io_count: int
+    cores: int = 0
+    sram_banks: int = 0
+    decap_area_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.width_mm <= 0 or self.height_mm <= 0:
+            raise GeometryError(f"chiplet {self.kind} has non-positive dimensions")
+        if self.io_count < 0:
+            raise GeometryError("io_count must be non-negative")
+        if not 0.0 <= self.decap_area_fraction < 1.0:
+            raise GeometryError("decap_area_fraction must be in [0, 1)")
+
+    @property
+    def area_mm2(self) -> float:
+        """Chiplet silicon area."""
+        return self.width_mm * self.height_mm
+
+    @property
+    def perimeter_mm(self) -> float:
+        """Chiplet perimeter, the resource that bounds edge I/O count."""
+        return 2.0 * (self.width_mm + self.height_mm)
+
+    @property
+    def decap_area_mm2(self) -> float:
+        """Area devoted to on-chip decoupling capacitance."""
+        return self.area_mm2 * self.decap_area_fraction
+
+    def max_perimeter_ios(self, pad_pitch_um: float, pad_rows: int = 2) -> int:
+        """Upper bound on perimeter I/O pads at the given pitch.
+
+        ``pad_rows`` models multiple staggered I/O rows along each edge
+        (the prototype uses two column sets per side, Section VIII).
+        """
+        if pad_pitch_um <= 0:
+            raise GeometryError("pad pitch must be positive")
+        pads_per_mm = 1000.0 / pad_pitch_um
+        return int(self.perimeter_mm * pads_per_mm * pad_rows)
+
+
+def compute_chiplet(config: SystemConfig | None = None) -> ChipletSpec:
+    """The compute chiplet spec for ``config`` (paper defaults when None)."""
+    cfg = config or SystemConfig()
+    return ChipletSpec(
+        kind=ChipletKind.COMPUTE,
+        width_mm=cfg.compute_chiplet_w_mm,
+        height_mm=cfg.compute_chiplet_h_mm,
+        io_count=cfg.ios_per_compute_chiplet,
+        cores=cfg.cores_per_tile,
+        sram_banks=0,
+        decap_area_fraction=params.DECAP_AREA_FRACTION,
+    )
+
+
+def memory_chiplet(config: SystemConfig | None = None) -> ChipletSpec:
+    """The memory chiplet spec for ``config`` (paper defaults when None)."""
+    cfg = config or SystemConfig()
+    return ChipletSpec(
+        kind=ChipletKind.MEMORY,
+        width_mm=cfg.memory_chiplet_w_mm,
+        height_mm=cfg.memory_chiplet_h_mm,
+        io_count=cfg.ios_per_memory_chiplet,
+        cores=0,
+        sram_banks=cfg.memory_banks_per_tile,
+        decap_area_fraction=params.DECAP_AREA_FRACTION,
+    )
+
+
+def tile_area_mm2(config: SystemConfig | None = None) -> float:
+    """Active silicon area of one tile (both chiplets)."""
+    cfg = config or SystemConfig()
+    return compute_chiplet(cfg).area_mm2 + memory_chiplet(cfg).area_mm2

@@ -1,0 +1,210 @@
+"""Fine-pitch I/O pad ring with the two-column-set split (Sections V, VIII).
+
+Each chiplet side carries I/O pads at 10um pillar pitch.  Because the I/O
+cell (150um^2 with ESD) is larger than a single 10um pillar footprint, each
+pad receives **two copper pillars**, placed orthogonal to the chiplet edge
+(Fig. 5) so pad columns stay dense along the edge.
+
+To survive an uncertain substrate yield, the pads on each side are split
+into two *column sets* (Section VIII, Fig. 8):
+
+* set 1 (the two columns nearest the die edge): all absolutely-essential
+  network I/Os plus two of the five memory banks — routable with a single
+  substrate signal layer;
+* set 2 (the outer columns): non-essential I/Os and the remaining three
+  memory banks — requires the second signal layer.
+
+With only one good routing layer the system still works, at a 60% shared
+memory capacity loss (3 of 5 banks unreachable — see
+:mod:`repro.substrate.degraded`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import GeometryError
+from .chiplet import ChipletSpec
+
+
+class Side(enum.Enum):
+    """Chiplet sides, used for pads and for mesh link escape."""
+
+    NORTH = "north"
+    SOUTH = "south"
+    WEST = "west"
+    EAST = "east"
+
+
+class PadClass(enum.Enum):
+    """Functional class of a pad, determining its column set."""
+
+    NETWORK = "network"          # essential: inter-tile links
+    MEMORY_ESSENTIAL = "memory_essential"    # banks 0-1 (set 1)
+    MEMORY_EXTENDED = "memory_extended"      # banks 2-4 (set 2)
+    CLOCK = "clock"              # forwarded clocks (essential)
+    TEST = "test"                # JTAG (essential)
+    POWER = "power"              # supply pillars
+    SPARE = "spare"              # non-essential
+
+
+ESSENTIAL_CLASSES = frozenset(
+    {PadClass.NETWORK, PadClass.MEMORY_ESSENTIAL, PadClass.CLOCK, PadClass.TEST, PadClass.POWER}
+)
+
+
+@dataclass(frozen=True)
+class IoPad:
+    """One I/O pad: position along its side and classification."""
+
+    side: Side
+    index: int                  # position along the side, 0 at the corner
+    column_set: int             # 1 = essential/near-edge, 2 = extended
+    pad_class: PadClass
+    pillars: int = 2            # copper pillars landing on this pad
+
+    def __post_init__(self) -> None:
+        if self.column_set not in (1, 2):
+            raise GeometryError("column_set must be 1 or 2")
+        if self.pillars < 1:
+            raise GeometryError("a pad needs at least one pillar")
+
+    @property
+    def essential(self) -> bool:
+        """True when this pad must work for a functional (degraded) system."""
+        return self.pad_class in ESSENTIAL_CLASSES
+
+
+@dataclass(frozen=True)
+class IoColumnSet:
+    """Summary of one column set on a pad ring."""
+
+    set_index: int
+    pads: tuple[IoPad, ...]
+
+    @property
+    def count(self) -> int:
+        """Number of pads in this set."""
+        return len(self.pads)
+
+
+class PadRing:
+    """The full pad ring of one chiplet."""
+
+    def __init__(self, chiplet: ChipletSpec, pads: list[IoPad], pitch_um: float):
+        self.chiplet = chiplet
+        self.pitch_um = pitch_um
+        self._pads = tuple(pads)
+        per_side_capacity = self._side_capacity()
+        for side in Side:
+            n = sum(1 for p in self._pads if p.side is side)
+            if n > 2 * per_side_capacity[side]:
+                raise GeometryError(
+                    f"{n} pads on {side.value} exceed capacity "
+                    f"{2 * per_side_capacity[side]} (two column sets)"
+                )
+
+    def _side_capacity(self) -> dict[Side, int]:
+        """Pads per column along each side at the ring pitch.
+
+        A pad with two pillars orthogonal to the edge consumes one pitch
+        position along the edge but two positions of depth, which is why
+        the two-pillars-per-pad layout does not halve edge density (Fig. 5).
+        """
+        w, h = self.chiplet.width_mm, self.chiplet.height_mm
+        along_w = int(w * 1000.0 / self.pitch_um)
+        along_h = int(h * 1000.0 / self.pitch_um)
+        return {
+            Side.NORTH: along_w,
+            Side.SOUTH: along_w,
+            Side.WEST: along_h,
+            Side.EAST: along_h,
+        }
+
+    @property
+    def pads(self) -> tuple[IoPad, ...]:
+        """All pads in the ring."""
+        return self._pads
+
+    @property
+    def total_pillars(self) -> int:
+        """Total copper pillars on this chiplet."""
+        return sum(p.pillars for p in self._pads)
+
+    def column_set(self, set_index: int) -> IoColumnSet:
+        """All pads belonging to column set 1 or 2."""
+        if set_index not in (1, 2):
+            raise GeometryError("column_set index must be 1 or 2")
+        pads = tuple(p for p in self._pads if p.column_set == set_index)
+        return IoColumnSet(set_index=set_index, pads=pads)
+
+    def essential_pads(self) -> tuple[IoPad, ...]:
+        """Pads required for the single-routing-layer degraded system."""
+        return tuple(p for p in self._pads if p.essential)
+
+    def side_pads(self, side: Side) -> tuple[IoPad, ...]:
+        """Pads on one side, ordered by index."""
+        return tuple(
+            sorted((p for p in self._pads if p.side is side), key=lambda p: p.index)
+        )
+
+
+def build_pad_ring(
+    chiplet: ChipletSpec,
+    pitch_um: float = 10.0,
+    network_per_side: int = 400,
+    memory_essential: int = 0,
+    memory_extended: int = 0,
+    clock_pads: int = 8,
+    test_pads: int = 12,
+    power_fraction: float = 0.10,
+) -> PadRing:
+    """Construct a pad ring matching the paper's I/O budgeting.
+
+    Defaults model the compute chiplet: a 400-bit network link escapes each
+    of the four sides (Section VI), a handful of clock/test pads, and a
+    share of power pillars; remaining budget becomes spare pads in column
+    set 2.  Memory-bank pads are used when building the memory chiplet's
+    ring (2 essential banks, 3 extended — Section VIII).
+    """
+    if pitch_um <= 0:
+        raise GeometryError("pitch must be positive")
+
+    pads: list[IoPad] = []
+    sides = list(Side)
+
+    def add(side: Side, count: int, column_set: int, pad_class: PadClass) -> None:
+        start = sum(1 for p in pads if p.side is side)
+        for i in range(count):
+            pads.append(
+                IoPad(
+                    side=side,
+                    index=start + i,
+                    column_set=column_set,
+                    pad_class=pad_class,
+                )
+            )
+
+    for side in sides:
+        add(side, network_per_side, 1, PadClass.NETWORK)
+
+    # Memory-bank pads split 2 essential / 3 extended banks; spread over
+    # north and south (the banks connect to the compute chiplet above).
+    for side in (Side.NORTH, Side.SOUTH):
+        add(side, memory_essential // 2, 1, PadClass.MEMORY_ESSENTIAL)
+        add(side, memory_extended // 2, 2, PadClass.MEMORY_EXTENDED)
+
+    # One forwarded-clock input/output pair per side.
+    per_side_clock = max(1, clock_pads // 4)
+    for side in sides:
+        add(side, per_side_clock, 1, PadClass.CLOCK)
+
+    add(Side.WEST, test_pads, 1, PadClass.TEST)
+
+    signal_pads = len(pads)
+    power_pads = int(signal_pads * power_fraction)
+    for i in range(power_pads):
+        add(sides[i % 4], 1, 1, PadClass.POWER)
+
+    return PadRing(chiplet=chiplet, pads=pads, pitch_um=pitch_um)

@@ -1,0 +1,151 @@
+"""Reticle step-and-repeat planning (paper Section VIII).
+
+The wafer substrate is far larger than a lithography reticle, so the Si-IF
+substrate is fabricated by stepping an identical reticle across the wafer
+and *stitching* wires at reticle boundaries.  The prototype's reticle covers
+12x6 tiles; a 32x32 array therefore needs a 3x6 grid of reticle instances
+(with partial coverage at the south/east fringe) plus edge reticles whose
+chiplet slots stay unpopulated and instead carry the fan-out wiring to the
+wafer-edge connectors.
+
+Wires crossing a reticle boundary are made fatter (3um wide / 2um space
+instead of 2um/3um, constant 5um pitch) to tolerate stitching misalignment;
+:mod:`repro.substrate.stitching` applies that rule during routing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import Coord, SystemConfig
+from ..errors import GeometryError
+
+
+@dataclass(frozen=True)
+class Reticle:
+    """One stepped reticle instance.
+
+    ``row0``/``col0`` give the north-west tile covered; ``rows``/``cols``
+    give the extent in tiles (possibly clipped at the array fringe).
+    """
+
+    index: tuple[int, int]      # (reticle-row, reticle-col) in the step grid
+    row0: int
+    col0: int
+    rows: int
+    cols: int
+    is_edge: bool = False       # edge reticles carry fan-out, not chiplets
+
+    @property
+    def tile_coords(self) -> list[Coord]:
+        """Tile coordinates covered by this reticle instance."""
+        return [
+            (r, c)
+            for r in range(self.row0, self.row0 + self.rows)
+            for c in range(self.col0, self.col0 + self.cols)
+        ]
+
+    def covers(self, coord: Coord) -> bool:
+        """True when ``coord`` falls inside this reticle instance."""
+        r, c = coord
+        return (
+            self.row0 <= r < self.row0 + self.rows
+            and self.col0 <= c < self.col0 + self.cols
+        )
+
+
+@dataclass(frozen=True)
+class ReticlePlan:
+    """The full step-and-repeat plan for one wafer."""
+
+    config: SystemConfig
+    reticles: tuple[Reticle, ...]
+
+    def reticle_of(self, coord: Coord) -> Reticle:
+        """The reticle instance covering a given tile."""
+        self.config.validate_coord(coord)
+        for reticle in self.reticles:
+            if not reticle.is_edge and reticle.covers(coord):
+                return reticle
+        raise GeometryError(f"tile {coord} not covered by any reticle")
+
+    def crosses_boundary(self, a: Coord, b: Coord) -> bool:
+        """True when tiles ``a`` and ``b`` lie in different reticles.
+
+        A wire between them crosses a stitching boundary and must use the
+        fattened stitch geometry.
+        """
+        return self.reticle_of(a).index != self.reticle_of(b).index
+
+    @property
+    def step_count(self) -> int:
+        """Number of exposures needed for the tile-array region."""
+        return sum(1 for r in self.reticles if not r.is_edge)
+
+    @property
+    def edge_reticle_count(self) -> int:
+        """Number of fan-out (edge connector) reticle instances."""
+        return sum(1 for r in self.reticles if r.is_edge)
+
+    def boundary_tile_pairs(self) -> list[tuple[Coord, Coord]]:
+        """All adjacent tile pairs whose connecting link crosses a boundary.
+
+        These are exactly the inter-tile links whose wires need the
+        stitch-tolerant (fat) geometry.
+        """
+        pairs: list[tuple[Coord, Coord]] = []
+        for coord in self.config.tile_coords():
+            r, c = coord
+            for nbr in ((r, c + 1), (r + 1, c)):
+                nr, nc = nbr
+                if nr < self.config.rows and nc < self.config.cols:
+                    if self.crosses_boundary(coord, nbr):
+                        pairs.append((coord, nbr))
+        return pairs
+
+
+def plan_reticles(config: SystemConfig | None = None) -> ReticlePlan:
+    """Compute the step-and-repeat plan for ``config``.
+
+    The interior of the wafer is tiled with ``reticle_tile_rows`` x
+    ``reticle_tile_cols`` reticles (clipped at the fringe).  One ring of
+    edge reticles is added around the array to carry the fan-out wiring and
+    the wafer-edge connector pads; their chiplet slots stay unpopulated and
+    unwanted pads are removed with the custom block-etch step the paper
+    describes.
+    """
+    cfg = config or SystemConfig()
+    rt_rows, rt_cols = cfg.reticle_tile_rows, cfg.reticle_tile_cols
+    if rt_rows < 1 or rt_cols < 1:
+        raise GeometryError("reticle must cover at least one tile")
+
+    reticles: list[Reticle] = []
+    step_rows = -(-cfg.rows // rt_rows)     # ceil division
+    step_cols = -(-cfg.cols // rt_cols)
+    for i in range(step_rows):
+        for j in range(step_cols):
+            row0, col0 = i * rt_rows, j * rt_cols
+            reticles.append(
+                Reticle(
+                    index=(i, j),
+                    row0=row0,
+                    col0=col0,
+                    rows=min(rt_rows, cfg.rows - row0),
+                    cols=min(rt_cols, cfg.cols - col0),
+                )
+            )
+
+    # Ring of edge (fan-out/connector) reticles around the step grid.  Their
+    # indices sit outside [0, step_rows) x [0, step_cols).
+    for j in range(-1, step_cols + 1):
+        for i in (-1, step_rows):
+            reticles.append(
+                Reticle(index=(i, j), row0=0, col0=0, rows=0, cols=0, is_edge=True)
+            )
+    for i in range(step_rows):
+        for j in (-1, step_cols):
+            reticles.append(
+                Reticle(index=(i, j), row0=0, col0=0, rows=0, cols=0, is_edge=True)
+            )
+
+    return ReticlePlan(config=cfg, reticles=tuple(reticles))

@@ -1,0 +1,150 @@
+"""Wafer layout: placing 1024 tiles (2048 chiplets) on the Si-IF substrate.
+
+The tile array is a regular 32x32 grid.  Within a tile, the compute chiplet
+sits above the memory chiplet (the memory chiplet provides buffered
+north-south feedthroughs, Section II-c).  The layout computes physical
+positions in millimetres with the wafer-substrate origin at the north-west
+corner of the array; these positions feed the PDN extraction (distance to
+the supply edge) and the substrate router (pad coordinates).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..config import Coord, SystemConfig
+from ..errors import GeometryError
+from .chiplet import ChipletKind, ChipletSpec, compute_chiplet, memory_chiplet
+
+
+@dataclass(frozen=True)
+class TilePlacement:
+    """Physical placement of one tile and its two chiplets."""
+
+    coord: Coord
+    origin_x_mm: float          # west edge of the tile slot
+    origin_y_mm: float          # north edge of the tile slot
+    compute: ChipletSpec
+    memory: ChipletSpec
+    spacing_mm: float
+
+    @property
+    def center_x_mm(self) -> float:
+        """Tile-slot centre, X."""
+        return self.origin_x_mm + self.compute.width_mm / 2.0
+
+    @property
+    def center_y_mm(self) -> float:
+        """Tile-slot centre, Y."""
+        total_h = (
+            self.compute.height_mm + self.memory.height_mm + self.spacing_mm
+        )
+        return self.origin_y_mm + total_h / 2.0
+
+    def chiplet_origin(self, kind: ChipletKind) -> tuple[float, float]:
+        """North-west corner of the requested chiplet within the tile."""
+        if kind is ChipletKind.COMPUTE:
+            return (self.origin_x_mm, self.origin_y_mm)
+        y = self.origin_y_mm + self.compute.height_mm + self.spacing_mm
+        return (self.origin_x_mm, y)
+
+
+class WaferLayout:
+    """Positions of all tiles on the wafer substrate.
+
+    Parameters
+    ----------
+    config:
+        The system instance being laid out.
+
+    Notes
+    -----
+    Distances returned by :meth:`distance_to_edge_mm` drive the PDN IR-droop
+    model: power enters from all four edges of the array (Section III), so
+    the relevant distance is to the *nearest* edge.
+    """
+
+    def __init__(self, config: SystemConfig):
+        self.config = config
+        self._compute = compute_chiplet(config)
+        self._memory = memory_chiplet(config)
+        self._placements: dict[Coord, TilePlacement] = {}
+        for coord in config.tile_coords():
+            r, c = coord
+            self._placements[coord] = TilePlacement(
+                coord=coord,
+                origin_x_mm=c * config.tile_pitch_x_mm,
+                origin_y_mm=r * config.tile_pitch_y_mm,
+                compute=self._compute,
+                memory=self._memory,
+                spacing_mm=config.inter_chiplet_spacing_mm,
+            )
+
+    def placement(self, coord: Coord) -> TilePlacement:
+        """The placement record of one tile."""
+        try:
+            return self._placements[coord]
+        except KeyError:
+            raise GeometryError(f"tile {coord} not in layout") from None
+
+    def placements(self) -> list[TilePlacement]:
+        """All placements in row-major order."""
+        return [self._placements[c] for c in self.config.tile_coords()]
+
+    @property
+    def width_mm(self) -> float:
+        """Width of the populated array."""
+        return self.config.array_width_mm
+
+    @property
+    def height_mm(self) -> float:
+        """Height of the populated array."""
+        return self.config.array_height_mm
+
+    @property
+    def active_area_mm2(self) -> float:
+        """Total silicon (chiplet) area on the wafer."""
+        per_tile = self._compute.area_mm2 + self._memory.area_mm2
+        return per_tile * self.config.tiles
+
+    @property
+    def array_area_mm2(self) -> float:
+        """Footprint of the tile array including inter-chiplet gaps."""
+        return self.width_mm * self.height_mm
+
+    def distance_to_edge_mm(self, coord: Coord) -> float:
+        """Distance from a tile centre to the nearest array edge.
+
+        This is the electrical distance the tile's supply current must
+        travel through the power planes under edge power delivery.
+        """
+        p = self.placement(coord)
+        return min(
+            p.center_x_mm,
+            self.width_mm - p.center_x_mm,
+            p.center_y_mm,
+            self.height_mm - p.center_y_mm,
+        )
+
+    def distance_to_center_mm(self, coord: Coord) -> float:
+        """Euclidean distance from a tile centre to the array centre."""
+        p = self.placement(coord)
+        dx = p.center_x_mm - self.width_mm / 2.0
+        dy = p.center_y_mm - self.height_mm / 2.0
+        return math.hypot(dx, dy)
+
+    def max_edge_distance_mm(self) -> float:
+        """The largest distance-to-edge over all tiles (the array centre).
+
+        The paper notes centre chiplets can be ~70mm from the nearest
+        edge capacitor on the full 32x32 array.
+        """
+        return max(
+            self.distance_to_edge_mm(c) for c in self.config.tile_coords()
+        )
+
+
+def build_layout(config: SystemConfig | None = None) -> WaferLayout:
+    """Convenience constructor used throughout the library."""
+    return WaferLayout(config or SystemConfig())

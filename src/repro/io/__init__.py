@@ -1,0 +1,37 @@
+"""I/O architecture: cells, ESD, bonding yield, budgets (paper Section V)."""
+
+from .bonding import (
+    BondingYieldModel,
+    chiplet_bond_yield,
+    expected_faulty_chiplets,
+    pad_yield,
+)
+from .budget import ChipletIoBudget, compute_io_budget, memory_io_budget
+from .cell import IoCellModel
+from .interposer import (
+    IntegrationTechnology,
+    density_advantage,
+    interposer,
+    si_if,
+    technology_comparison,
+)
+from .esd import EsdSpec, baredie_esd_spec, packaged_esd_spec
+
+__all__ = [
+    "BondingYieldModel",
+    "chiplet_bond_yield",
+    "expected_faulty_chiplets",
+    "pad_yield",
+    "ChipletIoBudget",
+    "compute_io_budget",
+    "memory_io_budget",
+    "IoCellModel",
+    "IntegrationTechnology",
+    "density_advantage",
+    "interposer",
+    "si_if",
+    "technology_comparison",
+    "EsdSpec",
+    "baredie_esd_spec",
+    "packaged_esd_spec",
+]

@@ -1,0 +1,86 @@
+"""I/O transceiver cell model (paper Section V, Fig. 5).
+
+Si-IF links are 200-500um long, so the transceivers are tiny: the
+transmitter is a chain of appropriately-sized cascaded inverters driving
+1GHz over up to 500um, the receiver two minimum-size inverters.  Including
+the stripped-down 100V-HBM ESD network the whole cell is ~150um^2 — small
+enough to sit *under* its own pad, which is what makes the 0.063pJ/bit
+energy possible (no long on-die routes between pad and driver).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import params
+from ..errors import ConfigError
+
+# Electrical constants for the energy model: a 300um Si-IF trace plus the
+# receiver presents a small lumped load; CV^2 at 1.1V then gives the
+# published 0.063pJ/bit.
+LINK_C_F_PER_UM = 0.31e-15      # ~0.31fF/um fine-pitch Si-IF trace (2um wide,
+                                # 3um space, thin oxide to the substrate)
+RECEIVER_C_F = 10e-15           # two minimum-size inverter gates
+
+
+@dataclass(frozen=True)
+class IoCellModel:
+    """Area/energy/speed model of one I/O transceiver cell."""
+
+    cell_area_um2: float = params.IO_CELL_AREA_UM2
+    max_freq_hz: float = params.IO_MAX_FREQ_HZ
+    max_link_um: float = params.MAX_DRIVE_LINK_LENGTH_UM
+    signal_swing_v: float = params.NOMINAL_VDD
+
+    def __post_init__(self) -> None:
+        if self.cell_area_um2 <= 0:
+            raise ConfigError("cell area must be positive")
+        if self.max_freq_hz <= 0 or self.max_link_um <= 0:
+            raise ConfigError("frequency and link-length limits must be positive")
+
+    def can_drive(self, link_um: float, freq_hz: float) -> bool:
+        """True when the simple inverter driver meets timing on this link."""
+        if link_um <= 0 or freq_hz <= 0:
+            raise ConfigError("link length and frequency must be positive")
+        if link_um <= self.max_link_um:
+            return freq_hz <= self.max_freq_hz
+        # Longer links derate linearly with the extra capacitance.
+        return freq_hz <= self.max_freq_hz * self.max_link_um / link_um
+
+    def link_capacitance_f(self, link_um: float) -> float:
+        """Lumped switched capacitance of one link + receiver."""
+        if link_um < 0:
+            raise ConfigError("link length must be non-negative")
+        return link_um * LINK_C_F_PER_UM + RECEIVER_C_F
+
+    def energy_per_bit_j(
+        self, link_um: float = params.LINK_LENGTH_UM, activity: float = 0.5
+    ) -> float:
+        """Signalling energy per transmitted bit.
+
+        ``activity`` is the toggle probability per bit (0.5 for random
+        data): energy is ``activity * C * V^2``.
+        """
+        if not 0.0 <= activity <= 1.0:
+            raise ConfigError("activity must be in [0, 1]")
+        c = self.link_capacitance_f(link_um)
+        return activity * c * self.signal_swing_v**2
+
+    def fits_under_pads(self, pads: int, pad_pitch_um: float, pad_depth_pillars: int = 2) -> bool:
+        """Does the transceiver fit under its pad footprint?
+
+        A pad occupies one pitch along the edge and ``pad_depth_pillars``
+        pitches of depth (two pillars per pad, orthogonal to the edge —
+        Fig. 5).  The paper's point: 150um^2 exceeds one 10um-pitch pillar
+        footprint (100um^2) but fits the two-pillar pad (200um^2).
+        """
+        if pads < 1 or pad_pitch_um <= 0 or pad_depth_pillars < 1:
+            raise ConfigError("pads, pitch and depth must be positive")
+        pad_footprint = pad_pitch_um * pad_pitch_um * pad_depth_pillars
+        return self.cell_area_um2 <= pad_footprint
+
+    def total_io_area_mm2(self, io_count: int) -> float:
+        """Silicon area of all I/O cells on a chiplet."""
+        if io_count < 0:
+            raise ConfigError("io_count must be non-negative")
+        return io_count * self.cell_area_um2 * 1e-6

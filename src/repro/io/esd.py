@@ -1,0 +1,61 @@
+"""ESD protection sizing (paper Section V).
+
+Packaged parts must survive ~2kV human-body-model events because they meet
+people, tweezers and sockets.  A bare-die chiplet that only ever meets a
+cleanroom bonder can target the far gentler 100V HBM/MM class (the same
+relaxation silicon interposers use).  ESD diode area scales with the
+required discharge current, so the relaxed spec is what lets the whole
+transceiver + ESD fit in 150um^2 under the pad.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import params
+from ..errors import ConfigError
+
+# Human-body-model series resistance (JS-001): discharge current is
+# approximately V_HBM / 1500 ohms.
+HBM_SERIES_OHM = 1500.0
+
+# ESD clamp area per amp of required discharge current in a 40nm-class
+# process — diodes plus the rail clamp, normalised per pad.
+CLAMP_AREA_UM2_PER_A = 90.0
+
+
+@dataclass(frozen=True)
+class EsdSpec:
+    """An ESD robustness target and its area consequence."""
+
+    name: str
+    hbm_volts: float
+
+    def __post_init__(self) -> None:
+        if self.hbm_volts <= 0:
+            raise ConfigError("HBM voltage must be positive")
+
+    @property
+    def peak_current_a(self) -> float:
+        """Peak HBM discharge current the clamp must sink."""
+        return self.hbm_volts / HBM_SERIES_OHM
+
+    @property
+    def clamp_area_um2(self) -> float:
+        """Per-pad ESD structure area implied by the spec."""
+        return self.peak_current_a * CLAMP_AREA_UM2_PER_A
+
+
+def packaged_esd_spec() -> EsdSpec:
+    """Conventional packaged-part target: 2kV HBM."""
+    return EsdSpec(name="packaged-2kV-HBM", hbm_volts=params.ESD_HBM_PACKAGED_V)
+
+
+def baredie_esd_spec() -> EsdSpec:
+    """Bare-die chiplet-to-wafer target: 100V HBM/MM."""
+    return EsdSpec(name="baredie-100V-HBM", hbm_volts=params.ESD_HBM_BAREDIE_V)
+
+
+def esd_area_saving_factor() -> float:
+    """How much smaller the bare-die clamp is versus the packaged one."""
+    return packaged_esd_spec().clamp_area_um2 / baredie_esd_spec().clamp_area_um2

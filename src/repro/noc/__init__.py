@@ -1,0 +1,59 @@
+"""Waferscale mesh network: routing, resiliency, simulation (Section VI)."""
+
+from .adaptive import AdaptiveNocSimulator, AdaptiveRouter
+from .connectivity import (
+    ConnectivityStats,
+    disconnected_fraction,
+    monte_carlo_disconnection,
+)
+from .dualnetwork import DualNetwork, NetworkId
+from .faults import FaultMap, random_fault_map
+from .kernel import KernelRouter, NetworkAssignment
+from .loadlatency import LoadLatencyCurve, LoadPoint, measure_load_latency
+from .oddeven import (
+    compare_routing_schemes,
+    odd_even_connectivity,
+    odd_even_path,
+)
+from .packets import Packet, PacketKind
+from .remap import (
+    SubGrid,
+    best_logical_grid,
+    largest_fault_free_rectangle,
+    row_column_deletion,
+)
+from .routing import RoutingPolicy, xy_path, yx_path
+from .simulator import NocSimulator, SimulationReport
+from .topology import MeshTopology
+
+__all__ = [
+    "AdaptiveNocSimulator",
+    "AdaptiveRouter",
+    "ConnectivityStats",
+    "disconnected_fraction",
+    "monte_carlo_disconnection",
+    "DualNetwork",
+    "NetworkId",
+    "FaultMap",
+    "random_fault_map",
+    "KernelRouter",
+    "LoadLatencyCurve",
+    "LoadPoint",
+    "measure_load_latency",
+    "NetworkAssignment",
+    "compare_routing_schemes",
+    "odd_even_connectivity",
+    "odd_even_path",
+    "Packet",
+    "SubGrid",
+    "best_logical_grid",
+    "largest_fault_free_rectangle",
+    "row_column_deletion",
+    "PacketKind",
+    "RoutingPolicy",
+    "xy_path",
+    "yx_path",
+    "NocSimulator",
+    "SimulationReport",
+    "MeshTopology",
+]

@@ -1,0 +1,355 @@
+"""Adaptive odd-even routing in the cycle-level simulator.
+
+Where :mod:`repro.noc.oddeven` analyses the turn model at the path level,
+this module puts it *in the routers*, in the spirit of the paper's
+ref [18] lineage:
+
+* packets whose minimal (bounding-rectangle) region is fault-free route
+  **minimal-adaptively**: each router offers Chiu's ROUTE output set and
+  the least-congested legal candidate wins, cycle by cycle;
+* packets whose minimal region contains a fault are **source-routed**
+  over a precomputed fault-avoiding odd-even path
+  (:func:`repro.noc.oddeven.odd_even_path`) — reactive misrouting around
+  fault walls is livelock-prone at mesh boundaries (the reason Wu's
+  protocol exists), while a precomputed turn-legal path guarantees
+  delivery whenever one exists.
+
+Deadlock freedom holds for the *mix*: every turn any packet ever takes —
+adaptive or source-routed — belongs to the odd-even-legal turn set,
+which contains no cycle (Chiu's theorem), so no buffer-wait cycle can
+form.  Packets carry their incoming direction implicitly via the input
+port they occupy, which is exactly what the turn rules need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import Coord, SystemConfig
+from ..errors import NetworkError
+from .faults import FaultMap
+from .oddeven import DIRECTIONS, _turn_allowed
+from .packets import Packet, PacketKind
+from .router import InputFifo, Port, port_toward
+from .simulator import _entry_port, packet_next_coord
+
+_PORT_DIRECTION = {
+    Port.NORTH: (-1, 0),
+    Port.SOUTH: (1, 0),
+    Port.WEST: (0, -1),
+    Port.EAST: (0, 1),
+}
+
+# A packet arriving on its NORTH port travelled *southward*, etc.
+_INCOMING_DIRECTION = {
+    Port.NORTH: (1, 0),
+    Port.SOUTH: (-1, 0),
+    Port.WEST: (0, 1),
+    Port.EAST: (0, -1),
+    Port.LOCAL: None,
+}
+
+
+def _chiu_route(
+    cur: Coord, src: Coord, dst: Coord
+) -> list[tuple[int, int]]:
+    """Chiu's ROUTE function: legal minimal directions under odd-even.
+
+    Columns are dimension 0 in Chiu's formulation; EN/ES turns are only
+    taken in odd columns and NW/SW turns only in even columns, which the
+    output set below enforces by construction (TPDS 2000, Fig. 5):
+
+    * same column: go straight north/south;
+    * eastbound: vertical moves only in odd columns or while still in
+      the source column; the final eastward entry into an even
+      destination column is deferred until the row is corrected;
+    * westbound: west always allowed; vertical moves only in even
+      columns (so the later NW/SW turn happens where it is legal).
+    """
+    row_step = (1, 0) if dst[0] > cur[0] else (-1, 0)
+    col_offset = dst[1] - cur[1]
+    out: list[tuple[int, int]] = []
+
+    if col_offset == 0:
+        out.append(row_step)
+        return out
+
+    if col_offset > 0:      # eastbound
+        if dst[0] == cur[0]:
+            out.append(EAST_DIR)
+        else:
+            if cur[1] % 2 == 1 or cur[1] == src[1]:
+                out.append(row_step)
+            if dst[1] % 2 == 1 or col_offset != 1:
+                out.append(EAST_DIR)
+        return out
+
+    # Westbound.
+    out.append(WEST_DIR)
+    if cur[1] % 2 == 0 and dst[0] != cur[0]:
+        out.append(row_step)
+    return out
+
+
+EAST_DIR = (0, 1)
+WEST_DIR = (0, -1)
+
+
+class AdaptiveRouter:
+    """Input-queued router with minimal-adaptive odd-even output choice."""
+
+    def __init__(self, coord: Coord, fifo_depth: int = 4):
+        if fifo_depth < 1:
+            raise NetworkError("FIFO depth must be >= 1")
+        self.coord = coord
+        self.inputs: dict[Port, InputFifo] = {
+            port: InputFifo(depth=fifo_depth) for port in Port
+        }
+        self.forwarded_packets = 0
+
+    def can_accept(self, port: Port) -> bool:
+        """Credit check for the upstream."""
+        return not self.inputs[port].full
+
+    def accept(self, port: Port, packet: Packet) -> None:
+        """Latch a packet into an input FIFO."""
+        self.inputs[port].push(packet)
+
+    def occupancy(self) -> int:
+        """Buffered packets in this router."""
+        return sum(len(f.queue) for f in self.inputs.values())
+
+    def candidates(self, in_port: Port, packet: Packet) -> list[Port]:
+        """Legal minimal-adaptive output ports for a packet on one input.
+
+        Chiu's ROUTE function for the odd-even turn model: guaranteed
+        non-empty on a fault-free mesh, and every member satisfies the
+        turn rules for the packet's actual incoming direction, so any
+        adaptive choice preserves deadlock freedom.  (The turn filter is
+        not redundant: source-routed packets share these routers, and a
+        defensive check here turns any protocol bug into an immediate
+        empty-candidate stall instead of a silent deadlock.)
+        """
+        if packet.dst == self.coord:
+            return [Port.LOCAL]
+        r, c = self.coord
+        incoming = _INCOMING_DIRECTION[in_port]
+        wanted = _chiu_route(self.coord, packet.src, packet.dst)
+        return [
+            port_toward(self.coord, (r + d[0], c + d[1]))
+            for d in wanted
+            if _turn_allowed(incoming, d, self.coord)
+        ]
+
+
+@dataclass
+class AdaptiveReport:
+    """Results of one adaptive-network simulation."""
+
+    cycles: int
+    injected: int
+    delivered: int
+    dropped_unreachable: int
+    latencies: list[int] = field(default_factory=list)
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean injection-to-delivery latency."""
+        return float(np.mean(self.latencies)) if self.latencies else 0.0
+
+    @property
+    def all_delivered(self) -> bool:
+        """Did every injected packet arrive?"""
+        return self.delivered == self.injected
+
+
+class AdaptiveNocSimulator:
+    """Cycle-level simulator over a single adaptive odd-even network.
+
+    Requests and responses share the one network — legal because the
+    odd-even turn set is deadlock-free for *all* traffic, with no need
+    for the dual-network complementarity trick.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        fault_map: FaultMap | None = None,
+        fifo_depth: int = 4,
+        response_delay: int = 2,
+        seed: int = 0,
+    ):
+        self.config = config
+        self.fault_map = fault_map or FaultMap(config)
+        self.response_delay = response_delay
+        self.cycle = 0
+        self.rng = np.random.default_rng(seed)
+        self.routers: dict[Coord, AdaptiveRouter] = {
+            coord: AdaptiveRouter(coord, fifo_depth)
+            for coord in config.tile_coords()
+            if not self.fault_map.is_faulty(coord)
+        }
+        self._pending: list[Packet] = []
+        self._responses: list[tuple[int, Packet]] = []
+        self._routes: dict[int, list[Coord]] = {}   # source-routed packets
+        self.source_routed_count = 0
+        self.delivered_packets: list[Packet] = []
+        self.injected_count = 0
+        self.dropped_unreachable = 0
+
+    def _rect_has_fault(self, a: Coord, b: Coord) -> bool:
+        """Any fault inside the minimal bounding rectangle of a pair?"""
+        r0, r1 = sorted((a[0], b[0]))
+        c0, c1 = sorted((a[1], b[1]))
+        return any(
+            r0 <= fr <= r1 and c0 <= fc <= c1
+            for fr, fc in self.fault_map.faulty
+        )
+
+    def inject(self, packet: Packet) -> bool:
+        """Queue a packet; drops unreachable traffic.
+
+        Pairs whose minimal rectangle contains a fault get a precomputed
+        fault-avoiding odd-even route; a pair with no such route at all
+        is dropped (and counted) — the wafer-level analogue of the
+        kernel refusing to schedule the flow.
+        """
+        if self.fault_map.is_faulty(packet.src) or self.fault_map.is_faulty(packet.dst):
+            self.dropped_unreachable += 1
+            return False
+        if self._rect_has_fault(packet.src, packet.dst):
+            from .oddeven import odd_even_path
+
+            path = odd_even_path(packet.src, packet.dst, self.fault_map)
+            if path is None:
+                self.dropped_unreachable += 1
+                return False
+            self._routes[packet.packet_id] = path[1:]   # hops after src
+            self.source_routed_count += 1
+        self._pending.append(packet)
+        return True
+
+    def _inject_pending(self) -> None:
+        remaining: list[Packet] = []
+        for packet in self._pending:
+            router = self.routers[packet.src]
+            if router.can_accept(Port.LOCAL):
+                if packet.injected_cycle is None:
+                    packet.injected_cycle = self.cycle
+                router.accept(Port.LOCAL, packet)
+                self.injected_count += 1
+            else:
+                remaining.append(packet)
+        self._pending = remaining
+
+    def _release_responses(self) -> None:
+        due = [p for t, p in self._responses if t <= self.cycle]
+        self._responses = [(t, p) for t, p in self._responses if t > self.cycle]
+        for packet in due:
+            # Re-inject through the front door so responses get their own
+            # fault-avoiding source route when their rectangle is dirty.
+            self.inject(packet)
+
+    def _deliver(self, packet: Packet) -> None:
+        packet.delivered_cycle = self.cycle
+        self._routes.pop(packet.packet_id, None)
+        self.delivered_packets.append(packet)
+        if packet.kind is PacketKind.REQUEST:
+            response = Packet(
+                kind=PacketKind.RESPONSE,
+                src=packet.dst,
+                dst=packet.src,
+                address=packet.address,
+                payload=packet.payload,
+                request_id=packet.packet_id,
+            )
+            self._responses.append((self.cycle + self.response_delay, response))
+
+    def step(self) -> None:
+        """One cycle: arbitrate every router, then move winners."""
+        self._release_responses()
+        self._inject_pending()
+
+        moves: list[tuple[AdaptiveRouter, Port, Port]] = []
+        for router in self.routers.values():
+            # One grant per output port per router per cycle.
+            used_outputs: set[Port] = set()
+            for in_port, fifo in router.inputs.items():
+                if fifo.empty:
+                    continue
+                packet = fifo.peek()
+                route = self._routes.get(packet.packet_id)
+                if route is not None:
+                    # Source-routed: the single next hop of the stored
+                    # fault-avoiding odd-even path.
+                    if packet.dst == router.coord:
+                        candidates = [Port.LOCAL]
+                    else:
+                        candidates = [port_toward(router.coord, route[0])]
+                else:
+                    candidates = router.candidates(in_port, packet)
+                # Pick LOCAL if offered; else the credit-available
+                # candidate whose downstream is emptiest.
+                best: Port | None = None
+                best_occupancy = None
+                for out_port in candidates:
+                    if out_port in used_outputs:
+                        continue
+                    if out_port is Port.LOCAL:
+                        best = out_port
+                        break
+                    hop = packet_next_coord(router.coord, out_port)
+                    downstream = self.routers.get(hop)
+                    if downstream is None:
+                        continue
+                    if not downstream.can_accept(_entry_port(out_port)):
+                        continue
+                    occupancy = downstream.occupancy()
+                    if best_occupancy is None or occupancy < best_occupancy:
+                        best, best_occupancy = out_port, occupancy
+                if best is None:
+                    continue
+                used_outputs.add(best)
+                moves.append((router, in_port, best))
+
+        for router, in_port, out_port in moves:
+            packet = router.inputs[in_port].pop()
+            router.forwarded_packets += 1
+            if out_port is Port.LOCAL:
+                self._deliver(packet)
+            else:
+                hop = packet_next_coord(router.coord, out_port)
+                route = self._routes.get(packet.packet_id)
+                if route is not None and route and route[0] == hop:
+                    route.pop(0)
+                self.routers[hop].accept(_entry_port(out_port), packet)
+
+        self.cycle += 1
+
+    def idle(self) -> bool:
+        """Nothing pending or buffered anywhere."""
+        if self._pending or self._responses:
+            return False
+        return all(r.occupancy() == 0 for r in self.routers.values())
+
+    def drain(self, max_cycles: int = 100_000) -> None:
+        """Run to quiescence; raises on livelock/starvation."""
+        for _ in range(max_cycles):
+            if self.idle():
+                return
+            self.step()
+        raise NetworkError(f"adaptive network failed to drain in {max_cycles} cycles")
+
+    def report(self) -> AdaptiveReport:
+        """Summarise the run."""
+        return AdaptiveReport(
+            cycles=self.cycle,
+            injected=self.injected_count,
+            delivered=len(self.delivered_packets),
+            dropped_unreachable=self.dropped_unreachable,
+            latencies=[
+                p.latency for p in self.delivered_packets if p.latency is not None
+            ],
+        )

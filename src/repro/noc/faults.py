@@ -1,0 +1,125 @@
+"""Fault maps over the tile array (paper Sections VI-VII).
+
+After assembly the system is tested (see :mod:`repro.dft`), faulty tiles
+are identified, and the resulting **fault map** is stored for the kernel
+software, which uses it to pick a network for each source-destination pair.
+A tile is treated as atomically faulty — a dead compute chiplet takes its
+routers down, and a dead memory chiplet severs the north-south feedthroughs
+— which matches the granularity of the paper's Monte-Carlo study (Fig. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import Coord, SystemConfig
+from ..errors import FaultMapError
+
+
+@dataclass(frozen=True)
+class FaultMap:
+    """An immutable set of faulty tiles on one wafer."""
+
+    config: SystemConfig
+    faulty: frozenset[Coord] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        for coord in self.faulty:
+            r, c = coord
+            if not (0 <= r < self.config.rows and 0 <= c < self.config.cols):
+                raise FaultMapError(f"faulty tile {coord} outside the array")
+
+    def is_faulty(self, coord: Coord) -> bool:
+        """True when the tile is marked faulty."""
+        self.config.validate_coord(coord)
+        return coord in self.faulty
+
+    @property
+    def fault_count(self) -> int:
+        """Number of faulty tiles."""
+        return len(self.faulty)
+
+    @property
+    def healthy_count(self) -> int:
+        """Number of working tiles."""
+        return self.config.tiles - self.fault_count
+
+    def healthy_tiles(self) -> list[Coord]:
+        """Working tiles in row-major order."""
+        return [c for c in self.config.tile_coords() if c not in self.faulty]
+
+    def with_fault(self, coord: Coord) -> "FaultMap":
+        """A new map with one more faulty tile."""
+        self.config.validate_coord(coord)
+        return FaultMap(self.config, self.faulty | {coord})
+
+    def as_bool_array(self) -> np.ndarray:
+        """``(rows, cols)`` boolean array, True = faulty."""
+        arr = np.zeros((self.config.rows, self.config.cols), dtype=bool)
+        for r, c in self.faulty:
+            arr[r, c] = True
+        return arr
+
+    @classmethod
+    def from_bool_array(cls, config: SystemConfig, arr: np.ndarray) -> "FaultMap":
+        """Build a map from a boolean array (True = faulty)."""
+        arr = np.asarray(arr, dtype=bool)
+        if arr.shape != (config.rows, config.cols):
+            raise FaultMapError(
+                f"array shape {arr.shape} != grid {(config.rows, config.cols)}"
+            )
+        faulty = frozenset(
+            (int(r), int(c)) for r, c in zip(*np.nonzero(arr))
+        )
+        return cls(config, faulty)
+
+
+def random_fault_map(
+    config: SystemConfig,
+    fault_count: int,
+    rng: np.random.Generator | int | None = None,
+) -> FaultMap:
+    """A uniformly random fault map with exactly ``fault_count`` faults.
+
+    This mirrors the randomly generated fault maps behind Fig. 6.
+    """
+    if fault_count < 0:
+        raise FaultMapError("fault_count must be non-negative")
+    if fault_count > config.tiles:
+        raise FaultMapError(
+            f"cannot fault {fault_count} of {config.tiles} tiles"
+        )
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    flat = rng.choice(config.tiles, size=fault_count, replace=False)
+    faulty = frozenset(
+        (int(i) // config.cols, int(i) % config.cols) for i in flat
+    )
+    return FaultMap(config, faulty)
+
+
+def bonding_informed_fault_map(
+    config: SystemConfig,
+    rng: np.random.Generator | int | None = None,
+    pillar_yield: float | None = None,
+    pillars_per_pad: int | None = None,
+) -> FaultMap:
+    """Draw a fault map from the bonding-yield model (Section V).
+
+    Each tile fails independently with the probability implied by its two
+    chiplets' bond yields — the physically-motivated alternative to a
+    fixed fault count.
+    """
+    from ..io.bonding import chiplet_bond_yield
+
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    p_yield = pillar_yield if pillar_yield is not None else config.pillar_bond_yield
+    per_pad = pillars_per_pad if pillars_per_pad is not None else config.pillars_per_pad
+    y_compute = chiplet_bond_yield(config.ios_per_compute_chiplet, p_yield, per_pad)
+    y_memory = chiplet_bond_yield(config.ios_per_memory_chiplet, p_yield, per_pad)
+    p_tile_fail = 1.0 - y_compute * y_memory
+    draws = rng.random((config.rows, config.cols)) < p_tile_fail
+    return FaultMap.from_bool_array(config, draws)

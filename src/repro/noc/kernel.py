@@ -1,0 +1,162 @@
+"""Kernel-software network management (paper Section VI).
+
+The hardware gives every pair of tiles up to two paths; *software* decides
+which to use.  After bring-up the fault map is known, and the kernel:
+
+1. assigns each communicating source-destination pair to one network —
+   pairs with both paths available are spread so the two networks carry
+   balanced load; pairs with one usable path get that network; packet
+   ordering is preserved by never splitting a pair across networks;
+2. for pairs with *no* clear path, optionally routes via an **intermediate
+   tile**: the packet travels src -> intermediate -> dst (the response
+   retraces the same two legs), at the cost of the intermediate tile's
+   cores spending cycles forwarding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import Coord
+from ..errors import RoutingError
+from .dualnetwork import DualNetwork, NetworkId
+from .faults import FaultMap
+
+
+@dataclass(frozen=True)
+class NetworkAssignment:
+    """The kernel's routing decision for one source-destination pair."""
+
+    src: Coord
+    dst: Coord
+    network: NetworkId | None           # None => needs detour or unreachable
+    detour_via: Coord | None = None     # intermediate tile, if detoured
+    reachable: bool = True
+
+    @property
+    def is_detour(self) -> bool:
+        """True when the pair communicates through an intermediate tile."""
+        return self.detour_via is not None
+
+
+class KernelRouter:
+    """Fault-map-aware pair-to-network assignment (the paper's kernel role)."""
+
+    def __init__(self, fault_map: FaultMap):
+        self.fault_map = fault_map
+        self.dual = DualNetwork(fault_map)
+        self._load = {NetworkId.XY: 0, NetworkId.YX: 0}
+        self._assignments: dict[tuple[Coord, Coord], NetworkAssignment] = {}
+
+    @property
+    def network_load(self) -> dict[NetworkId, int]:
+        """Pairs assigned to each network so far."""
+        return dict(self._load)
+
+    def assign(self, src: Coord, dst: Coord, allow_detour: bool = True) -> NetworkAssignment:
+        """Assign a pair to a network (cached — ordering must be stable).
+
+        All traffic of a pair stays on one network so packets arrive in
+        order; both-path pairs go to the currently less-loaded network.
+        """
+        key = (src, dst)
+        if key in self._assignments:
+            return self._assignments[key]
+        if self.fault_map.is_faulty(src) or self.fault_map.is_faulty(dst):
+            assignment = NetworkAssignment(src, dst, None, reachable=False)
+            self._assignments[key] = assignment
+            return assignment
+
+        usable = self.dual.usable_networks(src, dst)
+        if len(usable) == 2:
+            network = min(NetworkId, key=lambda n: self._load[n])
+            assignment = NetworkAssignment(src, dst, network)
+        elif len(usable) == 1:
+            assignment = NetworkAssignment(src, dst, usable[0])
+        elif allow_detour:
+            via = self.find_detour(src, dst)
+            if via is None:
+                assignment = NetworkAssignment(src, dst, None, reachable=False)
+            else:
+                assignment = NetworkAssignment(src, dst, None, detour_via=via)
+        else:
+            assignment = NetworkAssignment(src, dst, None, reachable=False)
+
+        if assignment.network is not None:
+            self._load[assignment.network] += 1
+        self._assignments[key] = assignment
+        return assignment
+
+    def find_detour(self, src: Coord, dst: Coord) -> Coord | None:
+        """An intermediate tile making both legs round-trippable.
+
+        Picks the healthy tile minimising total hop count among candidates
+        where ``src->via`` and ``via->dst`` each complete on some network.
+        """
+        best: Coord | None = None
+        best_cost = None
+        for via in self.fault_map.healthy_tiles():
+            if via in (src, dst):
+                continue
+            if not self.dual.connected(src, via):
+                continue
+            if not self.dual.connected(via, dst):
+                continue
+            cost = (
+                abs(via[0] - src[0]) + abs(via[1] - src[1])
+                + abs(dst[0] - via[0]) + abs(dst[1] - via[1])
+            )
+            if best_cost is None or cost < best_cost:
+                best, best_cost = via, cost
+        return best
+
+    def assign_all_pairs(self, allow_detour: bool = False) -> "KernelReport":
+        """Assign every healthy ordered pair; summarise reachability/balance.
+
+        ``allow_detour=False`` by default because the all-pairs detour
+        search is O(tiles^3) — enable it on reduced configs or use
+        :meth:`assign` per pair of interest.
+        """
+        healthy = self.fault_map.healthy_tiles()
+        direct = detoured = unreachable = 0
+        for src in healthy:
+            for dst in healthy:
+                if src == dst:
+                    continue
+                a = self.assign(src, dst, allow_detour=allow_detour)
+                if a.network is not None:
+                    direct += 1
+                elif a.is_detour:
+                    detoured += 1
+                else:
+                    unreachable += 1
+        return KernelReport(
+            direct_pairs=direct,
+            detoured_pairs=detoured,
+            unreachable_pairs=unreachable,
+            load=self.network_load,
+        )
+
+
+@dataclass(frozen=True)
+class KernelReport:
+    """Summary of an all-pairs kernel assignment."""
+
+    direct_pairs: int
+    detoured_pairs: int
+    unreachable_pairs: int
+    load: dict[NetworkId, int] = field(default_factory=dict)
+
+    @property
+    def total_pairs(self) -> int:
+        """All healthy ordered pairs."""
+        return self.direct_pairs + self.detoured_pairs + self.unreachable_pairs
+
+    @property
+    def balance(self) -> float:
+        """Load ratio between the two networks (1.0 = perfectly balanced)."""
+        xy = self.load.get(NetworkId.XY, 0)
+        yx = self.load.get(NetworkId.YX, 0)
+        if max(xy, yx) == 0:
+            return 1.0
+        return min(xy, yx) / max(xy, yx)

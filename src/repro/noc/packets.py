@@ -1,0 +1,103 @@
+"""Packet format of the waferscale network (paper Section VI).
+
+The paper fixes the packet width at 100 bits, carried in one cycle on a
+100-bit bus.  We adopt a concrete field layout consistent with the
+system's sizes — it packs exactly into 100 bits for the 32x32 array:
+
+===========  ====  ==========================================
+field        bits  purpose
+===========  ====  ==========================================
+kind            1  request / response
+src            10  source tile (1024 tiles)
+dst            10  destination tile
+address        15  word address within the tile's shared banks
+payload        64  data payload (Table I bandwidth accounting)
+===========  ====  ==========================================
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from ..config import Coord
+from ..errors import NetworkError
+
+KIND_BITS = 1
+TILE_ID_BITS = 10
+ADDRESS_BITS = 15
+PAYLOAD_BITS = 64
+PACKET_BITS = KIND_BITS + 2 * TILE_ID_BITS + ADDRESS_BITS + PAYLOAD_BITS
+
+_packet_ids = itertools.count()
+
+
+class PacketKind(enum.Enum):
+    """Request/response discriminator (drives network complementarity)."""
+
+    REQUEST = 0
+    RESPONSE = 1
+
+
+@dataclass
+class Packet:
+    """One network packet (one flit on a 100-bit bus)."""
+
+    kind: PacketKind
+    src: Coord
+    dst: Coord
+    address: int = 0
+    payload: int = 0
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    injected_cycle: int | None = None
+    delivered_cycle: int | None = None
+    request_id: int | None = None   # for responses: the request they answer
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.address < (1 << ADDRESS_BITS):
+            raise NetworkError(f"address {self.address} exceeds {ADDRESS_BITS} bits")
+        if not 0 <= self.payload < (1 << PAYLOAD_BITS):
+            raise NetworkError(f"payload exceeds {PAYLOAD_BITS} bits")
+
+    @property
+    def latency(self) -> int | None:
+        """Injection-to-delivery latency in cycles, if delivered."""
+        if self.injected_cycle is None or self.delivered_cycle is None:
+            return None
+        return self.delivered_cycle - self.injected_cycle
+
+    def encode(self, cols: int) -> int:
+        """Pack the packet into its 100-bit wire representation."""
+        src_id = self.src[0] * cols + self.src[1]
+        dst_id = self.dst[0] * cols + self.dst[1]
+        if src_id >= (1 << TILE_ID_BITS) or dst_id >= (1 << TILE_ID_BITS):
+            raise NetworkError("tile id exceeds field width")
+        word = self.kind.value
+        word = (word << TILE_ID_BITS) | src_id
+        word = (word << TILE_ID_BITS) | dst_id
+        word = (word << ADDRESS_BITS) | self.address
+        word = (word << PAYLOAD_BITS) | self.payload
+        return word
+
+    @classmethod
+    def decode(cls, word: int, cols: int) -> "Packet":
+        """Unpack a 100-bit wire word back into a packet."""
+        if word < 0 or word >= (1 << PACKET_BITS):
+            raise NetworkError(f"wire word exceeds {PACKET_BITS} bits")
+        payload = word & ((1 << PAYLOAD_BITS) - 1)
+        word >>= PAYLOAD_BITS
+        address = word & ((1 << ADDRESS_BITS) - 1)
+        word >>= ADDRESS_BITS
+        dst_id = word & ((1 << TILE_ID_BITS) - 1)
+        word >>= TILE_ID_BITS
+        src_id = word & ((1 << TILE_ID_BITS) - 1)
+        word >>= TILE_ID_BITS
+        kind = PacketKind(word & 1)
+        return cls(
+            kind=kind,
+            src=(src_id // cols, src_id % cols),
+            dst=(dst_id // cols, dst_id % cols),
+            address=address,
+            payload=payload,
+        )

@@ -1,0 +1,163 @@
+"""Logical-array extraction from a faulty wafer.
+
+Some workloads (the stencil, systolic kernels) want a *fault-free
+rectangular grid* of tiles, not a grid with holes.  The kernel software
+can provide one by remapping: find a large fault-free sub-rectangle of
+the physical array and present it as the logical machine.  Two extractors:
+
+* :func:`largest_fault_free_rectangle` — the maximal all-healthy
+  axis-aligned rectangle (classic largest-rectangle-in-binary-matrix DP,
+  O(rows x cols)); contiguous, so neighbour communication stays
+  single-hop;
+* :func:`row_column_deletion` — drop whole faulty rows/columns greedily,
+  keeping a (possibly larger) logical grid whose logical neighbours may
+  be physically 2 hops apart across deleted lanes (cf. Zorat's
+  fault-tolerant grid construction, the paper's ref [19]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import Coord, SystemConfig
+from ..errors import FaultMapError
+from .faults import FaultMap
+
+
+@dataclass(frozen=True)
+class SubGrid:
+    """A logical grid extracted from the physical array."""
+
+    origin: Coord               # physical coordinate of logical (0, 0)
+    rows: int
+    cols: int
+    row_map: tuple[int, ...]    # logical row -> physical row
+    col_map: tuple[int, ...]    # logical col -> physical col
+
+    @property
+    def tiles(self) -> int:
+        """Logical tile count."""
+        return self.rows * self.cols
+
+    def physical(self, logical: Coord) -> Coord:
+        """Map a logical coordinate to its physical tile."""
+        r, c = logical
+        if not (0 <= r < self.rows and 0 <= c < self.cols):
+            raise FaultMapError(f"logical {logical} outside {self.rows}x{self.cols}")
+        return (self.row_map[r], self.col_map[c])
+
+    def all_physical(self) -> list[Coord]:
+        """Every physical tile backing the logical grid."""
+        return [
+            (pr, pc)
+            for pr in self.row_map
+            for pc in self.col_map
+        ]
+
+    @property
+    def contiguous(self) -> bool:
+        """Are logical neighbours physically adjacent everywhere?"""
+        rows_ok = all(
+            b - a == 1 for a, b in zip(self.row_map, self.row_map[1:])
+        )
+        cols_ok = all(
+            b - a == 1 for a, b in zip(self.col_map, self.col_map[1:])
+        )
+        return rows_ok and cols_ok
+
+
+def largest_fault_free_rectangle(fault_map: FaultMap) -> SubGrid:
+    """Maximal all-healthy axis-aligned rectangle (contiguous).
+
+    Histogram-stack DP over the healthy matrix: O(rows x cols).
+    """
+    cfg = fault_map.config
+    healthy = ~fault_map.as_bool_array()
+    best_area = 0
+    best = (0, 0, 1, 1)     # (top, left, height, width)
+
+    heights = np.zeros(cfg.cols, dtype=int)
+    for r in range(cfg.rows):
+        heights = np.where(healthy[r], heights + 1, 0)
+        # Largest rectangle in histogram via a stack.
+        stack: list[int] = []
+        col = 0
+        while col <= cfg.cols:
+            current = heights[col] if col < cfg.cols else 0
+            if not stack or heights[stack[-1]] <= current:
+                stack.append(col)
+                col += 1
+                continue
+            top = stack.pop()
+            height = int(heights[top])
+            width = col if not stack else col - stack[-1] - 1
+            area = height * width
+            if area > best_area:
+                left = 0 if not stack else stack[-1] + 1
+                best_area = area
+                best = (r - height + 1, left, height, width)
+        # (col loop ends with stack flushed by the 0 sentinel)
+
+    if best_area == 0:
+        raise FaultMapError("no healthy tile exists")
+    top, left, height, width = best
+    return SubGrid(
+        origin=(top, left),
+        rows=height,
+        cols=width,
+        row_map=tuple(range(top, top + height)),
+        col_map=tuple(range(left, left + width)),
+    )
+
+
+def row_column_deletion(fault_map: FaultMap) -> SubGrid:
+    """Delete faulty rows/columns greedily, keep the rest as the grid.
+
+    Repeatedly removes the row or column containing the most remaining
+    faults until none remain.  Keeps more tiles than the contiguous
+    rectangle when faults are scattered, at the price of non-adjacent
+    logical neighbours (the mesh routes across the deleted lanes).
+    """
+    cfg = fault_map.config
+    faulty = fault_map.as_bool_array().copy()
+    keep_rows = list(range(cfg.rows))
+    keep_cols = list(range(cfg.cols))
+
+    while True:
+        sub = faulty[np.ix_(keep_rows, keep_cols)]
+        if not sub.any():
+            break
+        row_faults = sub.sum(axis=1)
+        col_faults = sub.sum(axis=0)
+        worst_row = int(row_faults.argmax())
+        worst_col = int(col_faults.argmax())
+        if row_faults[worst_row] >= col_faults[worst_col]:
+            del keep_rows[worst_row]
+        else:
+            del keep_cols[worst_col]
+        if not keep_rows or not keep_cols:
+            raise FaultMapError("deletion consumed the whole array")
+
+    return SubGrid(
+        origin=(keep_rows[0], keep_cols[0]),
+        rows=len(keep_rows),
+        cols=len(keep_cols),
+        row_map=tuple(keep_rows),
+        col_map=tuple(keep_cols),
+    )
+
+
+def best_logical_grid(fault_map: FaultMap, require_contiguous: bool = False) -> SubGrid:
+    """The larger of the two extractions (contiguous-only if required)."""
+    rectangle = largest_fault_free_rectangle(fault_map)
+    if require_contiguous:
+        return rectangle
+    deletion = row_column_deletion(fault_map)
+    return deletion if deletion.tiles > rectangle.tiles else rectangle
+
+
+def logical_system_config(grid: SubGrid, base: SystemConfig) -> SystemConfig:
+    """A SystemConfig describing the logical machine a subgrid exposes."""
+    return base.scaled(grid.rows, grid.cols)

@@ -1,0 +1,157 @@
+"""Cycle-level mesh router (paper Sections II and VI).
+
+Each tile's compute chiplet hosts one router per physical network.  The
+model follows the paper's BSG-derived design at the fidelity the paper
+discusses:
+
+* five ports (N/S/E/W/local), one-packet flits on a 100-bit bus;
+* dimension-ordered output selection (X-Y or Y-X per network);
+* input-queued with per-port FIFOs — the asynchronous FIFOs that make
+  inter-chiplet links tolerant of forwarded-clock phase/jitter;
+* round-robin arbitration per output port, backpressure when the
+  downstream FIFO is full.
+
+DoR guarantees deadlock freedom within each network; requests and
+responses ride complementary networks so they cannot deadlock each other.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..config import Coord
+from ..errors import NetworkError
+from .packets import Packet
+from .routing import RoutingPolicy, next_hop
+
+
+class Port(enum.Enum):
+    """Router ports."""
+
+    NORTH = "north"
+    SOUTH = "south"
+    WEST = "west"
+    EAST = "east"
+    LOCAL = "local"
+
+
+def port_toward(src: Coord, dst: Coord) -> Port:
+    """Which output port leads from ``src`` to the adjacent tile ``dst``."""
+    dr, dc = dst[0] - src[0], dst[1] - src[1]
+    if (dr, dc) == (-1, 0):
+        return Port.NORTH
+    if (dr, dc) == (1, 0):
+        return Port.SOUTH
+    if (dr, dc) == (0, -1):
+        return Port.WEST
+    if (dr, dc) == (0, 1):
+        return Port.EAST
+    raise NetworkError(f"{dst} is not adjacent to {src}")
+
+
+@dataclass
+class InputFifo:
+    """An asynchronous-FIFO-backed input queue."""
+
+    depth: int
+    queue: deque = field(default_factory=deque)
+
+    @property
+    def full(self) -> bool:
+        """No credit available for the upstream sender."""
+        return len(self.queue) >= self.depth
+
+    @property
+    def empty(self) -> bool:
+        """Nothing to arbitrate."""
+        return not self.queue
+
+    def push(self, packet: Packet) -> None:
+        """Accept a packet from the link (caller must honour backpressure)."""
+        if self.full:
+            raise NetworkError("FIFO overflow: upstream ignored backpressure")
+        self.queue.append(packet)
+
+    def peek(self) -> Packet:
+        """Head-of-line packet."""
+        return self.queue[0]
+
+    def pop(self) -> Packet:
+        """Remove the head-of-line packet."""
+        return self.queue.popleft()
+
+
+class Router:
+    """One input-queued DoR router on one physical network."""
+
+    def __init__(
+        self,
+        coord: Coord,
+        policy: RoutingPolicy,
+        fifo_depth: int = 4,
+    ):
+        if fifo_depth < 1:
+            raise NetworkError("FIFO depth must be >= 1")
+        self.coord = coord
+        self.policy = policy
+        self.inputs: dict[Port, InputFifo] = {
+            port: InputFifo(depth=fifo_depth) for port in Port
+        }
+        self._rr_state: dict[Port, int] = {port: 0 for port in Port}
+        self.forwarded_packets = 0
+
+    def output_port(self, packet: Packet) -> Port:
+        """DoR output-port decision for a packet at this router."""
+        if packet.dst == self.coord:
+            return Port.LOCAL
+        hop = next_hop(self.coord, packet.dst, self.policy)
+        return port_toward(self.coord, hop)
+
+    def can_accept(self, port: Port) -> bool:
+        """Credit check used by the upstream router/injector."""
+        return not self.inputs[port].full
+
+    def accept(self, port: Port, packet: Packet) -> None:
+        """Latch a packet into an input FIFO."""
+        self.inputs[port].push(packet)
+
+    def arbitrate(self) -> dict[Port, tuple[Port, Packet]]:
+        """One cycle of round-robin output arbitration.
+
+        Returns ``{output_port: (input_port, packet)}`` for the winners.
+        Packets are *not* dequeued — the simulator pops a winner only when
+        the downstream FIFO accepts it, modelling credit flow exactly.
+        """
+        # Gather head-of-line requests per output port.
+        requests: dict[Port, list[Port]] = {}
+        for in_port, fifo in self.inputs.items():
+            if fifo.empty:
+                continue
+            out = self.output_port(fifo.peek())
+            requests.setdefault(out, []).append(in_port)
+
+        winners: dict[Port, tuple[Port, Packet]] = {}
+        port_order = list(Port)
+        for out, contenders in requests.items():
+            start = self._rr_state[out]
+            # Round-robin: scan ports starting after the last winner.
+            ordered = sorted(
+                contenders,
+                key=lambda p: (port_order.index(p) - start) % len(port_order),
+            )
+            chosen = ordered[0]
+            winners[out] = (chosen, self.inputs[chosen].peek())
+        return winners
+
+    def grant(self, out_port: Port, in_port: Port) -> Packet:
+        """Dequeue an arbitration winner and advance the round-robin state."""
+        packet = self.inputs[in_port].pop()
+        self._rr_state[out_port] = (list(Port).index(in_port) + 1) % len(Port)
+        self.forwarded_packets += 1
+        return packet
+
+    def occupancy(self) -> int:
+        """Total packets buffered in this router."""
+        return sum(len(f.queue) for f in self.inputs.values())

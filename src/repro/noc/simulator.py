@@ -1,0 +1,260 @@
+"""Cycle-level simulator of the dual-network waferscale NoC.
+
+Ties together :mod:`.router`, :mod:`.packets`, :mod:`.dualnetwork` and a
+fault map into a steppable model:
+
+* two router grids (X-Y and Y-X networks), faulty tiles absent;
+* per-cycle: arbitrate every router, move winners across links honouring
+  downstream credits, deliver LOCAL winners;
+* request/response mode: when a REQUEST is delivered, the destination tile
+  issues the RESPONSE on the complementary network after a service delay
+  (the shared-memory access), matching the hardware behaviour baked into
+  the paper's routers;
+* statistics: delivered counts, latency distribution, per-network load.
+
+The simulator is deliberately packet-per-cycle (one flit per packet, one
+hop per cycle, FIFO depth in packets) — the same abstraction level the
+paper uses to discuss its network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import Coord, SystemConfig
+from ..errors import NetworkError
+from .dualnetwork import NetworkId
+from .faults import FaultMap
+from .packets import Packet, PacketKind
+from .router import Port, Router, port_toward
+from .routing import RoutingPolicy
+
+
+@dataclass
+class SimulationReport:
+    """Aggregate results of one simulation run."""
+
+    cycles: int
+    injected: int
+    delivered: int
+    responses_delivered: int
+    dropped_unreachable: int
+    latencies: list[int] = field(default_factory=list)
+    per_network_delivered: dict[NetworkId, int] = field(default_factory=dict)
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean injection-to-delivery latency in cycles."""
+        return float(np.mean(self.latencies)) if self.latencies else 0.0
+
+    @property
+    def p99_latency(self) -> float:
+        """99th-percentile latency in cycles."""
+        if not self.latencies:
+            return 0.0
+        return float(np.percentile(self.latencies, 99))
+
+    @property
+    def throughput_packets_per_cycle(self) -> float:
+        """Delivered packets per simulated cycle."""
+        return self.delivered / self.cycles if self.cycles else 0.0
+
+
+class NocSimulator:
+    """Cycle-level dual-network mesh simulator."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        fault_map: FaultMap | None = None,
+        fifo_depth: int = 4,
+        response_delay: int = 2,
+    ):
+        self.config = config
+        self.fault_map = fault_map or FaultMap(config)
+        self.response_delay = response_delay
+        self.cycle = 0
+        self.routers: dict[NetworkId, dict[Coord, Router]] = {}
+        for net in NetworkId:
+            grid: dict[Coord, Router] = {}
+            for coord in config.tile_coords():
+                if not self.fault_map.is_faulty(coord):
+                    grid[coord] = Router(coord, net.policy, fifo_depth)
+            self.routers[net] = grid
+
+        self._pending_injections: list[tuple[Packet, NetworkId]] = []
+        self._pending_responses: list[tuple[int, Packet, NetworkId]] = []
+        self.delivered_packets: list[Packet] = []
+        self.injected_count = 0
+        self.dropped_unreachable = 0
+        self.dropped_in_flight = 0      # DoR packets that hit a faulty link
+        self._per_network_delivered = {n: 0 for n in NetworkId}
+
+    # ------------------------------------------------------------------
+
+    def inject(self, packet: Packet, network: NetworkId) -> bool:
+        """Queue a packet for injection on a network.
+
+        Returns False (and counts a drop) when either endpoint is faulty —
+        the kernel would never schedule such traffic, but workloads may
+        try.
+        """
+        if self.fault_map.is_faulty(packet.src) or self.fault_map.is_faulty(packet.dst):
+            self.dropped_unreachable += 1
+            return False
+        self._pending_injections.append((packet, network))
+        return True
+
+    def _try_local_injections(self) -> None:
+        """Move pending packets into their source router's LOCAL FIFO."""
+        remaining: list[tuple[Packet, NetworkId]] = []
+        for packet, net in self._pending_injections:
+            router = self.routers[net].get(packet.src)
+            if router is None:
+                self.dropped_unreachable += 1
+                continue
+            if router.can_accept(Port.LOCAL):
+                if packet.injected_cycle is None:
+                    packet.injected_cycle = self.cycle
+                router.accept(Port.LOCAL, packet)
+                self.injected_count += 1
+            else:
+                remaining.append((packet, net))
+        self._pending_injections = remaining
+
+    def _release_due_responses(self) -> None:
+        due = [x for x in self._pending_responses if x[0] <= self.cycle]
+        self._pending_responses = [
+            x for x in self._pending_responses if x[0] > self.cycle
+        ]
+        for _, packet, net in due:
+            self._pending_injections.append((packet, net))
+
+    def _deliver(self, packet: Packet, network: NetworkId) -> None:
+        packet.delivered_cycle = self.cycle
+        self.delivered_packets.append(packet)
+        self._per_network_delivered[network] += 1
+        if packet.kind is PacketKind.REQUEST:
+            response = Packet(
+                kind=PacketKind.RESPONSE,
+                src=packet.dst,
+                dst=packet.src,
+                address=packet.address,
+                payload=packet.payload,
+                request_id=packet.packet_id,
+            )
+            self._pending_responses.append(
+                (self.cycle + self.response_delay, response, network.complement)
+            )
+
+    def step(self) -> None:
+        """Advance the simulation by one cycle."""
+        self._release_due_responses()
+        self._try_local_injections()
+
+        # Two-phase update: arbitrate everywhere first, then move packets,
+        # so a move this cycle cannot enable another move this cycle.
+        moves: list[tuple[NetworkId, Router, Port, Port, Router | None, Port | None]] = []
+        for net in NetworkId:
+            for router in self.routers[net].values():
+                for out_port, (in_port, packet) in router.arbitrate().items():
+                    if out_port is Port.LOCAL:
+                        moves.append((net, router, out_port, in_port, None, None))
+                        continue
+                    hop = packet_next_coord(router.coord, out_port)
+                    downstream = self.routers[net].get(hop)
+                    if downstream is None:
+                        # Link into a faulty tile: the packet can never
+                        # progress (DoR cannot re-route).  Drop it and count.
+                        moves.append((net, router, out_port, in_port, None, Port.LOCAL))
+                        continue
+                    entry_port = _entry_port(out_port)
+                    if downstream.can_accept(entry_port):
+                        moves.append(
+                            (net, router, out_port, in_port, downstream, entry_port)
+                        )
+
+        for net, router, out_port, in_port, downstream, entry in moves:
+            if out_port is Port.LOCAL:
+                packet = router.grant(out_port, in_port)
+                self._deliver(packet, net)
+            elif downstream is None:
+                packet = router.grant(out_port, in_port)
+                self.dropped_unreachable += 1
+                self.dropped_in_flight += 1
+            else:
+                packet = router.grant(out_port, in_port)
+                downstream.accept(entry, packet)
+
+        self.cycle += 1
+
+    def run(self, cycles: int) -> None:
+        """Advance by ``cycles`` cycles."""
+        if cycles < 0:
+            raise NetworkError("cycles must be non-negative")
+        for _ in range(cycles):
+            self.step()
+
+    def drain(self, max_cycles: int = 100_000) -> None:
+        """Run until all in-flight traffic is delivered (or the limit hits)."""
+        for _ in range(max_cycles):
+            if self.idle():
+                return
+            self.step()
+        raise NetworkError(f"network failed to drain within {max_cycles} cycles")
+
+    def idle(self) -> bool:
+        """True when no packet is queued, buffered or pending anywhere."""
+        if self._pending_injections or self._pending_responses:
+            return False
+        return all(
+            router.occupancy() == 0
+            for grid in self.routers.values()
+            for router in grid.values()
+        )
+
+    def report(self) -> SimulationReport:
+        """Summarise the run so far."""
+        latencies = [
+            p.latency for p in self.delivered_packets if p.latency is not None
+        ]
+        responses = sum(
+            1
+            for p in self.delivered_packets
+            if p.kind is PacketKind.RESPONSE
+        )
+        return SimulationReport(
+            cycles=self.cycle,
+            injected=self.injected_count,
+            delivered=len(self.delivered_packets),
+            responses_delivered=responses,
+            dropped_unreachable=self.dropped_unreachable,
+            latencies=latencies,
+            per_network_delivered=dict(self._per_network_delivered),
+        )
+
+
+def packet_next_coord(coord: Coord, port: Port) -> Coord:
+    """The adjacent coordinate an output port points at."""
+    r, c = coord
+    if port is Port.NORTH:
+        return (r - 1, c)
+    if port is Port.SOUTH:
+        return (r + 1, c)
+    if port is Port.WEST:
+        return (r, c - 1)
+    if port is Port.EAST:
+        return (r, c + 1)
+    raise NetworkError("LOCAL port has no coordinate")
+
+
+def _entry_port(out_port: Port) -> Port:
+    """The downstream input port a packet arrives on."""
+    return {
+        Port.NORTH: Port.SOUTH,
+        Port.SOUTH: Port.NORTH,
+        Port.WEST: Port.EAST,
+        Port.EAST: Port.WEST,
+    }[out_port]

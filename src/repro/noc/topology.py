@@ -1,0 +1,90 @@
+"""Mesh topology over the tile grid (paper Section VI).
+
+Routers live on the compute chiplets; each tile links to its four mesh
+neighbours with 400-bit-wide parallel links, divided into four 100-bit
+buses (X-Y ingress, X-Y egress, Y-X ingress, Y-X egress).  The topology
+object also derives the aggregate bisection/edge bandwidth numbers behind
+Table I's 9.83 TBps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import Coord, SystemConfig
+from ..errors import NetworkError
+
+
+@dataclass(frozen=True)
+class MeshTopology:
+    """The inter-tile mesh graph and its bandwidth accounting."""
+
+    config: SystemConfig
+
+    def links(self) -> list[tuple[Coord, Coord]]:
+        """All undirected mesh links (east and south neighbours)."""
+        out: list[tuple[Coord, Coord]] = []
+        for r in range(self.config.rows):
+            for c in range(self.config.cols):
+                if c + 1 < self.config.cols:
+                    out.append(((r, c), (r, c + 1)))
+                if r + 1 < self.config.rows:
+                    out.append(((r, c), (r + 1, c)))
+        return out
+
+    def link_count(self) -> int:
+        """Number of undirected mesh links."""
+        rows, cols = self.config.rows, self.config.cols
+        return rows * (cols - 1) + cols * (rows - 1)
+
+    def are_neighbors(self, a: Coord, b: Coord) -> bool:
+        """True when two tiles share a mesh link."""
+        self.config.validate_coord(a)
+        self.config.validate_coord(b)
+        return abs(a[0] - b[0]) + abs(a[1] - b[1]) == 1
+
+    # -- bandwidth accounting (Table I) ---------------------------------
+
+    def link_bandwidth_bps(self, freq_hz: float | None = None) -> float:
+        """Raw bandwidth of one tile-to-tile link (all four buses)."""
+        hz = freq_hz or self.config.nominal_freq_hz
+        return self.config.link_width_bits * hz
+
+    def bus_bandwidth_bps(self, freq_hz: float | None = None) -> float:
+        """Bandwidth of one 100-bit bus (one direction of one network)."""
+        hz = freq_hz or self.config.nominal_freq_hz
+        per_bus = self.config.link_width_bits // self.config.buses_per_edge
+        return per_bus * hz
+
+    def aggregate_bandwidth_bytes_per_s(self, freq_hz: float | None = None) -> float:
+        """Total payload bandwidth of the waferscale network (Table I).
+
+        Each tile sustains one packet per cycle on each of its four buses
+        (X-Y ingress/egress, Y-X ingress/egress), each packet carrying a
+        64-bit payload within its 100 bits.  At 300MHz:
+        ``1024 tiles x 4 buses x 64 bit x 300MHz / 8 = 9.83 TB/s``.
+        """
+        from .. import params
+
+        hz = freq_hz or self.config.nominal_freq_hz
+        per_tile_bits = self.config.buses_per_edge * params.PACKET_PAYLOAD_BITS
+        return self.config.tiles * per_tile_bits * hz / 8.0
+
+    def bisection_bandwidth_bps(self, freq_hz: float | None = None) -> float:
+        """Bandwidth across the vertical bisection of the array."""
+        hz = freq_hz or self.config.nominal_freq_hz
+        cut_links = self.config.rows
+        return cut_links * self.link_bandwidth_bps(hz)
+
+    def to_networkx(self, faulty: frozenset[Coord] | set[Coord] = frozenset()):
+        """Healthy-tile mesh as a :mod:`networkx` graph (analysis helper)."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        for coord in self.config.tile_coords():
+            if coord not in faulty:
+                graph.add_node(coord)
+        for a, b in self.links():
+            if a not in faulty and b not in faulty:
+                graph.add_edge(a, b)
+        return graph

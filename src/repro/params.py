@@ -1,0 +1,150 @@
+"""Physical and electrical constants published in the DAC 2021 paper.
+
+Every number in this module is traceable to the paper text (section noted in
+the comment).  These are the *defaults*; a :class:`repro.config.SystemConfig`
+instance may override any of them to explore design variants.
+
+Units follow SI unless the name says otherwise: metres, ohms, volts, amps,
+farads, henries, hertz, watts, seconds.  Geometry that the paper quotes in
+millimetres or micrometres keeps a ``_mm``/``_um`` suffix for readability.
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------------
+# Section II / Table I -- system organisation
+# --------------------------------------------------------------------------
+
+TILE_ROWS = 32                      # 32x32 tile array
+TILE_COLS = 32
+TILES_TOTAL = TILE_ROWS * TILE_COLS                 # 1024
+CHIPLETS_PER_TILE = 2                               # compute + memory
+CHIPLETS_TOTAL = TILES_TOTAL * CHIPLETS_PER_TILE    # 2048
+CORES_PER_TILE = 14
+CORES_TOTAL = TILES_TOTAL * CORES_PER_TILE          # 14336
+
+COMPUTE_CHIPLET_W_MM = 3.15         # Table I: 3.15mm x 2.4mm
+COMPUTE_CHIPLET_H_MM = 2.40
+MEMORY_CHIPLET_W_MM = 3.15          # Table I: 3.15mm x 1.1mm
+MEMORY_CHIPLET_H_MM = 1.10
+INTER_CHIPLET_SPACING_MM = 0.100    # Sec I: ~100um inter-chiplet spacing
+
+PRIVATE_SRAM_PER_CORE_BYTES = 64 * 1024             # 64KB private per core
+SHARED_SRAM_PER_TILE_BYTES = 512 * 1024             # 512KB shared per tile
+MEMORY_BANKS_PER_TILE = 5                           # five 128KB banks
+MEMORY_BANK_BYTES = 128 * 1024
+SHARED_BANKS_PER_TILE = 4           # 4 banks globally addressable
+TILE_PRIVATE_BANKS = 1              # 1 bank local to the tile
+TOTAL_SHARED_MEMORY_BYTES = TILES_TOTAL * SHARED_SRAM_PER_TILE_BYTES  # 512MB
+
+NOMINAL_FREQ_HZ = 300e6             # Table I: 300 MHz nominal
+NOMINAL_VDD = 1.1                   # Table I: 1.1V nominal
+TOTAL_AREA_MM2 = 15_100.0           # Table I: total area w/ edge I/Os
+TOTAL_PEAK_POWER_W = 725.0          # Table I: total peak power
+NETWORK_BW_TBPS = 9.83              # Table I: network bandwidth
+SHARED_MEMORY_BW_TBPS = 6.144       # Table I: shared memory bandwidth
+COMPUTE_THROUGHPUT_TOPS = 4.3       # Table I: compute throughput
+
+IOS_PER_COMPUTE_CHIPLET = 2020      # Table I
+IOS_PER_MEMORY_CHIPLET = 1250       # Table I
+
+# --------------------------------------------------------------------------
+# Section I / V / VIII -- Si-IF technology
+# --------------------------------------------------------------------------
+
+CU_PILLAR_PITCH_UM = 10.0           # fine-pitch copper pillar pitch
+IO_PAD_WIDTH_UM = 7.0               # Sec VII: 7um pad width
+WIRE_PITCH_UM = 5.0                 # interconnect wiring pitch used
+WIRE_PITCH_MIN_UM = 4.0             # minimum the technology offers
+SIGNAL_LAYERS = 2                   # two layers of signal routing
+POWER_LAYERS = 2                    # two layers of power planes
+SUBSTRATE_METAL_LAYERS = 4          # restricted to four for yield
+EDGE_WIRE_DENSITY_PER_MM = 400.0    # Sec II(d): 400 wires/mm with 2 layers
+MAX_METAL_THICKNESS_UM = 2.0        # Sec III: max 2um metal in Si-IF
+LINK_LENGTH_UM = 300.0              # Sec V: links as short as 200-300um
+MAX_DRIVE_LINK_LENGTH_UM = 500.0    # Tx drives 1GHz up to 500um
+IO_MAX_FREQ_HZ = 1e9                # small I/O circuitry operates at 1GHz
+
+INTRA_RETICLE_WIRE_WIDTH_UM = 2.0   # Sec VIII: width 2um / spacing 3um
+INTRA_RETICLE_WIRE_SPACE_UM = 3.0
+STITCH_WIRE_WIDTH_UM = 3.0          # fatter at reticle edge: 3um / 2um
+STITCH_WIRE_SPACE_UM = 2.0
+RETICLE_TILE_COLS = 12              # each reticle is 12x6 tiles
+RETICLE_TILE_ROWS = 6
+
+# Copper resistivity (ohm*m) used to extract plane sheet resistance.
+CU_RESISTIVITY_OHM_M = 1.72e-8
+
+# --------------------------------------------------------------------------
+# Section III -- power delivery
+# --------------------------------------------------------------------------
+
+EDGE_SUPPLY_VOLTAGE = 2.5           # power enters the wafer edge at 2.5V
+CENTER_VOLTAGE_ESTIMATE = 1.4       # paper: centre chiplets see ~1.4V at peak
+FF_CORNER_VOLTAGE = 1.21            # fast-fast corner voltage
+TILE_PEAK_POWER_W = 0.350           # ~350mW peak per tile at 1.21V
+TOTAL_EDGE_CURRENT_A = 290.0        # ~290A delivered across the wafer
+LDO_OUTPUT_NOMINAL = 1.1            # LDO regulates logic at 1.1V nominal
+LDO_OUTPUT_MIN = 1.0                # guaranteed regulation band 1.0-1.2V
+LDO_OUTPUT_MAX = 1.2
+LDO_INPUT_MIN = 1.4                 # LDO tracks 1.4V...2.5V input
+LDO_INPUT_MAX = 2.5
+DECAP_PER_TILE_F = 20e-9            # ~20nF decap per tile
+DECAP_AREA_FRACTION = 0.35          # ~35% of tile area is decap
+LDO_MAX_LOAD_STEP_A = 0.200         # 200mA worst-case current fluctuation
+BUCK_AREA_OVERHEAD_FRACTION = 0.275 # 25-30% area for off-chip L/C components
+HV_DELIVERY_VOLTAGE = 12.0          # option 1: 12V edge delivery + buck
+
+# --------------------------------------------------------------------------
+# Section IV -- clock
+# --------------------------------------------------------------------------
+
+PLL_REF_MIN_HZ = 10e6               # PLL input 10-133MHz
+PLL_REF_MAX_HZ = 133e6
+PLL_OUT_MAX_HZ = 400e6              # PLL output up to 400MHz
+FORWARDED_CLOCK_MAX_HZ = 350e6      # fast clock up to 350MHz forwarded
+PASSIVE_CDN_CAPACITANCE_F = 450e-12 # parasitics of passive waferscale CDN
+PASSIVE_CDN_INDUCTANCE_H = 120e-9
+PASSIVE_CDN_SINKS = 1024
+CLOCK_TOGGLE_COUNT_DEFAULT = 16     # auto-select toggle threshold
+DCD_KILL_EXAMPLE_PER_TILE = 0.05    # 5% distortion/tile kills clock in ~10 tiles
+MAX_ABS_JITTER_S = 100e-12          # sub-100ps absolute jitter requirement
+
+# --------------------------------------------------------------------------
+# Section V -- I/O architecture
+# --------------------------------------------------------------------------
+
+IO_CELL_AREA_UM2 = 150.0            # I/O cell incl. stripped-down ESD
+IO_ENERGY_PJ_PER_BIT = 0.063        # 0.063 pJ/bit
+TOTAL_IO_AREA_MM2 = 0.4             # total I/O area per compute chiplet
+PILLAR_BOND_YIELD = 0.9999          # >99.99% per-pillar bonding yield
+PILLARS_PER_PAD = 2                 # redundancy: two pillars land per pad
+ESD_HBM_PACKAGED_V = 2000.0         # packaged parts: 2kV HBM
+ESD_HBM_BAREDIE_V = 100.0           # bare-die chiplet-to-wafer: 100V HBM/MM
+TOTAL_INTER_CHIP_IOS = 3_700_000    # Sec VII: 3.7M+ inter-chip I/Os
+
+# --------------------------------------------------------------------------
+# Section VI -- network
+# --------------------------------------------------------------------------
+
+LINK_WIDTH_BITS = 400               # 400-bit wide link escaping each side
+PACKET_WIDTH_BITS = 100             # an entire packet is 100 bits
+PACKET_PAYLOAD_BITS = 64            # data payload within the 100-bit packet
+                                    # (remainder: address, kind, src/dst).
+                                    # Table I's 9.83 TBps = 1024 tiles x
+                                    # 4 buses x 64 bit x 300MHz / 8.
+BUSES_PER_EDGE = 4                  # four parallel buses per tile edge
+FIG6_SINGLE_NET_5FAULT_PCT = 12.0   # >12% pairs disconnected at 5 faults
+FIG6_DUAL_NET_5FAULT_PCT = 2.0      # <2% with two networks
+
+# --------------------------------------------------------------------------
+# Section VII -- test
+# --------------------------------------------------------------------------
+
+JTAG_TCK_MAX_HZ = 10e6              # split chains run TCK up to 10MHz
+JTAG_CHAINS = 32                    # 32 row chains
+SINGLE_CHAIN_LOAD_HOURS = 2.5       # single chain: ~2.5 hours to load memory
+MULTI_CHAIN_LOAD_MINUTES = 5.0      # 32 chains: roughly under 5 minutes
+PROBE_PITCH_MIN_UM = 50.0           # probe pitch usually larger than 50um
+EXPECTED_FAULTY_SINGLE_PILLAR = 380 # expected faulty chiplets w/ 1 pillar/pad
+EXPECTED_FAULTY_DUAL_PILLAR = 1     # ... reduced to ~1 with 2 pillars/pad

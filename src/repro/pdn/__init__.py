@@ -1,0 +1,30 @@
+"""Waferscale power delivery and regulation (paper Section III)."""
+
+from .decap import DecapModel, required_decap_f, transient_droop_v
+from .dtc import DtcUpgrade, dtc_upgrade_summary
+from .delivery import DeliveryOption, DeliveryScheme, compare_delivery_schemes
+from .ldo import LdoModel
+from .plane import PowerPlane, PlaneStack, extract_plane_stack
+from .solver import PdnSolution, PdnSolver, solve_pdn
+from .twv import TwvTechnology, max_tile_power_w, solve_twv_delivery
+
+__all__ = [
+    "DecapModel",
+    "DtcUpgrade",
+    "dtc_upgrade_summary",
+    "TwvTechnology",
+    "max_tile_power_w",
+    "solve_twv_delivery",
+    "required_decap_f",
+    "transient_droop_v",
+    "DeliveryOption",
+    "DeliveryScheme",
+    "compare_delivery_schemes",
+    "LdoModel",
+    "PowerPlane",
+    "PlaneStack",
+    "extract_plane_stack",
+    "PdnSolution",
+    "PdnSolver",
+    "solve_pdn",
+]

@@ -1,0 +1,148 @@
+"""Power-delivery scheme comparison (paper Section III).
+
+The paper weighs three ways to power the wafer:
+
+1. **Through-wafer vias (TWV)** — backside delivery through 700um vias.
+   Electrically ideal but the technology was not production-ready, so the
+   prototype could not use it.
+2. **High-voltage edge delivery + on-wafer buck/switched-cap conversion** —
+   12V at the edge cuts plane current ~12x, but the bulky off-chip
+   inductors/capacitors would eat 25-30% of wafer area, break the regular
+   chiplet array, stretch inter-chiplet links and add design complexity.
+3. **2.5V edge delivery + per-chiplet LDO** (chosen) — no off-chip
+   magnetics; costs resistive plane loss plus linear-regulator loss, which
+   is acceptable for a sub-kW prototype.
+
+:func:`compare_delivery_schemes` quantifies each option's area overhead and
+end-to-end efficiency so the trade the paper made can be re-derived.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .. import params
+from ..config import SystemConfig
+from ..errors import PdnError
+from .ldo import LdoModel
+from .solver import PdnSolver
+from .plane import extract_plane_stack
+
+
+class DeliveryScheme(enum.Enum):
+    """The three delivery options considered in the paper."""
+
+    TWV_BACKSIDE = "twv_backside"
+    HV_EDGE_BUCK = "hv_edge_buck"
+    EDGE_LDO = "edge_ldo"
+
+
+@dataclass(frozen=True)
+class DeliveryOption:
+    """Evaluation of one power-delivery scheme."""
+
+    scheme: DeliveryScheme
+    end_to_end_efficiency: float   # logic power / bench-supply power
+    area_overhead_fraction: float  # wafer area lost to delivery components
+    min_delivered_voltage: float   # worst unregulated voltage at a chiplet
+    feasible: bool                 # buildable with technology available
+    notes: str
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.end_to_end_efficiency <= 1.0:
+            raise PdnError("efficiency must be in [0, 1]")
+
+
+# Representative converter efficiency for on-wafer buck/switched-capacitor
+# down-conversion (12V -> ~1.2V), and for the TWV scenario where power lands
+# directly on chiplet supply pads.
+BUCK_CONVERTER_EFFICIENCY = 0.85
+TWV_DELIVERY_EFFICIENCY = 0.97
+
+
+def compare_delivery_schemes(
+    config: SystemConfig | None = None,
+    ldo: LdoModel | None = None,
+) -> dict[DeliveryScheme, DeliveryOption]:
+    """Evaluate all three delivery schemes for a configuration.
+
+    The EDGE_LDO option runs the full mesh solve: its efficiency combines
+    plane resistive loss with per-tile LDO loss at the solved voltages.
+    The HV_EDGE_BUCK option scales plane loss by ``(V_edge/V_hv)^2`` (same
+    power at ~12x lower current) and applies converter efficiency.
+    """
+    cfg = config or SystemConfig()
+    regulator = ldo or LdoModel()
+
+    solver = PdnSolver(cfg, stack=extract_plane_stack(cfg))
+    solution = solver.solve()
+
+    # Per-tile LDO efficiency at the solved voltages, load-weighted.
+    logic_power = 0.0
+    for coord in cfg.tile_coords():
+        v_in = solution.voltage_at(coord)
+        i_load = float(solution.currents[coord])
+        v_out = regulator.regulate(v_in)
+        logic_power += v_out * i_load
+    edge_ldo_eff = logic_power / solution.supply_power_w
+    # The EDGE_LDO scheme spends ~35% of *chiplet* area on decap but adds
+    # zero off-chip components on the wafer, so the chiplet array stays
+    # regular: its wafer-level area overhead is nil.
+    edge_ldo = DeliveryOption(
+        scheme=DeliveryScheme.EDGE_LDO,
+        end_to_end_efficiency=edge_ldo_eff,
+        area_overhead_fraction=0.0,
+        min_delivered_voltage=solution.min_voltage,
+        feasible=True,
+        notes=(
+            "2.5V edge delivery, per-chiplet wide-input LDO; plane loss "
+            f"{solution.plane_loss_w:.0f}W of {solution.supply_power_w:.0f}W supplied"
+        ),
+    )
+
+    # HV edge + buck: plane current falls by V_hv/V_edge, plane loss by the
+    # square; converter loss applies to all delivered power.
+    current_ratio = cfg.edge_supply_voltage / params.HV_DELIVERY_VOLTAGE
+    hv_plane_loss = solution.plane_loss_w * current_ratio**2
+    hv_supply_power = solution.load_power_w + hv_plane_loss
+    hv_eff = (solution.load_power_w * BUCK_CONVERTER_EFFICIENCY) / hv_supply_power
+    hv_buck = DeliveryOption(
+        scheme=DeliveryScheme.HV_EDGE_BUCK,
+        end_to_end_efficiency=hv_eff,
+        area_overhead_fraction=params.BUCK_AREA_OVERHEAD_FRACTION,
+        min_delivered_voltage=cfg.nominal_vdd,
+        feasible=True,
+        notes=(
+            "12V edge delivery with on-wafer buck/switched-cap conversion; "
+            "25-30% wafer area lost to off-chip L/C, disrupts chiplet array"
+        ),
+    )
+
+    twv = DeliveryOption(
+        scheme=DeliveryScheme.TWV_BACKSIDE,
+        end_to_end_efficiency=TWV_DELIVERY_EFFICIENCY,
+        area_overhead_fraction=0.0,
+        min_delivered_voltage=cfg.nominal_vdd,
+        feasible=False,
+        notes="700um through-wafer vias: not production-ready for Si-IF",
+    )
+
+    return {
+        DeliveryScheme.EDGE_LDO: edge_ldo,
+        DeliveryScheme.HV_EDGE_BUCK: hv_buck,
+        DeliveryScheme.TWV_BACKSIDE: twv,
+    }
+
+
+def chosen_scheme(options: dict[DeliveryScheme, DeliveryOption]) -> DeliveryScheme:
+    """Re-derive the paper's choice.
+
+    Among feasible options, prefer the one that keeps the chiplet array
+    regular (lowest area overhead) as long as the system stays sub-kW —
+    exactly the argument of Section III.
+    """
+    feasible = {s: o for s, o in options.items() if o.feasible}
+    if not feasible:
+        raise PdnError("no feasible delivery scheme")
+    return min(feasible, key=lambda s: feasible[s].area_overhead_fraction)

@@ -1,0 +1,103 @@
+"""Power-plane electrical extraction (paper Section III).
+
+The Si-IF substrate dedicates its bottom two metal layers to power: one VDD
+plane and one ground-return plane, both built as **dense slotted planes** at
+the technology's maximum thickness of 2um.  Current drawn by a tile flows
+out through the VDD plane and back through the ground plane, so the
+effective sheet resistance seen by the IR-droop calculation is the *sum* of
+the two planes' sheet resistances, each degraded by a slotting factor that
+accounts for the slots/cheesing the planes need for via landing and stress
+relief.
+
+The extraction reduces each plane to a 2-D resistor mesh with one node per
+tile: adjacent nodes are joined by a lumped resistance derived from the
+sheet resistance and the tile pitch.  This is the standard first-order PDN
+abstraction and is what the paper's droop estimate (2.5V edge -> ~1.4V
+centre) is based on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import params
+from ..config import SystemConfig
+from ..errors import PdnError
+
+
+@dataclass(frozen=True)
+class PowerPlane:
+    """One metal plane of the power distribution stack."""
+
+    name: str
+    thickness_um: float
+    slot_factor: float = 1.0    # >= 1; area lost to slots raises Rs
+    resistivity_ohm_m: float = params.CU_RESISTIVITY_OHM_M
+
+    def __post_init__(self) -> None:
+        if self.thickness_um <= 0:
+            raise PdnError(f"plane {self.name}: thickness must be positive")
+        if self.slot_factor < 1.0:
+            raise PdnError(f"plane {self.name}: slot_factor must be >= 1")
+
+    @property
+    def sheet_resistance_ohm_sq(self) -> float:
+        """Sheet resistance including slotting degradation."""
+        thickness_m = self.thickness_um * 1e-6
+        return self.resistivity_ohm_m / thickness_m * self.slot_factor
+
+
+@dataclass(frozen=True)
+class PlaneStack:
+    """The power-delivery stack: VDD plane + return plane.
+
+    ``effective_sheet_resistance`` is what the mesh extraction uses: the
+    round-trip (supply + return) sheet resistance.
+    """
+
+    vdd: PowerPlane
+    ret: PowerPlane
+
+    @property
+    def effective_sheet_resistance(self) -> float:
+        """Round-trip sheet resistance (ohm/sq)."""
+        return self.vdd.sheet_resistance_ohm_sq + self.ret.sheet_resistance_ohm_sq
+
+    def mesh_resistances(self, config: SystemConfig) -> tuple[float, float]:
+        """Lumped mesh resistances ``(r_horizontal, r_vertical)``.
+
+        For current flowing horizontally between two adjacent tile nodes the
+        plane segment is ``tile_pitch_x`` long and ``tile_pitch_y`` wide, so
+        its resistance is ``Rs * pitch_x / pitch_y`` (and symmetrically for
+        vertical flow).
+        """
+        rs = self.effective_sheet_resistance
+        px, py = config.tile_pitch_x_mm, config.tile_pitch_y_mm
+        if px <= 0 or py <= 0:
+            raise PdnError("tile pitch must be positive")
+        return (rs * px / py, rs * py / px)
+
+
+# Effective plane degradation factor, calibrated so the full-wafer solve
+# lands on the paper's estimate of ~1.4V at the array centre with 2.5V at
+# the edge under peak draw (Fig. 2).  It lumps everything that raises the
+# planes' effective resistance above an ideal solid 2um copper sheet:
+# slotting/cheesing for via landing and stress relief, the via stacks from
+# the planes up to the chiplet power pillars, and current crowding at the
+# edge connectors.
+DEFAULT_SLOT_FACTOR = 3.15
+
+
+def extract_plane_stack(
+    config: SystemConfig | None = None,
+    slot_factor: float = DEFAULT_SLOT_FACTOR,
+) -> PlaneStack:
+    """Build the default two-plane stack for a configuration."""
+    cfg = config or SystemConfig()
+    vdd = PowerPlane(
+        name="VDD", thickness_um=cfg.metal_thickness_um, slot_factor=slot_factor
+    )
+    ret = PowerPlane(
+        name="GND", thickness_um=cfg.metal_thickness_um, slot_factor=slot_factor
+    )
+    return PlaneStack(vdd=vdd, ret=ret)

@@ -1,0 +1,136 @@
+"""Through-wafer-via backside power delivery (paper Section III, ref [13]).
+
+The delivery option the prototype could not use: 700um-deep vias through
+the full-thickness Si-IF wafer bring power straight to each tile from a
+backside distribution board, eliminating the lateral plane drop.  The
+technology "was still under development" at prototype time; this model
+quantifies what it would buy — in particular for the *higher-power
+waferscale systems* the paper names as ongoing work, where edge delivery
+stops scaling.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .. import params
+from ..config import SystemConfig
+from ..errors import PdnError
+from .solver import PdnSolver
+
+
+@dataclass(frozen=True)
+class TwvTechnology:
+    """Through-wafer-via process parameters (after ref [13])."""
+
+    depth_um: float = 700.0         # full-thickness wafer
+    diameter_um: float = 50.0
+    pitch_um: float = 150.0         # via-array pitch
+    fill_resistivity_ohm_m: float = params.CU_RESISTIVITY_OHM_M
+
+    def __post_init__(self) -> None:
+        if self.depth_um <= 0 or self.diameter_um <= 0:
+            raise PdnError("via geometry must be positive")
+        if self.pitch_um < self.diameter_um:
+            raise PdnError("via pitch must exceed the diameter")
+
+    @property
+    def via_resistance_ohm(self) -> float:
+        """DC resistance of one filled via."""
+        area_m2 = math.pi * (self.diameter_um * 1e-6 / 2.0) ** 2
+        return self.fill_resistivity_ohm_m * (self.depth_um * 1e-6) / area_m2
+
+    def vias_per_tile(self, config: SystemConfig, area_fraction: float = 0.05) -> int:
+        """Vias placeable under one tile, spending ``area_fraction`` of it."""
+        if not 0 < area_fraction <= 1:
+            raise PdnError("area fraction must be in (0, 1]")
+        tile_area_um2 = (
+            config.tile_pitch_x_mm * config.tile_pitch_y_mm * 1e6
+        )
+        via_cell_um2 = self.pitch_um**2
+        return max(1, int(tile_area_um2 * area_fraction / via_cell_um2))
+
+
+@dataclass(frozen=True)
+class TwvDeliveryResult:
+    """Per-tile delivery quality under TWV power."""
+
+    config: SystemConfig
+    supply_voltage: float
+    tile_droop_v: float
+    delivered_voltage: float
+    vias_per_tile: int
+    via_array_resistance_ohm: float
+
+    @property
+    def droop_uniform(self) -> bool:
+        """TWV droop is position-independent (no lateral plane path)."""
+        return True
+
+
+def solve_twv_delivery(
+    config: SystemConfig | None = None,
+    technology: TwvTechnology | None = None,
+    supply_voltage: float = 1.5,
+    tile_power_w: float | None = None,
+    via_area_fraction: float = 0.05,
+) -> TwvDeliveryResult:
+    """Delivered voltage per tile under backside TWV power.
+
+    Every tile sees only its own via-array drop (vias in parallel):
+    ``V = V_supply - I_tile * R_via / N_vias``.  The supply can therefore
+    sit just above the LDO input floor (1.5V here, 100mV of headroom)
+    instead of 2.5V, removing most of the linear-regulator loss as well.
+    """
+    cfg = config or SystemConfig()
+    tech = technology or TwvTechnology()
+    power = tile_power_w if tile_power_w is not None else cfg.tile_peak_power_w
+    if power < 0:
+        raise PdnError("tile power must be non-negative")
+    tile_current = power / cfg.ff_corner_voltage
+    n_vias = tech.vias_per_tile(cfg, via_area_fraction)
+    # Half the vias carry supply, half return; the round trip sees both.
+    per_rail = max(n_vias // 2, 1)
+    array_r = 2.0 * tech.via_resistance_ohm / per_rail
+    droop = tile_current * array_r
+    return TwvDeliveryResult(
+        config=cfg,
+        supply_voltage=supply_voltage,
+        tile_droop_v=droop,
+        delivered_voltage=supply_voltage - droop,
+        vias_per_tile=n_vias,
+        via_array_resistance_ohm=array_r,
+    )
+
+
+def max_tile_power_w(
+    config: SystemConfig | None = None,
+    scheme: str = "edge",
+    min_delivered_v: float = params.LDO_INPUT_MIN,
+) -> float:
+    """Largest per-tile power keeping worst-case delivery above the floor.
+
+    The "higher-power waferscale systems" question: edge delivery hits the
+    LDO's 1.4V input floor at the array centre; TWV delivery only sees the
+    local via drop and scales far further.  Binary-search on tile power.
+    """
+    cfg = config or SystemConfig()
+    if scheme not in ("edge", "twv"):
+        raise PdnError(f"unknown scheme {scheme!r}")
+
+    def delivered_min(power_w: float) -> float:
+        if scheme == "edge":
+            return PdnSolver(cfg).solve(tile_power_w=power_w).min_voltage
+        return solve_twv_delivery(cfg, tile_power_w=power_w).delivered_voltage
+
+    lo, hi = 0.0, 10.0
+    if delivered_min(hi) >= min_delivered_v:
+        return hi
+    for _ in range(40):
+        mid = (lo + hi) / 2.0
+        if delivered_min(mid) >= min_delivered_v:
+            lo = mid
+        else:
+            hi = mid
+    return lo

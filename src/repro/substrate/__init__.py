@@ -1,0 +1,43 @@
+"""Si-IF waferscale substrate design kit (paper Section VIII)."""
+
+from .connectors import ConnectorPlan, ConnectorTechnology, plan_connectors
+from .degraded import DegradedModeReport, degraded_mode_report
+from .drc import DrcReport, run_drc
+from .export import export_to_file, import_from_file, read_layout, write_layout
+from .fanout import EdgeFanout, plan_edge_fanout
+from .layout import LayoutDatabase, Rect, build_layout_database, geometric_drc
+from .netlist import InterChipletNet, NetClass, extract_netlist
+from .router import RoutedWire, RoutingResult, SubstrateRouter
+from .stack import LayerStack, MetalLayer, default_stack
+from .stitching import stitch_geometry, wire_geometry_for_net
+
+__all__ = [
+    "ConnectorPlan",
+    "ConnectorTechnology",
+    "plan_connectors",
+    "DegradedModeReport",
+    "degraded_mode_report",
+    "DrcReport",
+    "run_drc",
+    "export_to_file",
+    "import_from_file",
+    "read_layout",
+    "write_layout",
+    "LayoutDatabase",
+    "Rect",
+    "build_layout_database",
+    "geometric_drc",
+    "EdgeFanout",
+    "plan_edge_fanout",
+    "InterChipletNet",
+    "NetClass",
+    "extract_netlist",
+    "RoutedWire",
+    "RoutingResult",
+    "SubstrateRouter",
+    "LayerStack",
+    "MetalLayer",
+    "default_stack",
+    "stitch_geometry",
+    "wire_geometry_for_net",
+]

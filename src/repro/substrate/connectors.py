@@ -1,0 +1,110 @@
+"""Wafer-edge connector planning (paper Sections II and VIII).
+
+"We would connect the entire waferscale system to the power supply and
+external controllers using edge connectors."  Those connectors must carry
+
+* ~290A of supply current (plus the same return current) — the paper's
+  Section III delivery numbers;
+* the external control signals: 32 JTAG row-chain interfaces, the master
+  clock, resets and housekeeping (the fan-out of Section VIII);
+* mechanically fit along the four edges of the wafer.
+
+This module budgets connector pins per edge against those demands and
+checks feasibility, completing the substrate kit's path off the wafer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import SystemConfig
+from ..errors import SubstrateError
+from ..pdn.solver import PdnSolver
+
+
+@dataclass(frozen=True)
+class ConnectorTechnology:
+    """One edge-connector family."""
+
+    name: str = "high-current-edge"
+    pin_pitch_mm: float = 0.6
+    amps_per_power_pin: float = 3.0
+    rows: int = 2                   # stacked pin rows per connector
+    body_overhead_mm: float = 8.0   # per-edge mechanical keep-out
+
+    def __post_init__(self) -> None:
+        if self.pin_pitch_mm <= 0 or self.amps_per_power_pin <= 0:
+            raise SubstrateError("connector parameters must be positive")
+        if self.rows < 1:
+            raise SubstrateError("connector needs at least one pin row")
+
+    def pins_per_edge(self, edge_mm: float) -> int:
+        """Pins available along one wafer edge."""
+        usable = edge_mm - self.body_overhead_mm
+        if usable <= 0:
+            raise SubstrateError("edge too short for any connector")
+        return int(usable / self.pin_pitch_mm) * self.rows
+
+
+@dataclass(frozen=True)
+class ConnectorPlan:
+    """Pin budget for the whole wafer edge."""
+
+    config: SystemConfig
+    technology: ConnectorTechnology
+    power_pins: int             # supply pins (same count again for return)
+    signal_pins: int
+    pins_available: int
+
+    @property
+    def pins_required(self) -> int:
+        """Supply + return + signals + 10% spare."""
+        return int((2 * self.power_pins + self.signal_pins) * 1.1)
+
+    @property
+    def feasible(self) -> bool:
+        """Do the demands fit the edge?"""
+        return self.pins_required <= self.pins_available
+
+    @property
+    def utilization(self) -> float:
+        """Required / available."""
+        return self.pins_required / self.pins_available
+
+
+def plan_connectors(
+    config: SystemConfig | None = None,
+    technology: ConnectorTechnology | None = None,
+) -> ConnectorPlan:
+    """Budget the wafer-edge connectors for a configuration.
+
+    Power pins come from the solved total supply current at the chosen
+    amps/pin; signal pins from the JTAG row chains (6 signals each at
+    both chain ends), master clock/reset, and per-edge housekeeping.
+    """
+    cfg = config or SystemConfig()
+    tech = technology or ConnectorTechnology()
+
+    solution = PdnSolver(cfg).solve()
+    power_pins = int(solution.total_current_a / tech.amps_per_power_pin) + 1
+
+    jtag_signals = cfg.rows * 2 * 6     # both ends of every row chain
+    housekeeping = 4 * 8                # clock, reset, sense per edge
+    signal_pins = jtag_signals + housekeeping
+
+    perimeter_pins = sum(
+        tech.pins_per_edge(edge)
+        for edge in (
+            cfg.array_width_mm,
+            cfg.array_width_mm,
+            cfg.array_height_mm,
+            cfg.array_height_mm,
+        )
+    )
+    return ConnectorPlan(
+        config=cfg,
+        technology=tech,
+        power_pins=power_pins,
+        signal_pins=signal_pins,
+        pins_available=perimeter_pins,
+    )

@@ -1,0 +1,122 @@
+"""Text export/import of the substrate layout (a DEF-flavoured format).
+
+The authors' custom router existed because commercial tools could not
+hold the wafer; its output still has to reach the mask shop.  This module
+writes the layout database to a simple line-oriented interchange format
+(in the spirit of DEF: header, one record per shape) and reads it back,
+with a round-trip guarantee tested in the suite.
+
+Format::
+
+    WAFERSCALE-LAYOUT 1
+    UNITS MM
+    DIEAREA <x0> <y0> <x1> <y1>
+    RECT <layer> <purpose> <net> <x0> <y0> <x1> <y1>
+    ...
+    END
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+
+from ..errors import SubstrateError
+from .layout import LayoutDatabase, Rect
+
+FORMAT_HEADER = "WAFERSCALE-LAYOUT 1"
+
+
+@dataclass(frozen=True)
+class LayoutSummary:
+    """Parse/emit statistics."""
+
+    rect_count: int
+    layers: tuple[str, ...]
+    die_area: tuple[float, float, float, float]
+
+
+def write_layout(db: LayoutDatabase, stream: io.TextIOBase) -> LayoutSummary:
+    """Serialise a layout database to a text stream."""
+    rects = db.rects
+    if not rects:
+        raise SubstrateError("refusing to export an empty layout")
+    x0 = min(r.x0 for r in rects)
+    y0 = min(r.y0 for r in rects)
+    x1 = max(r.x1 for r in rects)
+    y1 = max(r.y1 for r in rects)
+
+    stream.write(FORMAT_HEADER + "\n")
+    stream.write("UNITS MM\n")
+    stream.write(f"DIEAREA {x0:.6f} {y0:.6f} {x1:.6f} {y1:.6f}\n")
+    for rect in rects:
+        net = rect.net if rect.net else "-"
+        if any(ch.isspace() for ch in net):
+            raise SubstrateError(
+                f"net name {net!r} contains whitespace; not representable"
+            )
+        stream.write(
+            f"RECT {rect.layer} {rect.purpose} {net} "
+            f"{rect.x0:.6f} {rect.y0:.6f} {rect.x1:.6f} {rect.y1:.6f}\n"
+        )
+    stream.write("END\n")
+    return LayoutSummary(
+        rect_count=len(rects),
+        layers=tuple(db.layers()),
+        die_area=(x0, y0, x1, y1),
+    )
+
+
+def read_layout(stream: io.TextIOBase) -> LayoutDatabase:
+    """Parse a layout stream back into a database."""
+    header = stream.readline().strip()
+    if header != FORMAT_HEADER:
+        raise SubstrateError(f"bad header {header!r}")
+    units = stream.readline().strip()
+    if units != "UNITS MM":
+        raise SubstrateError(f"unsupported units line {units!r}")
+    die = stream.readline().strip()
+    if not die.startswith("DIEAREA "):
+        raise SubstrateError("missing DIEAREA")
+
+    db = LayoutDatabase()
+    ended = False
+    for line_no, raw in enumerate(stream, start=4):
+        line = raw.strip()
+        if not line:
+            continue
+        if line == "END":
+            ended = True
+            break
+        parts = line.split()
+        if parts[0] != "RECT" or len(parts) != 8:
+            raise SubstrateError(f"line {line_no}: malformed record {line!r}")
+        _, layer, purpose, net, x0, y0, x1, y1 = parts
+        try:
+            rect = Rect(
+                layer=layer,
+                purpose=purpose,
+                net="" if net == "-" else net,
+                x0=float(x0),
+                y0=float(y0),
+                x1=float(x1),
+                y1=float(y1),
+            )
+        except ValueError:
+            raise SubstrateError(f"line {line_no}: bad coordinates") from None
+        db.add(rect)
+    if not ended:
+        raise SubstrateError("truncated layout stream (no END)")
+    return db
+
+
+def export_to_file(db: LayoutDatabase, path: str) -> LayoutSummary:
+    """Write a layout database to a file path."""
+    with open(path, "w", encoding="utf-8") as stream:
+        return write_layout(db, stream)
+
+
+def import_from_file(path: str) -> LayoutDatabase:
+    """Read a layout database from a file path."""
+    with open(path, "r", encoding="utf-8") as stream:
+        return read_layout(stream)

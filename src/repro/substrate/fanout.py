@@ -1,0 +1,112 @@
+"""Edge fan-out wiring to the wafer-edge connectors (paper Section VIII).
+
+Boundary tiles' external signals (JTAG chain heads/tails, master clock,
+reset, status) must reach connector pads at the wafer edge.  The fan-out
+wiring and the connector pads are printed into the *edge reticles*, whose
+chiplet slots stay unpopulated; pads that would collide with bonded
+chiplets elsewhere are removed by a custom block-etch step.
+
+The check that matters: the escape wires from each boundary tile must fit
+the edge wire density (400 wires/mm with two signal layers — Section II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import params
+from ..config import Coord, SystemConfig
+from ..errors import SubstrateError
+from .stack import LayerStack, default_stack
+
+
+@dataclass(frozen=True)
+class EdgeSignalBundle:
+    """External signals of one boundary tile."""
+
+    tile: Coord
+    jtag_signals: int
+    clock_signals: int
+    power_sense: int
+    misc: int
+
+    @property
+    def total(self) -> int:
+        """Wires this tile sends to the wafer edge."""
+        return self.jtag_signals + self.clock_signals + self.power_sense + self.misc
+
+
+@dataclass(frozen=True)
+class EdgeFanout:
+    """The complete edge fan-out plan."""
+
+    config: SystemConfig
+    bundles: tuple[EdgeSignalBundle, ...]
+    stack: LayerStack
+
+    @property
+    def total_edge_wires(self) -> int:
+        """All wires reaching the wafer-edge connectors."""
+        return sum(b.total for b in self.bundles)
+
+    def wires_per_side(self) -> dict[str, int]:
+        """Edge wires grouped by the array side they exit."""
+        sides = {"north": 0, "south": 0, "west": 0, "east": 0}
+        for bundle in self.bundles:
+            r, c = bundle.tile
+            if r == 0:
+                sides["north"] += bundle.total
+            elif r == self.config.rows - 1:
+                sides["south"] += bundle.total
+            elif c == 0:
+                sides["west"] += bundle.total
+            else:
+                sides["east"] += bundle.total
+        return sides
+
+    def density_ok(self) -> bool:
+        """Does each side's escape fit the edge wire density?"""
+        density = self.stack.edge_wire_density_per_mm()
+        for side, wires in self.wires_per_side().items():
+            side_mm = (
+                self.config.array_width_mm
+                if side in ("north", "south")
+                else self.config.array_height_mm
+            )
+            if wires > density * side_mm:
+                return False
+        return True
+
+
+def plan_edge_fanout(
+    config: SystemConfig | None = None,
+    stack: LayerStack | None = None,
+) -> EdgeFanout:
+    """Build the edge fan-out plan.
+
+    JTAG chains run along rows (Section VII), so each row's chain head
+    (west edge) and tail (east edge) carries TDI/TDO/TMS/TCK plus the
+    loop-back signals; north/south boundary tiles contribute clock and
+    housekeeping signals.
+    """
+    cfg = config or SystemConfig()
+    layer_stack = stack or default_stack(cfg.signal_layers)
+    bundles: list[EdgeSignalBundle] = []
+    for coord in cfg.tile_coords():
+        if not cfg.is_edge_tile(coord):
+            continue
+        r, c = coord
+        is_chain_end = c in (0, cfg.cols - 1)
+        bundles.append(
+            EdgeSignalBundle(
+                tile=coord,
+                jtag_signals=6 if is_chain_end else 0,  # TDI/TDO/TMS/TCK + loop pair
+                clock_signals=2,                        # master clock + enable
+                power_sense=2,
+                misc=2,
+            )
+        )
+    fanout = EdgeFanout(config=cfg, bundles=tuple(bundles), stack=layer_stack)
+    if not fanout.density_ok():
+        raise SubstrateError("edge fan-out exceeds wire density")
+    return fanout

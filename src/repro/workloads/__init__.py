@@ -1,0 +1,25 @@
+"""Graph workloads and traffic generators (paper Section II validation)."""
+
+from .bfs import BfsResult, DistributedBfs
+from .graphs import GraphPartition, grid_graph, random_graph, rmat_graph
+from .pagerank import DistributedPageRank, PageRankResult
+from .sssp import DistributedSssp, SsspResult
+from .stencil import DistributedStencil, StencilResult
+from .traffic import TrafficPattern, generate_traffic
+
+__all__ = [
+    "BfsResult",
+    "DistributedBfs",
+    "GraphPartition",
+    "grid_graph",
+    "random_graph",
+    "rmat_graph",
+    "DistributedPageRank",
+    "PageRankResult",
+    "DistributedStencil",
+    "StencilResult",
+    "DistributedSssp",
+    "SsspResult",
+    "TrafficPattern",
+    "generate_traffic",
+]

@@ -1,0 +1,140 @@
+"""Synthetic graph generation and tile partitioning.
+
+The paper's motivating workloads are irregular graph applications; its
+FPGA validation ran BFS and SSSP.  These generators produce the inputs and
+the partitioner spreads vertices over the healthy tiles of a system (the
+owner-computes distribution the distributed kernels assume).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from ..config import Coord
+from ..errors import WorkloadError
+
+
+def random_graph(
+    nodes: int, mean_degree: float = 4.0, seed: int = 0, weighted: bool = False
+) -> nx.Graph:
+    """Erdos-Renyi-style random graph, guaranteed connected.
+
+    Connectivity is enforced by chaining components with extra edges, so
+    BFS/SSSP results are well-defined from any source.
+    """
+    if nodes < 1:
+        raise WorkloadError("graph needs at least one node")
+    if mean_degree <= 0:
+        raise WorkloadError("mean degree must be positive")
+    p = min(mean_degree / max(nodes - 1, 1), 1.0)
+    graph = nx.gnp_random_graph(nodes, p, seed=seed)
+    components = [sorted(c) for c in nx.connected_components(graph)]
+    rng = np.random.default_rng(seed)
+    for a, b in zip(components, components[1:]):
+        graph.add_edge(int(rng.choice(a)), int(rng.choice(b)))
+    if weighted:
+        for u, v in graph.edges:
+            graph[u][v]["weight"] = int(rng.integers(1, 16))
+    return graph
+
+
+def grid_graph(side: int, weighted: bool = False, seed: int = 0) -> nx.Graph:
+    """2-D grid graph (the stencil-adjacent case), relabelled to ints."""
+    if side < 1:
+        raise WorkloadError("grid side must be positive")
+    graph = nx.convert_node_labels_to_integers(nx.grid_2d_graph(side, side))
+    if weighted:
+        rng = np.random.default_rng(seed)
+        for u, v in graph.edges:
+            graph[u][v]["weight"] = int(rng.integers(1, 16))
+    return graph
+
+
+def rmat_graph(
+    scale: int, edge_factor: int = 8, seed: int = 0, weighted: bool = False
+) -> nx.Graph:
+    """RMAT-style power-law graph (a = 0.57, b = c = 0.19), connected.
+
+    The recursive-matrix generator behind Graph500 — the degree-skewed
+    shape typical of the paper's motivating "graph processing" workloads.
+    """
+    if scale < 1 or scale > 20:
+        raise WorkloadError("scale must be in 1..20")
+    nodes = 1 << scale
+    edges = nodes * edge_factor
+    rng = np.random.default_rng(seed)
+    a, b, c = 0.57, 0.19, 0.19
+
+    src = np.zeros(edges, dtype=np.int64)
+    dst = np.zeros(edges, dtype=np.int64)
+    for level in range(scale):
+        r = rng.random(edges)
+        # Quadrant probabilities: a | b / c | d.
+        go_right = (r >= a + c) | ((r >= a) & (r < a + b))
+        go_down = (r >= a + b)
+        src |= (go_down.astype(np.int64) << level)
+        dst |= (go_right.astype(np.int64) << level)
+
+    graph = nx.Graph()
+    graph.add_nodes_from(range(nodes))
+    for u, v in zip(src.tolist(), dst.tolist()):
+        if u != v:
+            graph.add_edge(u, v)
+    components = [sorted(comp) for comp in nx.connected_components(graph)]
+    for x, y in zip(components, components[1:]):
+        graph.add_edge(int(rng.choice(x)), int(rng.choice(y)))
+    if weighted:
+        for u, v in graph.edges:
+            graph[u][v]["weight"] = int(rng.integers(1, 16))
+    return graph
+
+
+@dataclass(frozen=True)
+class GraphPartition:
+    """Assignment of graph vertices to tiles (owner-computes)."""
+
+    owner: dict[int, Coord]
+    tiles: tuple[Coord, ...]
+
+    def vertices_of(self, tile: Coord) -> list[int]:
+        """Vertices owned by one tile."""
+        return [v for v, t in self.owner.items() if t == tile]
+
+    def owner_of(self, vertex: int) -> Coord:
+        """The tile owning a vertex."""
+        try:
+            return self.owner[vertex]
+        except KeyError:
+            raise WorkloadError(f"vertex {vertex} not partitioned") from None
+
+    @property
+    def balance(self) -> float:
+        """min/max vertices per tile (1.0 = perfectly balanced)."""
+        counts = [len(self.vertices_of(t)) for t in self.tiles]
+        if not counts or max(counts) == 0:
+            return 1.0
+        return min(counts) / max(counts)
+
+
+def partition_graph(graph: nx.Graph, tiles: list[Coord]) -> GraphPartition:
+    """Block-partition vertices across tiles (contiguous ranges).
+
+    Contiguous ranges keep neighbouring vertices co-located for grid-like
+    graphs and are what a real owner-computes kernel would use for the
+    paper's unified address space (vertex arrays live in shared banks).
+    """
+    if not tiles:
+        raise WorkloadError("no tiles to partition over")
+    nodes = sorted(graph.nodes)
+    owner: dict[int, Coord] = {}
+    base, remainder = divmod(len(nodes), len(tiles))
+    cursor = 0
+    for i, tile in enumerate(tiles):
+        take = base + (1 if i < remainder else 0)
+        for vertex in nodes[cursor : cursor + take]:
+            owner[vertex] = tile
+        cursor += take
+    return GraphPartition(owner=owner, tiles=tuple(tiles))

@@ -1,0 +1,100 @@
+"""Synthetic NoC traffic patterns for the cycle-level simulator.
+
+Standard interconnect evaluation patterns, used by the network benchmarks
+to measure latency/throughput of the dual-DoR mesh under load.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from ..config import Coord, SystemConfig
+from ..errors import WorkloadError
+from ..noc.packets import Packet, PacketKind
+
+
+class TrafficPattern(enum.Enum):
+    """Classic synthetic traffic patterns."""
+
+    UNIFORM = "uniform"         # random destination
+    TRANSPOSE = "transpose"     # (r, c) -> (c, r)
+    BIT_REVERSAL = "bit_reversal"
+    NEIGHBOR = "neighbor"       # east neighbour (wraps)
+    HOTSPOT = "hotspot"         # all traffic to one tile
+
+
+def _transpose(src: Coord, config: SystemConfig) -> Coord:
+    r, c = src
+    return (c % config.rows, r % config.cols)
+
+
+def _bit_reverse(value: int, bits: int) -> int:
+    out = 0
+    for _ in range(bits):
+        out = (out << 1) | (value & 1)
+        value >>= 1
+    return out
+
+
+def destination_for(
+    src: Coord,
+    pattern: TrafficPattern,
+    config: SystemConfig,
+    rng: np.random.Generator,
+    hotspot: Coord | None = None,
+) -> Coord:
+    """The destination a source sends to under a pattern."""
+    if pattern is TrafficPattern.UNIFORM:
+        flat = int(rng.integers(config.tiles))
+        return (flat // config.cols, flat % config.cols)
+    if pattern is TrafficPattern.TRANSPOSE:
+        return _transpose(src, config)
+    if pattern is TrafficPattern.BIT_REVERSAL:
+        bits = max((config.tiles - 1).bit_length(), 1)
+        flat = src[0] * config.cols + src[1]
+        rev = _bit_reverse(flat, bits) % config.tiles
+        return (rev // config.cols, rev % config.cols)
+    if pattern is TrafficPattern.NEIGHBOR:
+        return (src[0], (src[1] + 1) % config.cols)
+    if pattern is TrafficPattern.HOTSPOT:
+        return hotspot if hotspot is not None else (config.rows // 2, config.cols // 2)
+    raise WorkloadError(f"unknown pattern {pattern}")
+
+
+def generate_traffic(
+    config: SystemConfig,
+    pattern: TrafficPattern,
+    injection_rate: float,
+    cycles: int,
+    seed: int = 0,
+    hotspot: Coord | None = None,
+) -> list[tuple[int, Packet]]:
+    """Generate ``(inject_cycle, packet)`` pairs for a simulation run.
+
+    ``injection_rate`` is packets per tile per cycle (0..1); each tile
+    Bernoulli-injects a request to its pattern destination.
+    """
+    if not 0.0 <= injection_rate <= 1.0:
+        raise WorkloadError("injection rate must be in [0, 1]")
+    if cycles < 0:
+        raise WorkloadError("cycles must be non-negative")
+    rng = np.random.default_rng(seed)
+    out: list[tuple[int, Packet]] = []
+    coords = list(config.tile_coords())
+    for cycle in range(cycles):
+        draws = rng.random(len(coords))
+        for coord, draw in zip(coords, draws):
+            if draw >= injection_rate:
+                continue
+            dst = destination_for(coord, pattern, config, rng, hotspot)
+            if dst == coord:
+                continue
+            out.append(
+                (
+                    cycle,
+                    Packet(kind=PacketKind.REQUEST, src=coord, dst=dst),
+                )
+            )
+    return out

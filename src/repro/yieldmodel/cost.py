@@ -1,0 +1,176 @@
+"""Cost modelling: chiplet assembly vs monolithic waferscale economics.
+
+The abstract's claim: chiplet-based waferscale integration "can provide
+significant performance and cost benefits."  This model makes the cost
+side checkable.  Cost per *good* system combines:
+
+* chiplet silicon: dies per wafer x wafer cost, divided by KGD output
+  (pre-bond test cost included per die);
+* the Si-IF substrate wafer (a coarse-pitch passive process);
+* assembly: per-chiplet placement/bonding plus amortised line time;
+* yield: only a fraction of assembled wafers meet the fault budget.
+
+The monolithic comparison charges a leading-edge wafer for every attempt
+and survives only via heavy redundancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import SystemConfig
+from ..errors import ConfigError
+from ..geometry.chiplet import compute_chiplet, memory_chiplet
+from ..io.bonding import chiplet_bond_yield
+from .chiplet_yield import DefectModel, die_yield, known_good_die_rate
+from .system_yield import _at_most_k_bad
+
+WAFER_AREA_MM2 = 70_000.0           # ~300mm wafer usable area
+
+
+@dataclass(frozen=True)
+class CostInputs:
+    """Economic assumptions (defaults are ballpark 40nm-era numbers)."""
+
+    logic_wafer_cost: float = 3_000.0       # processed 40nm wafer
+    siif_wafer_cost: float = 500.0          # passive 4-layer interconnect wafer
+    per_die_test_cost: float = 0.05         # pre-bond probe test per die
+    per_chiplet_assembly_cost: float = 0.02 # pick/place/bond per chiplet
+    tolerated_faulty_tiles: int = 16
+
+    def __post_init__(self) -> None:
+        if min(
+            self.logic_wafer_cost,
+            self.siif_wafer_cost,
+            self.per_die_test_cost,
+            self.per_chiplet_assembly_cost,
+        ) < 0:
+            raise ConfigError("costs must be non-negative")
+        if self.tolerated_faulty_tiles < 0:
+            raise ConfigError("tolerated_faulty_tiles must be non-negative")
+
+
+@dataclass(frozen=True)
+class SystemCost:
+    """Cost per good system under one approach."""
+
+    approach: str
+    silicon_cost: float
+    substrate_cost: float
+    test_cost: float
+    assembly_cost: float
+    assembled_yield: float
+
+    @property
+    def cost_per_attempt(self) -> float:
+        """All-in cost of building one wafer system."""
+        return (
+            self.silicon_cost
+            + self.substrate_cost
+            + self.test_cost
+            + self.assembly_cost
+        )
+
+    @property
+    def cost_per_good_system(self) -> float:
+        """Expected cost per system meeting the fault budget."""
+        if self.assembled_yield <= 0:
+            return float("inf")
+        return self.cost_per_attempt / self.assembled_yield
+
+
+def chiplet_system_cost(
+    config: SystemConfig | None = None,
+    inputs: CostInputs | None = None,
+    defects: DefectModel | None = None,
+    test_coverage: float = 0.99,
+) -> SystemCost:
+    """Cost per good chiplet-assembled waferscale system."""
+    cfg = config or SystemConfig()
+    econ = inputs or CostInputs()
+    model = defects or DefectModel()
+
+    compute = compute_chiplet(cfg)
+    memory = memory_chiplet(cfg)
+
+    def per_kgd_cost(area_mm2: float) -> float:
+        dies_per_wafer = int(WAFER_AREA_MM2 / area_mm2)
+        if dies_per_wafer < 1:
+            raise ConfigError("chiplet larger than a wafer")
+        per_die = econ.logic_wafer_cost / dies_per_wafer + econ.per_die_test_cost
+        kgd_fraction = die_yield(area_mm2, model)   # dies passing pre-bond test
+        return per_die / kgd_fraction
+
+    silicon = cfg.tiles * (
+        per_kgd_cost(compute.area_mm2) + per_kgd_cost(memory.area_mm2)
+    )
+    assembly = cfg.chiplets * econ.per_chiplet_assembly_cost
+    test = 0.0      # per-die test folded into per_kgd_cost
+
+    # Assembled-wafer yield: a tile works when both KGDs are truly good
+    # and both bond.
+    kgd_c = known_good_die_rate(compute.area_mm2, test_coverage, model)
+    kgd_m = known_good_die_rate(memory.area_mm2, test_coverage, model)
+    bond_c = chiplet_bond_yield(
+        cfg.ios_per_compute_chiplet, cfg.pillar_bond_yield, cfg.pillars_per_pad
+    )
+    bond_m = chiplet_bond_yield(
+        cfg.ios_per_memory_chiplet, cfg.pillar_bond_yield, cfg.pillars_per_pad
+    )
+    p_tile = kgd_c * bond_c * kgd_m * bond_m
+    assembled_yield = _at_most_k_bad(cfg.tiles, p_tile, econ.tolerated_faulty_tiles)
+
+    return SystemCost(
+        approach="chiplet-assembly",
+        silicon_cost=silicon,
+        substrate_cost=econ.siif_wafer_cost,
+        test_cost=test,
+        assembly_cost=assembly,
+        assembled_yield=assembled_yield,
+    )
+
+
+def monolithic_system_cost(
+    config: SystemConfig | None = None,
+    inputs: CostInputs | None = None,
+    defects: DefectModel | None = None,
+) -> SystemCost:
+    """Cost per good monolithic waferscale system (with redundancy)."""
+    cfg = config or SystemConfig()
+    econ = inputs or CostInputs()
+    model = defects or DefectModel()
+
+    tile_area = compute_chiplet(cfg).area_mm2 + memory_chiplet(cfg).area_mm2
+    p_tile = die_yield(tile_area, model)
+    assembled_yield = _at_most_k_bad(
+        cfg.tiles, p_tile, econ.tolerated_faulty_tiles
+    )
+    return SystemCost(
+        approach="monolithic",
+        silicon_cost=econ.logic_wafer_cost,     # one whole wafer per attempt
+        substrate_cost=0.0,
+        test_cost=0.0,
+        assembly_cost=0.0,
+        assembled_yield=assembled_yield,
+    )
+
+
+def cost_comparison(
+    config: SystemConfig | None = None,
+    inputs: CostInputs | None = None,
+) -> dict[str, float]:
+    """Cost-per-good-system comparison, the abstract's cost claim."""
+    chiplet = chiplet_system_cost(config, inputs)
+    monolithic = monolithic_system_cost(config, inputs)
+    ratio = (
+        monolithic.cost_per_good_system / chiplet.cost_per_good_system
+        if chiplet.cost_per_good_system not in (0.0, float("inf"))
+        else float("inf")
+    )
+    return {
+        "chiplet_cost_per_good": chiplet.cost_per_good_system,
+        "monolithic_cost_per_good": monolithic.cost_per_good_system,
+        "chiplet_yield": chiplet.assembled_yield,
+        "monolithic_yield": monolithic.assembled_yield,
+        "monolithic_over_chiplet": ratio,
+    }

@@ -1,0 +1,95 @@
+"""Monolithic vs chiplet-assembly waferscale yield (paper Section I).
+
+The paper's motivation: a monolithic waferscale chip must reserve
+redundant cores and links because *something* on 15,000mm^2 will be
+defective, while a chiplet assembly starts from pre-tested known-good
+dies and only risks bonding failures — which dual pillars drive to ~1
+faulty chiplet per wafer, and which the dual network then tolerates.
+
+This module quantifies both sides so the argument can be reproduced as a
+bench (an ablation over defect density and redundancy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from math import comb
+
+from ..config import SystemConfig
+from ..errors import ConfigError
+from ..geometry.chiplet import compute_chiplet, memory_chiplet
+from ..io.bonding import chiplet_bond_yield
+from .chiplet_yield import DefectModel, die_yield, known_good_die_rate
+
+
+@dataclass(frozen=True)
+class SystemYieldComparison:
+    """Side-by-side yield of the two waferscale approaches."""
+
+    monolithic_zero_redundancy: float   # all tiles must work
+    monolithic_with_redundancy: float   # up to `redundant_tiles` may fail
+    chiplet_assembly: float             # same tolerance, chiplet assembly
+    redundant_tiles: int
+    expected_faulty_chiplets: float
+
+    @property
+    def chiplet_advantage(self) -> float:
+        """Yield ratio of chiplet assembly over redundant monolithic."""
+        if self.monolithic_with_redundancy == 0.0:
+            return float("inf")
+        return self.chiplet_assembly / self.monolithic_with_redundancy
+
+
+def _at_most_k_bad(n: int, p_good: float, k: int) -> float:
+    """P(at most k of n Bernoulli(p_good) units fail)."""
+    p_bad = 1.0 - p_good
+    return sum(
+        comb(n, i) * (p_bad**i) * (p_good ** (n - i)) for i in range(k + 1)
+    )
+
+
+def compare_monolithic_vs_chiplet(
+    config: SystemConfig | None = None,
+    defects: DefectModel | None = None,
+    redundant_tiles: int = 16,
+    test_coverage: float = 0.99,
+) -> SystemYieldComparison:
+    """Compute the comparison for one configuration.
+
+    Monolithic: every tile is a region of one giant die; a tile is good
+    when its silicon is defect-free (the negative-binomial model applied
+    per-tile region).  Chiplet: a tile is good when both its pre-tested
+    chiplets are truly good (KGD) and bond successfully.
+    """
+    cfg = config or SystemConfig()
+    model = defects or DefectModel()
+    if redundant_tiles < 0:
+        raise ConfigError("redundant_tiles must be non-negative")
+
+    tile_area = compute_chiplet(cfg).area_mm2 + memory_chiplet(cfg).area_mm2
+    p_tile_mono = die_yield(tile_area, model)
+
+    kgd_c = known_good_die_rate(
+        compute_chiplet(cfg).area_mm2, test_coverage, model
+    )
+    kgd_m = known_good_die_rate(
+        memory_chiplet(cfg).area_mm2, test_coverage, model
+    )
+    bond_c = chiplet_bond_yield(
+        cfg.ios_per_compute_chiplet, cfg.pillar_bond_yield, cfg.pillars_per_pad
+    )
+    bond_m = chiplet_bond_yield(
+        cfg.ios_per_memory_chiplet, cfg.pillar_bond_yield, cfg.pillars_per_pad
+    )
+    p_tile_chiplet = kgd_c * bond_c * kgd_m * bond_m
+
+    return SystemYieldComparison(
+        monolithic_zero_redundancy=p_tile_mono**cfg.tiles,
+        monolithic_with_redundancy=_at_most_k_bad(
+            cfg.tiles, p_tile_mono, redundant_tiles
+        ),
+        chiplet_assembly=_at_most_k_bad(cfg.tiles, p_tile_chiplet, redundant_tiles),
+        redundant_tiles=redundant_tiles,
+        expected_faulty_chiplets=cfg.tiles * (1.0 - p_tile_chiplet),
+    )

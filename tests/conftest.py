@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.noc.faults import FaultMap
+
+
+@pytest.fixture
+def paper_cfg() -> SystemConfig:
+    """The full 32x32 paper configuration."""
+    return SystemConfig()
+
+
+@pytest.fixture
+def small_cfg() -> SystemConfig:
+    """An 8x8 configuration (Fig. 4 scale) for simulation-heavy tests."""
+    return SystemConfig(rows=8, cols=8)
+
+
+@pytest.fixture
+def tiny_cfg() -> SystemConfig:
+    """A 4x4 configuration for emulator tests."""
+    return SystemConfig(rows=4, cols=4)
+
+
+@pytest.fixture
+def clean_map(small_cfg) -> FaultMap:
+    """An 8x8 fault map with no faults."""
+    return FaultMap(small_cfg)

@@ -1,0 +1,139 @@
+"""Tests for repro.config."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import params
+from repro.config import SystemConfig, paper_config, reduced_config
+from repro.errors import ConfigError
+
+
+class TestDefaults:
+    def test_paper_scale(self):
+        cfg = paper_config()
+        assert cfg.tiles == 1024
+        assert cfg.chiplets == 2048
+        assert cfg.cores == 14336
+
+    def test_shared_memory_is_512mb(self):
+        assert paper_config().shared_memory_bytes == 512 * 1024 * 1024
+
+    def test_tile_shared_memory_is_512kb(self):
+        assert paper_config().tile_shared_memory_bytes == 512 * 1024
+
+    def test_total_memory_includes_private(self):
+        cfg = paper_config()
+        per_tile = 5 * 128 * 1024 + 14 * 64 * 1024
+        assert cfg.total_memory_bytes == 1024 * per_tile
+
+    def test_edge_current_near_290a(self):
+        assert paper_config().total_edge_current_a == pytest.approx(290, rel=0.05)
+
+    def test_peak_power_near_725w(self):
+        assert paper_config().total_peak_power_w == pytest.approx(725, rel=0.05)
+
+    def test_tile_pitch(self):
+        cfg = paper_config()
+        assert cfg.tile_pitch_x_mm == pytest.approx(3.25)
+        assert cfg.tile_pitch_y_mm == pytest.approx(3.7)
+
+    def test_array_area_order_of_magnitude(self):
+        # The populated array is ~12,300mm2; with the edge ring it reaches
+        # Table I's 15,100mm2 (checked in flow tests).
+        assert 11_000 < paper_config().array_area_mm2 < 13_000
+
+
+class TestValidation:
+    def test_rejects_zero_rows(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(rows=0)
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(cores_per_tile=0)
+
+    def test_rejects_bad_pillar_yield(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(pillar_bond_yield=0.0)
+        with pytest.raises(ConfigError):
+            SystemConfig(pillar_bond_yield=1.5)
+
+    def test_rejects_zero_pillars(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(pillars_per_pad=0)
+
+    def test_rejects_shared_banks_exceeding_total(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(shared_banks_per_tile=6, memory_banks_per_tile=5)
+
+    def test_rejects_low_edge_supply(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(edge_supply_voltage=1.0)
+
+    def test_rejects_three_signal_layers(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(signal_layers=3)
+
+    def test_rejects_packet_wider_than_link(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(packet_width_bits=500, link_width_bits=400)
+
+
+class TestCoordinates:
+    def test_tile_coords_row_major(self):
+        cfg = SystemConfig(rows=2, cols=3)
+        assert list(cfg.tile_coords()) == [
+            (0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2),
+        ]
+
+    def test_edge_detection(self):
+        cfg = SystemConfig(rows=4, cols=4)
+        assert cfg.is_edge_tile((0, 2))
+        assert cfg.is_edge_tile((3, 0))
+        assert not cfg.is_edge_tile((1, 1))
+
+    def test_validate_coord_raises(self):
+        cfg = SystemConfig(rows=4, cols=4)
+        with pytest.raises(ConfigError):
+            cfg.validate_coord((4, 0))
+        with pytest.raises(ConfigError):
+            cfg.validate_coord((0, -1))
+
+    def test_corner_has_two_neighbors(self, tiny_cfg):
+        assert len(tiny_cfg.neighbors((0, 0))) == 2
+
+    def test_interior_has_four_neighbors(self, tiny_cfg):
+        assert len(tiny_cfg.neighbors((1, 1))) == 4
+
+    def test_scaled_preserves_other_fields(self):
+        cfg = SystemConfig(cores_per_tile=7).scaled(8, 8)
+        assert cfg.rows == 8 and cfg.cols == 8
+        assert cfg.cores_per_tile == 7
+
+    def test_reduced_config(self):
+        cfg = reduced_config(5, 6)
+        assert (cfg.rows, cfg.cols) == (5, 6)
+
+
+class TestProperties:
+    @given(rows=st.integers(1, 20), cols=st.integers(1, 20))
+    def test_tile_count_product(self, rows, cols):
+        cfg = SystemConfig(rows=rows, cols=cols)
+        assert cfg.tiles == rows * cols
+        assert len(list(cfg.tile_coords())) == rows * cols
+
+    @given(rows=st.integers(2, 12), cols=st.integers(2, 12))
+    def test_neighbors_symmetric(self, rows, cols):
+        cfg = SystemConfig(rows=rows, cols=cols)
+        for coord in cfg.tile_coords():
+            for nbr in cfg.neighbors(coord):
+                assert coord in cfg.neighbors(nbr)
+
+    @given(rows=st.integers(1, 16), cols=st.integers(1, 16))
+    def test_config_hashable_and_frozen(self, rows, cols):
+        cfg = SystemConfig(rows=rows, cols=cols)
+        assert hash(cfg) == hash(SystemConfig(rows=rows, cols=cols))
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.rows = 1    # type: ignore[misc]

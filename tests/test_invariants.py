@@ -1,0 +1,171 @@
+"""System-level invariants, property-based.
+
+Conservation, linearity and equivalence laws that must hold across
+subsystems regardless of parameters — the deepest assurance layer of the
+suite.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import SystemConfig
+from repro.noc.dualnetwork import NetworkId
+from repro.noc.faults import FaultMap, random_fault_map
+from repro.noc.packets import Packet, PacketKind
+from repro.noc.simulator import NocSimulator
+from repro.pdn.solver import PdnSolver
+from repro.thermal.grid import ThermalGrid
+
+
+class TestPdnLinearity:
+    """The LDO (constant-current) load model makes the PDN linear."""
+
+    @given(scale=st.floats(0.1, 3.0))
+    @settings(max_examples=10, deadline=None)
+    def test_droop_scales_linearly_with_power(self, scale):
+        cfg = SystemConfig(rows=6, cols=6)
+        base = PdnSolver(cfg).solve(tile_power_w=0.1)
+        scaled = PdnSolver(cfg).solve(tile_power_w=0.1 * scale)
+        base_droop = cfg.edge_supply_voltage - base.voltages
+        scaled_droop = cfg.edge_supply_voltage - scaled.voltages
+        np.testing.assert_allclose(scaled_droop, base_droop * scale, rtol=1e-6)
+
+    def test_superposition_of_power_maps(self):
+        cfg = SystemConfig(rows=6, cols=6)
+        rng = np.random.default_rng(1)
+        map_a = rng.random((6, 6)) * 0.2
+        map_b = rng.random((6, 6)) * 0.2
+        v_edge = cfg.edge_supply_voltage
+        droop_a = v_edge - PdnSolver(cfg).solve(tile_power_w=map_a).voltages
+        droop_b = v_edge - PdnSolver(cfg).solve(tile_power_w=map_b).voltages
+        droop_ab = v_edge - PdnSolver(cfg).solve(tile_power_w=map_a + map_b).voltages
+        np.testing.assert_allclose(droop_ab, droop_a + droop_b, rtol=1e-6)
+
+    def test_current_balance(self):
+        """Total injected load current equals the edge supply current."""
+        cfg = SystemConfig(rows=6, cols=6)
+        solution = PdnSolver(cfg).solve()
+        expected = cfg.tiles * cfg.tile_peak_power_w / cfg.ff_corner_voltage
+        assert solution.total_current_a == pytest.approx(expected, rel=1e-9)
+
+
+class TestThermalLaws:
+    def test_energy_balance(self):
+        """All injected heat leaves through the per-tile sink conductance."""
+        cfg = SystemConfig(rows=6, cols=6)
+        grid = ThermalGrid(cfg)
+        solution = grid.solve(tile_power_w=0.5, ambient_c=25.0)
+        g_sink = grid._sink_conductance()
+        heat_out = float(
+            (g_sink * (solution.temperatures_c - 25.0)).sum()
+        )
+        heat_in = 0.5 * cfg.tiles
+        assert heat_out == pytest.approx(heat_in, rel=1e-6)
+
+    @given(ambient=st.floats(-20.0, 60.0))
+    @settings(max_examples=10, deadline=None)
+    def test_ambient_shift_invariance(self, ambient):
+        """Temperature *rise* is independent of ambient."""
+        cfg = SystemConfig(rows=4, cols=4)
+        a = ThermalGrid(cfg).solve(tile_power_w=1.0, ambient_c=25.0)
+        b = ThermalGrid(cfg).solve(tile_power_w=1.0, ambient_c=ambient)
+        np.testing.assert_allclose(
+            a.temperatures_c - 25.0, b.temperatures_c - ambient, atol=1e-9
+        )
+
+
+class TestNocConservation:
+    @given(seed=st.integers(0, 300), rate=st.floats(0.01, 0.15))
+    @settings(max_examples=10, deadline=None)
+    def test_packet_conservation_clean_mesh(self, seed, rate):
+        """No packet is ever lost or duplicated on a fault-free mesh."""
+        from repro.workloads.traffic import TrafficPattern, generate_traffic
+
+        cfg = SystemConfig(rows=5, cols=5)
+        sim = NocSimulator(cfg)
+        for _, packet in generate_traffic(
+            cfg, TrafficPattern.UNIFORM, rate, 40, seed=seed
+        ):
+            sim.inject(packet, NetworkId.XY)
+        sim.drain(max_cycles=30_000)
+        report = sim.report()
+        assert report.delivered == report.injected
+        ids = [p.packet_id for p in sim.delivered_packets]
+        assert len(ids) == len(set(ids))    # no duplication
+
+    @given(seed=st.integers(0, 300))
+    @settings(max_examples=10, deadline=None)
+    def test_every_request_gets_exactly_one_response(self, seed):
+        from repro.workloads.traffic import TrafficPattern, generate_traffic
+
+        cfg = SystemConfig(rows=5, cols=5)
+        sim = NocSimulator(cfg)
+        for _, packet in generate_traffic(
+            cfg, TrafficPattern.UNIFORM, 0.05, 40, seed=seed
+        ):
+            sim.inject(packet, NetworkId.XY)
+        sim.drain(max_cycles=30_000)
+        requests = [
+            p for p in sim.delivered_packets if p.kind is PacketKind.REQUEST
+        ]
+        responses = [
+            p for p in sim.delivered_packets if p.kind is PacketKind.RESPONSE
+        ]
+        assert len(responses) == len(requests)
+        answered = {p.request_id for p in responses}
+        assert answered == {p.packet_id for p in requests}
+
+    @given(seed=st.integers(0, 100), faults=st.integers(1, 5))
+    @settings(max_examples=8, deadline=None)
+    def test_faulty_mesh_accounting_consistent(self, seed, faults):
+        """delivered + dropped + still-buffered == offered, always."""
+        from repro.workloads.traffic import TrafficPattern, generate_traffic
+
+        cfg = SystemConfig(rows=5, cols=5)
+        fmap = random_fault_map(cfg, faults, rng=seed)
+        sim = NocSimulator(cfg, fault_map=fmap)
+        offered = 0
+        for _, packet in generate_traffic(
+            cfg, TrafficPattern.UNIFORM, 0.05, 30, seed=seed
+        ):
+            offered += 1
+            sim.inject(packet, NetworkId.XY)
+        sim.run(5_000)
+        report = sim.report()
+        buffered = sum(
+            router.occupancy()
+            for grid in sim.routers.values()
+            for router in grid.values()
+        ) + len(sim._pending_injections) + len(sim._pending_responses)
+        # The strong law: every injected packet is delivered, still
+        # buffered somewhere, or was dropped mid-flight at a faulty link.
+        assert report.injected == (
+            report.delivered + buffered + sim.dropped_in_flight
+        )
+
+
+def _buffered_requests(sim) -> int:
+    count = 0
+    for grid in sim.routers.values():
+        for router in grid.values():
+            for fifo in router.inputs.values():
+                count += sum(
+                    1 for p in fifo.queue if p.kind is PacketKind.REQUEST
+                )
+    return count
+
+
+class TestEmulatorConservation:
+    @given(seed=st.integers(0, 200), nodes=st.integers(30, 80))
+    @settings(max_examples=8, deadline=None)
+    def test_bfs_visits_every_reachable_vertex_once(self, seed, nodes):
+        from repro.arch.system import WaferscaleSystem
+        from repro.workloads.bfs import DistributedBfs
+        from repro.workloads.graphs import random_graph
+
+        system = WaferscaleSystem(SystemConfig(rows=3, cols=3))
+        graph = random_graph(nodes, 3.0, seed=seed)
+        result = DistributedBfs(system, graph).run(0)
+        assert set(result.distance) == set(graph.nodes)   # connected graphs
+        assert result.distance[0] == 0

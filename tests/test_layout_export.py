@@ -1,0 +1,166 @@
+"""Tests for the substrate layout database and text export."""
+
+import io
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import SubstrateError
+from repro.substrate.export import (
+    export_to_file,
+    import_from_file,
+    read_layout,
+    write_layout,
+)
+from repro.substrate.layout import (
+    LayoutDatabase,
+    Rect,
+    build_layout_database,
+    geometric_drc,
+    wire_to_rect,
+)
+from repro.substrate.netlist import extract_netlist
+from repro.substrate.router import SubstrateRouter
+
+
+@pytest.fixture(scope="module")
+def routed():
+    cfg = SystemConfig(rows=3, cols=3)
+    router = SubstrateRouter(cfg)
+    return router.route(extract_netlist(cfg))
+
+
+@pytest.fixture(scope="module")
+def database(routed):
+    return build_layout_database(routed)
+
+
+class TestRect:
+    def test_area_and_dims(self):
+        rect = Rect(layer="SIG1", x0=0, y0=0, x1=2, y1=3)
+        assert rect.width == 2 and rect.height == 3
+        assert rect.area_mm2 == 6
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(SubstrateError):
+            Rect(layer="SIG1", x0=1, y0=0, x1=0, y1=1)
+
+    def test_intersection(self):
+        a = Rect(layer="SIG1", x0=0, y0=0, x1=2, y1=2)
+        b = Rect(layer="SIG1", x0=1, y0=1, x1=3, y1=3)
+        c = Rect(layer="SIG1", x0=2, y0=2, x1=4, y1=4)
+        assert a.intersects(b)
+        assert not a.intersects(c)      # touching edges do not overlap
+
+    def test_point_containment(self):
+        rect = Rect(layer="SIG1", x0=0, y0=0, x1=1, y1=1)
+        assert rect.contains_point(0.5, 0.5)
+        assert rect.contains_point(1.0, 1.0)
+        assert not rect.contains_point(1.1, 0.5)
+
+
+class TestWireToRect:
+    def test_horizontal_wire(self, routed):
+        wire = next(w for w in routed.wires if w.y0_mm == w.y1_mm)
+        rect = wire_to_rect(wire)
+        assert rect.height == pytest.approx(wire.width_um / 1000.0)
+        assert rect.net == wire.net.name
+
+    def test_vertical_wire(self, routed):
+        wire = next(w for w in routed.wires if w.x0_mm == w.x1_mm)
+        rect = wire_to_rect(wire)
+        assert rect.width == pytest.approx(wire.width_um / 1000.0)
+
+
+class TestLayoutDatabase:
+    def test_all_wires_materialised(self, routed, database):
+        wire_rects = [r for r in database.rects if r.layer.startswith("SIG")]
+        assert len(wire_rects) == routed.routed_count
+
+    def test_chiplet_keepouts_present(self, database):
+        chiplets = [r for r in database.rects if r.layer == "CHIPLET"]
+        assert len(chiplets) == 2 * 9    # two chiplets per tile, 3x3 tiles
+
+    def test_point_query_hits_chiplet(self, database):
+        hits = database.query_point("CHIPLET", 1.0, 1.0)
+        assert hits
+        assert all(r.purpose == "keepout" for r in hits)
+
+    def test_region_query_consistent_with_scan(self, database):
+        window = ("SIG1", 0.0, 0.0, 4.0, 4.0)
+        fast = {id(r) for r in database.query_region(*window)}
+        probe = Rect(layer="SIG1", x0=0, y0=0, x1=4, y1=4)
+        slow = {
+            id(r)
+            for r in database.rects
+            if r.layer == "SIG1" and r.intersects(probe)
+        }
+        assert fast == slow
+
+    def test_layer_area_positive(self, database):
+        assert database.layer_area_mm2("SIG1") > 0
+
+    def test_net_rects(self, routed, database):
+        name = routed.wires[0].net.name
+        assert database.net_rects(name)
+
+    def test_geometric_drc_clean(self, database):
+        assert geometric_drc(database) == []
+
+    def test_geometric_drc_catches_collision(self, database):
+        dirty = LayoutDatabase()
+        dirty.add(Rect(layer="SIG1", x0=0, y0=0, x1=1, y1=0.002, net="a"))
+        dirty.add(Rect(layer="SIG1", x0=0, y0=0.0025, x1=1, y1=0.004, net="b"))
+        violations = geometric_drc(dirty, min_space_um=2.0)
+        assert ("a", "b") in violations
+
+    def test_bad_bucket(self):
+        with pytest.raises(SubstrateError):
+            LayoutDatabase(bucket_mm=0)
+
+
+class TestExport:
+    def test_roundtrip(self, database):
+        stream = io.StringIO()
+        summary = write_layout(database, stream)
+        assert summary.rect_count == len(database)
+        stream.seek(0)
+        loaded = read_layout(stream)
+        assert len(loaded) == len(database)
+        assert loaded.layers() == database.layers()
+        # Spot-check geometric fidelity.
+        orig = database.rects[0]
+        again = loaded.rects[0]
+        assert (orig.x0, orig.y0, orig.x1, orig.y1) == pytest.approx(
+            (again.x0, again.y0, again.x1, again.y1)
+        )
+        assert orig.net == again.net
+
+    def test_file_roundtrip(self, database, tmp_path):
+        path = str(tmp_path / "wafer.layout")
+        export_to_file(database, path)
+        loaded = import_from_file(path)
+        assert len(loaded) == len(database)
+
+    def test_empty_export_rejected(self):
+        with pytest.raises(SubstrateError):
+            write_layout(LayoutDatabase(), io.StringIO())
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(SubstrateError):
+            read_layout(io.StringIO("NOT-A-LAYOUT\n"))
+
+    def test_truncated_stream_rejected(self, database):
+        stream = io.StringIO()
+        write_layout(database, stream)
+        text = stream.getvalue().rsplit("END", 1)[0]
+        with pytest.raises(SubstrateError):
+            read_layout(io.StringIO(text))
+
+    def test_malformed_record_rejected(self):
+        text = (
+            "WAFERSCALE-LAYOUT 1\nUNITS MM\nDIEAREA 0 0 1 1\n"
+            "RECT SIG1 wire n1 0 0 1\nEND\n"
+        )
+        with pytest.raises(SubstrateError):
+            read_layout(io.StringIO(text))
