@@ -1,0 +1,134 @@
+"""Experiment-engine benchmark: serial vs parallel Monte-Carlo throughput.
+
+Times the Fig. 6 disconnection Monte Carlo on the full 32x32 wafer at
+``workers=1`` (the serial reference) and ``workers=4``, verifies the two
+runs produce **identical statistics** (the engine's seeding contract),
+and records the wall-clock speedup.
+
+Runnable two ways::
+
+    python benchmarks/bench_engine.py            # standalone summary
+    pytest benchmarks/bench_engine.py -s         # under the bench harness
+
+The ≥2x speedup assertion only applies on machines with ≥4 CPUs — on a
+single-core container the parallel run cannot beat the serial one, but
+the determinism check (the part that guards correctness) always runs.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.engine import ExperimentEngine, ThroughputObserver
+from repro.noc.connectivity import monte_carlo_disconnection
+
+from conftest import print_series
+
+FAULT_COUNTS = [5]
+TRIALS = 16
+SEED = 6
+PARALLEL_WORKERS = 4
+
+
+def _run(workers: int) -> tuple[list, float]:
+    """One timed Fig. 6 sweep at a worker count (cache disabled)."""
+    start = time.perf_counter()
+    stats = monte_carlo_disconnection(
+        SystemConfig(),
+        fault_counts=FAULT_COUNTS,
+        trials=TRIALS,
+        seed=SEED,
+        workers=workers,
+    )
+    return stats, time.perf_counter() - start
+
+
+def measure() -> dict:
+    """Serial vs parallel timings plus the determinism check."""
+    serial_stats, serial_s = _run(1)
+    parallel_stats, parallel_s = _run(PARALLEL_WORKERS)
+
+    serial_key = [
+        (s.fault_count, s.mean_single_pct, s.mean_dual_pct) for s in serial_stats
+    ]
+    parallel_key = [
+        (s.fault_count, s.mean_single_pct, s.mean_dual_pct) for s in parallel_stats
+    ]
+    return {
+        "identical": serial_key == parallel_key,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / parallel_s if parallel_s > 0 else float("inf"),
+        "cpus": os.cpu_count() or 1,
+        "stats": serial_key,
+    }
+
+
+def test_engine_parallel_determinism_and_speedup(benchmark):
+    result = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    print_series(
+        f"Engine: Fig. 6 MC, {TRIALS} trials, serial vs {PARALLEL_WORKERS} workers",
+        [
+            ("serial", f"{result['serial_s']:.2f}s"),
+            (f"{PARALLEL_WORKERS} workers", f"{result['parallel_s']:.2f}s"),
+            ("speedup", f"{result['speedup']:.2f}x"),
+            ("identical statistics", result["identical"]),
+        ],
+    )
+    benchmark.extra_info["measured"] = {
+        k: result[k] for k in ("serial_s", "parallel_s", "speedup", "cpus")
+    }
+
+    assert result["identical"], "worker count changed the statistics"
+    if result["cpus"] >= PARALLEL_WORKERS:
+        assert result["speedup"] >= 2.0, (
+            f"expected >=2x at {PARALLEL_WORKERS} workers on "
+            f"{result['cpus']} CPUs, got {result['speedup']:.2f}x"
+        )
+    else:
+        pytest.skip(
+            f"only {result['cpus']} CPU(s): speedup target needs "
+            f">={PARALLEL_WORKERS}; determinism verified"
+        )
+
+
+def test_engine_observability_counters(benchmark):
+    """The throughput observer sees every trial exactly once."""
+
+    def run() -> ThroughputObserver:
+        observer = ThroughputObserver()
+        engine = ExperimentEngine(workers=1, observers=[observer])
+        monte_carlo_disconnection(
+            SystemConfig(rows=8, cols=8),
+            fault_counts=[2, 4],
+            trials=10,
+            seed=1,
+            engine=engine,
+        )
+        return observer
+
+    observer = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert observer.total_trials == 20
+    assert len(observer.runs) == 2
+    assert observer.total_busy_s > 0.0
+
+
+def main() -> int:
+    result = measure()
+    print(f"Fig. 6 Monte Carlo, 32x32 wafer, {TRIALS} trials at {FAULT_COUNTS} faults")
+    print(f"  serial (workers=1):          {result['serial_s']:.2f}s")
+    print(f"  parallel (workers={PARALLEL_WORKERS}):        {result['parallel_s']:.2f}s")
+    print(f"  speedup:                     {result['speedup']:.2f}x on {result['cpus']} CPU(s)")
+    print(f"  statistics identical:        {result['identical']}")
+    if not result["identical"]:
+        return 1
+    if result["cpus"] >= PARALLEL_WORKERS and result["speedup"] < 2.0:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

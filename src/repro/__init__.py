@@ -21,16 +21,20 @@ Quick start::
 """
 
 from .config import SystemConfig, paper_config, reduced_config
+from .engine import ExperimentEngine, ResultCache, ThroughputObserver
 from .errors import ReproError
 from .flow.designer import DesignFlowResult, run_design_flow
 from .flow.report import SystemReport, table1_report
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "SystemConfig",
     "paper_config",
     "reduced_config",
+    "ExperimentEngine",
+    "ResultCache",
+    "ThroughputObserver",
     "ReproError",
     "DesignFlowResult",
     "run_design_flow",

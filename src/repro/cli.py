@@ -3,33 +3,533 @@
 Gives a downstream user the paper's headline analyses without writing
 code:
 
-=============  =====================================================
-command        output
-=============  =====================================================
-``table1``     Table I re-derived for a configuration
-``flow``       the seven-stage design flow report
-``droop``      Fig. 2 droop numbers + ASCII voltage map
-``fig6``       the Fig. 6 disconnection Monte Carlo
-``clock``      clock setup simulation (optionally with faults)
-``loadtime``   Section VII JTAG load-time table
-``yield``      Section V bonding-yield table
-``shmoo``      prototype characterization (frequency binning)
-``validate``   cross-subsystem consistency checks
-``report``     full Markdown design review (``--output`` to a file)
-``bringup``    bring-up sequence on a randomly-faulted wafer
-``remap``      logical fault-free grid extraction
-``lot``        production-lot binning at 1 vs 2 pillars/pad
-=============  =====================================================
+==============  =====================================================
+command         output
+==============  =====================================================
+``table1``      Table I re-derived for a configuration
+``flow``        the seven-stage design flow report
+``droop``       Fig. 2 droop numbers + ASCII voltage map
+``fig6``        the Fig. 6 disconnection Monte Carlo
+``clock``       clock setup simulation (optionally with faults)
+``resiliency``  clock-coverage Monte Carlo vs fault count
+``loadtime``    Section VII JTAG load-time table
+``yield``       Section V bonding-yield table
+``shmoo``       prototype characterization (frequency binning)
+``validate``    cross-subsystem consistency checks
+``report``      full Markdown design review (``--output`` to a file)
+``bringup``     bring-up sequence on a randomly-faulted wafer
+``remap``       logical fault-free grid extraction
+``lot``         production-lot binning at 1 vs 2 pillars/pad
+==============  =====================================================
 
-All commands accept ``--rows/--cols`` to scale the array.
+All commands accept ``--rows/--cols`` to scale the array and ``--json``
+to emit the result as a machine-readable JSON document instead of text.
+Every command is split into a structured-result core (``run_<command>``
+returning a plain dict) and a text renderer (``render_<command>``), so
+scripts can import and reuse the computation without scraping stdout.
+
+Monte-Carlo commands (``fig6``, ``resiliency``, ``shmoo``, ``lot``) run
+on the parallel experiment engine: ``--workers N`` fans trials across a
+process pool (statistics are identical at any worker count for the same
+seed) and results are cached on disk under ``.repro_cache`` (override
+with ``REPRO_CACHE_DIR``; disable with ``--no-cache``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from typing import Any, Callable
 
 from .config import SystemConfig
+
+# Commands whose trials run on the experiment engine.
+ENGINE_COMMANDS = ("fig6", "resiliency", "shmoo", "lot")
+
+
+def _jsonify(obj: Any) -> Any:
+    """Reduce a result structure to JSON-encodable types."""
+    import numpy as np
+
+    if isinstance(obj, dict):
+        return {str(k): _jsonify(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonify(v) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted((_jsonify(v) for v in obj), key=repr)
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return _jsonify(obj.tolist())
+    return obj
+
+
+# ---------------------------------------------------------------------------
+# Structured-result cores: each computes a plain dict.
+# ---------------------------------------------------------------------------
+
+
+def run_table1(config: SystemConfig) -> dict:
+    """Table I quantities plus the rendered (label, value) rows."""
+    import dataclasses
+
+    from .flow.report import table1_report
+
+    report = table1_report(config)
+    return {
+        "command": "table1",
+        "ok": True,
+        "rows": [[label, value] for label, value in report.rows()],
+        "metrics": dataclasses.asdict(report),
+    }
+
+
+def run_flow(config: SystemConfig, trials: int = 10) -> dict:
+    """Seven-stage design-flow pass: per-stage ok/metrics/notes."""
+    from .flow.designer import run_design_flow
+
+    flow = run_design_flow(config, connectivity_trials=trials)
+    return {
+        "command": "flow",
+        "ok": flow.ok,
+        "stages": [
+            {
+                "name": stage.name,
+                "ok": stage.ok,
+                "metrics": stage.metrics,
+                "notes": stage.notes,
+            }
+            for stage in flow.stages
+        ],
+    }
+
+
+def run_droop(config: SystemConfig) -> dict:
+    """PDN solve: droop envelope plus the full voltage field."""
+    from .pdn.solver import solve_pdn
+
+    solution = solve_pdn(config)
+    return {
+        "command": "droop",
+        "ok": True,
+        "max_voltage": solution.max_voltage,
+        "min_voltage": solution.min_voltage,
+        "total_current_a": solution.total_current_a,
+        "supply_power_w": solution.supply_power_w,
+        "voltages": solution.voltages.tolist(),
+    }
+
+
+def run_fig6(
+    config: SystemConfig,
+    trials: int = 10,
+    seed: int = 0,
+    max_faults: int = 10,
+    workers: int = 1,
+    cache: Any = None,
+) -> dict:
+    """Fig. 6 disconnection Monte Carlo over 1..max_faults."""
+    from .noc.connectivity import monte_carlo_disconnection
+
+    stats = monte_carlo_disconnection(
+        config,
+        fault_counts=list(range(1, max_faults + 1)),
+        trials=trials,
+        seed=seed,
+        workers=workers,
+        cache=cache,
+    )
+    return {
+        "command": "fig6",
+        "ok": True,
+        "trials": trials,
+        "seed": seed,
+        "workers": workers,
+        "stats": [
+            {
+                "fault_count": s.fault_count,
+                "mean_single_pct": s.mean_single_pct,
+                "mean_dual_pct": s.mean_dual_pct,
+                "std_single_pct": s.std_single_pct,
+                "std_dual_pct": s.std_dual_pct,
+                "improvement": s.improvement,
+            }
+            for s in stats
+        ],
+    }
+
+
+def run_clock(config: SystemConfig, faults: int = 0, seed: int = 0) -> dict:
+    """One clock-setup simulation, optionally on a faulted wafer."""
+    from .clock.forwarding import render_forwarding_map, simulate_clock_setup
+    from .noc.faults import random_fault_map
+
+    faulty = (
+        random_fault_map(config, faults, rng=seed).faulty
+        if faults
+        else frozenset()
+    )
+    result = simulate_clock_setup(config, faulty=faulty)
+    return {
+        "command": "clock",
+        "ok": True,
+        "faults": sorted([list(c) for c in faulty]),
+        "coverage": result.coverage,
+        "max_hops": result.max_hops,
+        "setup_time_us": result.setup_time_s() * 1e6,
+        "forwarding_map": render_forwarding_map(result),
+    }
+
+
+def run_resiliency(
+    config: SystemConfig,
+    trials: int = 10,
+    seed: int = 0,
+    max_faults: int = 10,
+    workers: int = 1,
+    cache: Any = None,
+) -> dict:
+    """Clock-coverage Monte Carlo: the clock-network analogue of Fig. 6."""
+    from .clock.resiliency import monte_carlo_clock_coverage
+
+    stats = monte_carlo_clock_coverage(
+        config,
+        fault_counts=list(range(1, max_faults + 1)),
+        trials=trials,
+        seed=seed,
+        workers=workers,
+        cache=cache,
+    )
+    return {
+        "command": "resiliency",
+        "ok": True,
+        "trials": trials,
+        "seed": seed,
+        "workers": workers,
+        "stats": [
+            {
+                "fault_count": s.fault_count,
+                "trials": s.trials,
+                "mean_coverage": s.mean_coverage,
+                "min_coverage": s.min_coverage,
+                "mean_unreachable": s.mean_unreachable,
+            }
+            for s in stats
+        ],
+    }
+
+
+def run_loadtime(config: SystemConfig) -> dict:
+    """Section VII load-time comparison: one chain vs row chains."""
+    from .dft.multichain import paper_load_time_comparison
+
+    comparison = paper_load_time_comparison(config)
+    return {"command": "loadtime", "ok": True, **comparison}
+
+
+def run_yield(config: SystemConfig) -> dict:
+    """Section V bonding yield at 1 vs 2 pillars per pad."""
+    from .io.bonding import BondingYieldModel
+
+    variants = []
+    for pillars in (1, 2):
+        model = BondingYieldModel(
+            chiplet_count=config.chiplets,
+            io_count=config.ios_per_compute_chiplet,
+            pillars_per_pad=pillars,
+        )
+        variants.append(
+            {
+                "pillars_per_pad": pillars,
+                "chiplet_yield": model.chiplet_yield,
+                "expected_faulty": model.expected_faulty,
+            }
+        )
+    return {"command": "yield", "ok": True, "variants": variants}
+
+
+def run_shmoo(
+    config: SystemConfig,
+    seed: int = 0,
+    workers: int = 1,
+    cache: Any = None,
+) -> dict:
+    """Simulated prototype characterization (frequency shmoo)."""
+    from .flow.characterize import characterize
+
+    result = characterize(config, seed=seed, workers=workers, cache=cache)
+    return {
+        "command": "shmoo",
+        "ok": True,
+        "tiles": result.config.tiles,
+        "regulated_v_min": float(result.regulated_v.min()),
+        "regulated_v_max": float(result.regulated_v.max()),
+        "fmax_min_hz": float(result.fmax_hz.min()),
+        "fmax_max_hz": float(result.fmax_hz.max()),
+        "fmax_mean_hz": result.mean_fmax_hz,
+        "system_fmax_hz": result.system_fmax_hz,
+        "pass_rate_300mhz": result.passing_fraction(300e6),
+        "pass_rate_350mhz": result.passing_fraction(350e6),
+    }
+
+
+def run_validate(config: SystemConfig) -> dict:
+    """Cross-subsystem consistency checks."""
+    from .flow.validate import validate_design
+
+    report = validate_design(config)
+    return {
+        "command": "validate",
+        "ok": report.ok,
+        "checks": [
+            {"name": r.name, "ok": r.ok, "detail": r.detail}
+            for r in report.results
+        ],
+    }
+
+
+def run_report(config: SystemConfig, trials: int = 10, output: str = "") -> dict:
+    """Full Markdown design review (optionally written to ``output``)."""
+    from .flow.export import design_report_markdown
+
+    markdown = design_report_markdown(config, connectivity_trials=trials)
+    return {
+        "command": "report",
+        "ok": True,
+        "output": output,
+        "markdown": markdown,
+    }
+
+
+def run_bringup(config: SystemConfig, faults: int = 0, seed: int = 0) -> dict:
+    """Bring-up sequence on a randomly-faulted wafer."""
+    from .flow.bringup import run_bringup as _run_bringup
+    from .noc.faults import random_fault_map
+
+    true_faults = set(random_fault_map(config, faults, rng=seed).faulty)
+    report = _run_bringup(config, true_bonding_faults=true_faults)
+    final = report.final_map
+    return {
+        "command": "bringup",
+        "ok": True,
+        "bonding_faults": [list(c) for c in sorted(report.bonding_faults)],
+        "unroll_tests_run": report.unroll_tests_run,
+        "clock_unreachable": [list(c) for c in sorted(report.clock_unreachable)],
+        "usable_tiles": report.usable_tiles,
+        "tiles": config.tiles,
+        "final_map": {
+            "rows": final.config.rows,
+            "cols": final.config.cols,
+            "faulty": sorted([list(c) for c in final.faulty]),
+        },
+    }
+
+
+def run_remap(config: SystemConfig, faults: int = 0, seed: int = 0) -> dict:
+    """Logical fault-free grid extraction on a random fault map."""
+    from .noc.faults import random_fault_map
+    from .noc.remap import (
+        best_logical_grid,
+        largest_fault_free_rectangle,
+        row_column_deletion,
+    )
+
+    fmap = random_fault_map(config, faults, rng=seed)
+    grids = {
+        "rectangle": largest_fault_free_rectangle(fmap),
+        "deletion": row_column_deletion(fmap),
+        "best": best_logical_grid(fmap),
+    }
+    return {
+        "command": "remap",
+        "ok": True,
+        "faults": [list(c) for c in sorted(fmap.faulty)],
+        **{
+            name: {"rows": g.rows, "cols": g.cols, "tiles": g.tiles}
+            for name, g in grids.items()
+        },
+    }
+
+
+def run_lot(
+    config: SystemConfig,
+    wafers: int = 50,
+    seed: int = 0,
+    workers: int = 1,
+    cache: Any = None,
+) -> dict:
+    """Production-lot binning at 1 vs 2 pillars per pad."""
+    from .yieldmodel.lots import pillar_redundancy_lot_comparison
+
+    lots = pillar_redundancy_lot_comparison(
+        config, wafers=wafers, seed=seed, workers=workers, cache=cache
+    )
+    return {
+        "command": "lot",
+        "ok": True,
+        "wafers": wafers,
+        "workers": workers,
+        "variants": [
+            {
+                "pillars_per_pad": pillars,
+                "bins": dict(report.bins),
+                "mean_faults": report.mean_faults,
+                "sellable_fraction": report.sellable_fraction,
+            }
+            for pillars, report in lots.items()
+        ],
+    }
+
+
+# ---------------------------------------------------------------------------
+# Renderers: result dict -> the historical text output, byte-identical.
+# ---------------------------------------------------------------------------
+
+
+def render_table1(result: dict) -> str:
+    rows = result["rows"]
+    width = max(len(label) for label, _ in rows)
+    return "\n".join(f"{label:<{width}}  {value}" for label, value in rows)
+
+
+def render_flow(result: dict) -> str:
+    lines = []
+    for stage in result["stages"]:
+        mark = "PASS" if stage["ok"] else "FAIL"
+        lines.append(f"[{mark}] {stage['name']}: {stage['notes']}")
+    return "\n".join(lines)
+
+
+def render_droop(result: dict) -> str:
+    import numpy as np
+
+    from .analysis.render import render_field
+
+    return (
+        f"edge {result['max_voltage']:.3f}V -> centre {result['min_voltage']:.3f}V, "
+        f"{result['total_current_a']:.0f}A, {result['supply_power_w']:.0f}W"
+        "\n" + render_field(np.array(result["voltages"]))
+    )
+
+
+def render_fig6(result: dict) -> str:
+    lines = [f"{'faults':>7} {'single %':>9} {'dual %':>8}"]
+    for s in result["stats"]:
+        lines.append(
+            f"{s['fault_count']:>7} {s['mean_single_pct']:>9.2f} "
+            f"{s['mean_dual_pct']:>8.3f}"
+        )
+    return "\n".join(lines)
+
+
+def render_clock(result: dict) -> str:
+    return (
+        result["forwarding_map"]
+        + "\n"
+        + f"coverage {result['coverage']:.1%}, max depth {result['max_hops']} hops, "
+        f"setup {result['setup_time_us']:.1f}us"
+    )
+
+
+def render_resiliency(result: dict) -> str:
+    lines = [f"{'faults':>7} {'coverage %':>11} {'min %':>8} {'unreachable':>12}"]
+    for s in result["stats"]:
+        lines.append(
+            f"{s['fault_count']:>7} {s['mean_coverage'] * 100:>11.2f} "
+            f"{s['min_coverage'] * 100:>8.2f} {s['mean_unreachable']:>12.3f}"
+        )
+    return "\n".join(lines)
+
+
+def render_loadtime(result: dict) -> str:
+    return (
+        f"single chain: {result['single_chain_hours']:.2f} h\n"
+        f"row chains:   {result['multi_chain_minutes']:.2f} min\n"
+        f"speedup:      {result['speedup']:.0f}x"
+    )
+
+
+def render_yield(result: dict) -> str:
+    return "\n".join(
+        f"{v['pillars_per_pad']} pillar(s)/pad: "
+        f"chiplet yield {v['chiplet_yield']:.5f}, "
+        f"expected faulty {v['expected_faulty']:.2f}"
+        for v in result["variants"]
+    )
+
+
+def render_shmoo(result: dict) -> str:
+    return "\n".join(
+        [
+            f"tiles: {result['tiles']}",
+            f"regulated voltage: {result['regulated_v_min']:.3f}"
+            f"-{result['regulated_v_max']:.3f} V",
+            f"per-tile fmax: {result['fmax_min_hz'] / 1e6:.0f}"
+            f"-{result['fmax_max_hz'] / 1e6:.0f} MHz "
+            f"(mean {result['fmax_mean_hz'] / 1e6:.0f})",
+            f"system lock-step fmax: {result['system_fmax_hz'] / 1e6:.0f} MHz",
+            f"pass rate at 300MHz nominal: {result['pass_rate_300mhz']:.1%}",
+            f"pass rate at 350MHz: {result['pass_rate_350mhz']:.1%}",
+        ]
+    )
+
+
+def render_validate(result: dict) -> str:
+    return "\n".join(
+        f"[{'OK' if c['ok'] else 'VIOLATED'}] {c['name']}: {c['detail']}"
+        for c in result["checks"]
+    )
+
+
+def render_report(result: dict) -> str:
+    if result["output"]:
+        return f"wrote design report to {result['output']}"
+    return result["markdown"]
+
+
+def render_bringup(result: dict) -> str:
+    unreachable = [tuple(c) for c in result["clock_unreachable"]]
+    return "\n".join(
+        [
+            f"dead tiles located: {[tuple(c) for c in result['bonding_faults']]}",
+            f"unroll tests run:   {result['unroll_tests_run']}",
+            f"clock-unreachable:  {unreachable or 'none'}",
+            f"usable tiles:       {result['usable_tiles']}/{result['tiles']}",
+            json.dumps(result["final_map"], indent=2),
+        ]
+    )
+
+
+def render_remap(result: dict) -> str:
+    rect, deletion, best = result["rectangle"], result["deletion"], result["best"]
+    return "\n".join(
+        [
+            f"faults: {[tuple(c) for c in result['faults']]}",
+            f"contiguous rectangle: {rect['rows']}x{rect['cols']}"
+            f" = {rect['tiles']} tiles",
+            f"row/col deletion:     {deletion['rows']}x{deletion['cols']}"
+            f" = {deletion['tiles']} tiles",
+            f"best logical grid:    {best['rows']}x{best['cols']}"
+            f" = {best['tiles']} tiles",
+        ]
+    )
+
+
+def render_lot(result: dict) -> str:
+    return "\n".join(
+        f"{v['pillars_per_pad']} pillar(s)/pad: {v['bins']} "
+        f"(mean faults {v['mean_faults']:.2f}, "
+        f"sellable {v['sellable_fraction']:.0%})"
+        for v in result["variants"]
+    )
+
+
+# ---------------------------------------------------------------------------
+# Argument plumbing.
+# ---------------------------------------------------------------------------
 
 
 def _add_size_args(parser: argparse.ArgumentParser) -> None:
@@ -38,175 +538,71 @@ def _add_size_args(parser: argparse.ArgumentParser) -> None:
 
 
 def _config(args: argparse.Namespace) -> SystemConfig:
-    return SystemConfig(rows=args.rows, cols=args.cols)
+    return SystemConfig.from_dict({"rows": args.rows, "cols": args.cols})
 
 
-def _cmd_table1(args: argparse.Namespace) -> int:
-    from .flow.report import table1_report
-
-    print(table1_report(_config(args)).render())
-    return 0
-
-
-def _cmd_flow(args: argparse.Namespace) -> int:
-    from .flow.designer import run_design_flow
-
-    flow = run_design_flow(_config(args), connectivity_trials=args.trials)
-    print(flow.summary())
-    return 0 if flow.ok else 1
+def _engine_kwargs(args: argparse.Namespace) -> dict:
+    """Engine options for commands that run on the experiment engine."""
+    return {
+        "workers": getattr(args, "workers", 1),
+        "cache": None if getattr(args, "no_cache", False) else True,
+    }
 
 
-def _cmd_droop(args: argparse.Namespace) -> int:
-    from .analysis.render import render_field
-    from .pdn.solver import solve_pdn
+_RUNNERS: dict[str, Callable[[argparse.Namespace], dict]] = {
+    "table1": lambda a: run_table1(_config(a)),
+    "flow": lambda a: run_flow(_config(a), trials=a.trials),
+    "droop": lambda a: run_droop(_config(a)),
+    "fig6": lambda a: run_fig6(
+        _config(a), trials=a.trials, seed=a.seed,
+        max_faults=a.max_faults, **_engine_kwargs(a),
+    ),
+    "clock": lambda a: run_clock(_config(a), faults=a.faults, seed=a.seed),
+    "resiliency": lambda a: run_resiliency(
+        _config(a), trials=a.trials, seed=a.seed,
+        max_faults=a.max_faults, **_engine_kwargs(a),
+    ),
+    "loadtime": lambda a: run_loadtime(_config(a)),
+    "yield": lambda a: run_yield(_config(a)),
+    "shmoo": lambda a: run_shmoo(_config(a), seed=a.seed, **_engine_kwargs(a)),
+    "validate": lambda a: run_validate(_config(a)),
+    "report": lambda a: run_report(_config(a), trials=a.trials, output=a.output),
+    "bringup": lambda a: run_bringup(_config(a), faults=a.faults, seed=a.seed),
+    "remap": lambda a: run_remap(_config(a), faults=a.faults, seed=a.seed),
+    "lot": lambda a: run_lot(
+        _config(a), wafers=a.wafers, seed=a.seed, **_engine_kwargs(a),
+    ),
+}
 
-    solution = solve_pdn(_config(args))
-    print(
-        f"edge {solution.max_voltage:.3f}V -> centre {solution.min_voltage:.3f}V, "
-        f"{solution.total_current_a:.0f}A, {solution.supply_power_w:.0f}W"
-    )
-    print(render_field(solution.voltages))
-    return 0
-
-
-def _cmd_fig6(args: argparse.Namespace) -> int:
-    from .noc.connectivity import monte_carlo_disconnection
-
-    stats = monte_carlo_disconnection(
-        _config(args),
-        fault_counts=list(range(1, args.max_faults + 1)),
-        trials=args.trials,
-        seed=args.seed,
-    )
-    print(f"{'faults':>7} {'single %':>9} {'dual %':>8}")
-    for s in stats:
-        print(f"{s.fault_count:>7} {s.mean_single_pct:>9.2f} {s.mean_dual_pct:>8.3f}")
-    return 0
-
-
-def _cmd_clock(args: argparse.Namespace) -> int:
-    from .clock.forwarding import render_forwarding_map, simulate_clock_setup
-    from .noc.faults import random_fault_map
-
-    config = _config(args)
-    faulty = (
-        random_fault_map(config, args.faults, rng=args.seed).faulty
-        if args.faults
-        else frozenset()
-    )
-    result = simulate_clock_setup(config, faulty=faulty)
-    print(render_forwarding_map(result))
-    print(
-        f"coverage {result.coverage:.1%}, max depth {result.max_hops} hops, "
-        f"setup {result.setup_time_s() * 1e6:.1f}us"
-    )
-    return 0
+_RENDERERS: dict[str, Callable[[dict], str]] = {
+    "table1": render_table1,
+    "flow": render_flow,
+    "droop": render_droop,
+    "fig6": render_fig6,
+    "clock": render_clock,
+    "resiliency": render_resiliency,
+    "loadtime": render_loadtime,
+    "yield": render_yield,
+    "shmoo": render_shmoo,
+    "validate": render_validate,
+    "report": render_report,
+    "bringup": render_bringup,
+    "remap": render_remap,
+    "lot": render_lot,
+}
 
 
-def _cmd_loadtime(args: argparse.Namespace) -> int:
-    from .dft.multichain import paper_load_time_comparison
-
-    comparison = paper_load_time_comparison(_config(args))
-    print(f"single chain: {comparison['single_chain_hours']:.2f} h")
-    print(f"row chains:   {comparison['multi_chain_minutes']:.2f} min")
-    print(f"speedup:      {comparison['speedup']:.0f}x")
-    return 0
-
-
-def _cmd_yield(args: argparse.Namespace) -> int:
-    from .io.bonding import BondingYieldModel
-
-    config = _config(args)
-    for pillars in (1, 2):
-        model = BondingYieldModel(
-            chiplet_count=config.chiplets,
-            io_count=config.ios_per_compute_chiplet,
-            pillars_per_pad=pillars,
-        )
-        print(
-            f"{pillars} pillar(s)/pad: chiplet yield {model.chiplet_yield:.5f}, "
-            f"expected faulty {model.expected_faulty:.2f}"
-        )
-    return 0
-
-
-def _cmd_shmoo(args: argparse.Namespace) -> int:
-    from .flow.characterize import characterization_report, characterize
-
-    result = characterize(_config(args), seed=args.seed)
-    print(characterization_report(result))
-    return 0
-
-
-def _cmd_validate(args: argparse.Namespace) -> int:
-    from .flow.validate import validate_design
-
-    report = validate_design(_config(args))
-    print(report.summary())
-    return 0 if report.ok else 1
-
-
-def _cmd_report(args: argparse.Namespace) -> int:
-    from .flow.export import design_report_markdown, export_design_report
-
-    if args.output:
-        export_design_report(
-            args.output, _config(args), connectivity_trials=args.trials
-        )
-        print(f"wrote design report to {args.output}")
+def _dispatch(args: argparse.Namespace) -> int:
+    """Run one command: compute the dict, emit JSON or text, exit code."""
+    result = _RUNNERS[args.command](args)
+    if args.command == "report" and result["output"]:
+        with open(result["output"], "w", encoding="utf-8") as handle:
+            handle.write(result["markdown"])
+    if getattr(args, "json", False):
+        print(json.dumps(_jsonify(result), indent=2))
     else:
-        print(design_report_markdown(_config(args), connectivity_trials=args.trials))
-    return 0
-
-
-def _cmd_bringup(args: argparse.Namespace) -> int:
-    from .flow.bringup import fault_map_to_json, run_bringup
-    from .noc.faults import random_fault_map
-
-    config = _config(args)
-    faults = set(random_fault_map(config, args.faults, rng=args.seed).faulty)
-    report = run_bringup(config, true_bonding_faults=faults)
-    print(f"dead tiles located: {sorted(report.bonding_faults)}")
-    print(f"unroll tests run:   {report.unroll_tests_run}")
-    print(f"clock-unreachable:  {sorted(report.clock_unreachable) or 'none'}")
-    print(f"usable tiles:       {report.usable_tiles}/{config.tiles}")
-    print(fault_map_to_json(report.final_map))
-    return 0
-
-
-def _cmd_remap(args: argparse.Namespace) -> int:
-    from .noc.faults import random_fault_map
-    from .noc.remap import (
-        best_logical_grid,
-        largest_fault_free_rectangle,
-        row_column_deletion,
-    )
-
-    config = _config(args)
-    fmap = random_fault_map(config, args.faults, rng=args.seed)
-    rect = largest_fault_free_rectangle(fmap)
-    deletion = row_column_deletion(fmap)
-    best = best_logical_grid(fmap)
-    print(f"faults: {sorted(fmap.faulty)}")
-    print(f"contiguous rectangle: {rect.rows}x{rect.cols} = {rect.tiles} tiles")
-    print(f"row/col deletion:     {deletion.rows}x{deletion.cols} = {deletion.tiles} tiles")
-    print(f"best logical grid:    {best.rows}x{best.cols} = {best.tiles} tiles")
-    return 0
-
-
-def _cmd_lot(args: argparse.Namespace) -> int:
-    from .yieldmodel.lots import pillar_redundancy_lot_comparison
-
-    lots = pillar_redundancy_lot_comparison(
-        _config(args), wafers=args.wafers, seed=args.seed
-    )
-    for pillars, report in lots.items():
-        print(
-            f"{pillars} pillar(s)/pad: {report.bins} "
-            f"(mean faults {report.mean_faults:.2f}, "
-            f"sellable {report.sellable_fraction:.0%})"
-        )
-    return 0
+        print(_RENDERERS[args.command](result))
+    return 0 if result.get("ok", True) else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -215,25 +611,39 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Waferscale chiplet processor design-flow analyses",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the command's structured result as JSON",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    for name, handler, extras in (
-        ("table1", _cmd_table1, ()),
-        ("flow", _cmd_flow, ("trials",)),
-        ("droop", _cmd_droop, ()),
-        ("fig6", _cmd_fig6, ("trials", "seed", "max_faults")),
-        ("clock", _cmd_clock, ("seed", "faults")),
-        ("loadtime", _cmd_loadtime, ()),
-        ("yield", _cmd_yield, ()),
-        ("shmoo", _cmd_shmoo, ("seed",)),
-        ("report", _cmd_report, ("trials", "output")),
-        ("bringup", _cmd_bringup, ("seed", "faults")),
-        ("remap", _cmd_remap, ("seed", "faults")),
-        ("lot", _cmd_lot, ("seed", "wafers")),
-        ("validate", _cmd_validate, ()),
+    for name, extras in (
+        ("table1", ()),
+        ("flow", ("trials",)),
+        ("droop", ()),
+        ("fig6", ("trials", "seed", "max_faults")),
+        ("clock", ("seed", "faults")),
+        ("resiliency", ("trials", "seed", "max_faults")),
+        ("loadtime", ()),
+        ("yield", ()),
+        ("shmoo", ("seed",)),
+        ("report", ("trials", "output")),
+        ("bringup", ("seed", "faults")),
+        ("remap", ("seed", "faults")),
+        ("lot", ("seed", "wafers")),
+        ("validate", ()),
     ):
         p = sub.add_parser(name)
         _add_size_args(p)
+        # Accept --json after the subcommand too; SUPPRESS keeps the
+        # top-level default when the flag is absent here.
+        p.add_argument(
+            "--json",
+            action="store_true",
+            default=argparse.SUPPRESS,
+            help=argparse.SUPPRESS,
+        )
         if "trials" in extras:
             p.add_argument("--trials", type=int, default=10)
         if "seed" in extras:
@@ -246,7 +656,20 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--output", type=str, default="")
         if "wafers" in extras:
             p.add_argument("--wafers", type=int, default=50)
-        p.set_defaults(handler=handler)
+        if name in ENGINE_COMMANDS:
+            p.add_argument(
+                "--workers",
+                type=int,
+                default=1,
+                help="experiment-engine worker processes (0 = all CPUs)",
+            )
+            p.add_argument(
+                "--no-cache",
+                dest="no_cache",
+                action="store_true",
+                help="bypass the on-disk result cache",
+            )
+        p.set_defaults(handler=_dispatch)
     return parser
 
 

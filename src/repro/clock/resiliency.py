@@ -92,45 +92,71 @@ class ClockCoverageStats:
     mean_unreachable: float     # mean count of healthy-but-unclocked tiles
 
 
+def _coverage_trial(ctx) -> tuple[float, int] | None:
+    """One coverage trial: random fault map, single edge generator.
+
+    Returns ``None`` for pathological maps with no healthy edge tile (no
+    generator can be placed), which the aggregator skips — matching the
+    serial implementation's ``continue``.
+    """
+    config = ctx.config
+    count = ctx.params["fault_count"]
+    all_coords = list(config.tile_coords())
+    idx = ctx.rng.choice(len(all_coords), size=count, replace=False)
+    faulty = {all_coords[i] for i in idx}
+    edge_ok = [
+        c for c in all_coords
+        if config.is_edge_tile(c) and c not in faulty
+    ]
+    if not edge_ok:
+        return None
+    result = simulate_clock_setup(config, generators=[edge_ok[0]], faulty=faulty)
+    return result.coverage, len(result.unclocked_tiles)
+
+
 def monte_carlo_clock_coverage(
     config: SystemConfig,
     fault_counts: list[int],
     trials: int = 200,
     seed: int = 0,
+    *,
+    workers: int = 1,
+    cache=None,
+    engine=None,
+    progress=None,
 ) -> list[ClockCoverageStats]:
     """Coverage statistics over random fault maps.
 
     Faults are drawn uniformly over the array; the generator is the first
     healthy edge tile (matching the single-generator bring-up of Fig. 4 —
     resiliency does not depend on multiple generators, only availability
-    does).
+    does).  Trials run on the experiment engine; ``workers``, ``cache``
+    and ``engine`` as in :class:`repro.engine.ExperimentEngine`.
     """
-    rng = np.random.default_rng(seed)
-    stats: list[ClockCoverageStats] = []
-    all_coords = list(config.tile_coords())
+    from ..engine import ExperimentEngine
+
     for count in fault_counts:
         if count >= config.tiles:
             raise ClockError("cannot fault every tile")
-        coverages = []
-        unreachables = []
-        for _ in range(trials):
-            idx = rng.choice(len(all_coords), size=count, replace=False)
-            faulty = {all_coords[i] for i in idx}
-            edge_ok = [
-                c for c in all_coords
-                if config.is_edge_tile(c) and c not in faulty
-            ]
-            if not edge_ok:
-                continue    # pathological map: no generator possible
-            result = simulate_clock_setup(
-                config, generators=[edge_ok[0]], faulty=faulty
-            )
-            coverages.append(result.coverage)
-            unreachables.append(len(result.unclocked_tiles))
+    eng = engine or ExperimentEngine(workers=workers, cache=cache)
+    stats: list[ClockCoverageStats] = []
+    for count in fault_counts:
+        run = eng.run(
+            _coverage_trial,
+            experiment="clock.coverage",
+            trials=trials,
+            seed=(seed, count),
+            config=config,
+            params={"fault_count": count},
+            progress=progress,
+        )
+        outcomes = [value for value in run.values if value is not None]
+        coverages = [coverage for coverage, _ in outcomes]
+        unreachables = [unreachable for _, unreachable in outcomes]
         stats.append(
             ClockCoverageStats(
                 fault_count=count,
-                trials=len(coverages),
+                trials=len(outcomes),
                 mean_coverage=float(np.mean(coverages)) if coverages else 0.0,
                 min_coverage=float(np.min(coverages)) if coverages else 0.0,
                 mean_unreachable=float(np.mean(unreachables)) if unreachables else 0.0,

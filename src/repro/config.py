@@ -9,8 +9,8 @@ used for cycle-level simulation and for reproducing Fig. 4.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Iterator
+from dataclasses import dataclass, fields
+from typing import Any, Iterator
 
 from . import params
 from .errors import ConfigError
@@ -215,22 +215,54 @@ class SystemConfig:
             if 0 <= rr < self.rows and 0 <= cc < self.cols
         ]
 
+    # -- serialisation --------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Every field as a plain ``{name: value}`` dict.
+
+        The canonical serialised form of a configuration: JSON-friendly,
+        round-trips through :meth:`from_dict`, and is what the
+        experiment engine hashes into its result-cache keys.
+        """
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any] | None = None) -> "SystemConfig":
+        """Build a configuration from a (possibly partial) field dict.
+
+        Missing fields take the paper's published defaults; unknown keys
+        raise :class:`ConfigError` so typos never silently produce the
+        default system.  ``from_dict(cfg.to_dict())`` is an exact
+        round-trip.
+        """
+        data = dict(data or {})
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigError(f"unknown config fields: {', '.join(unknown)}")
+        return cls(**data)
+
     # -- variants -------------------------------------------------------------
+
+    def variant(self, **overrides: Any) -> "SystemConfig":
+        """A copy with named fields replaced (validation re-runs)."""
+        return self.from_dict({**self.to_dict(), **overrides})
 
     def scaled(self, rows: int, cols: int) -> "SystemConfig":
         """Return a copy with a different tile-array size.
 
         Used for the reduced-size configurations the paper emulated on FPGA
-        and for the 8x8 clock-forwarding example of Fig. 4.
+        and for the 8x8 clock-forwarding example of Fig. 4.  Alias for
+        ``variant(rows=..., cols=...)``.
         """
-        return replace(self, rows=rows, cols=cols)
+        return self.variant(rows=rows, cols=cols)
 
 
 def paper_config() -> SystemConfig:
     """The full 32x32 prototype configuration from the paper."""
-    return SystemConfig()
+    return SystemConfig.from_dict({})
 
 
 def reduced_config(rows: int = 8, cols: int = 8) -> SystemConfig:
     """A reduced-size configuration for simulation-heavy studies."""
-    return SystemConfig(rows=rows, cols=cols)
+    return SystemConfig.from_dict({"rows": rows, "cols": cols})

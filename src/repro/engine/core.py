@@ -1,0 +1,264 @@
+"""The experiment-execution engine.
+
+Runs independent trials of a stochastic experiment across a
+:mod:`multiprocessing` worker pool with deterministic per-trial seed
+streams, chunked dispatch, an optional on-disk result cache, and
+observability hooks.  All of the paper's repeated-experiment studies —
+the Fig. 6 disconnection Monte Carlo, production-lot yield binning, the
+shmoo characterization, clock-resiliency sweeps — run on this engine;
+their public functions are thin wrappers that aggregate trial values
+into their historical result types.
+
+Determinism contract
+--------------------
+Trial ``i`` of a run always receives the ``i``-th child of
+``SeedSequence(seed)`` (see :mod:`repro.engine.seeding`), so the values
+produced are a pure function of ``(fn, config, params, seed, trials)``
+and **never** of the worker count, the chunking, or completion order.
+``workers=1`` executes inline (no pool, no pickling overhead) and is the
+reference behaviour the parallel path must reproduce exactly.
+
+Trial functions must be module-level (picklable) callables of one
+argument, a :class:`TrialContext`; values they return must be picklable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..config import SystemConfig
+from ..errors import ReproError
+from .cache import ResultCache, cache_key, resolve_cache
+from .observe import EngineObserver, ProgressCallback
+from .seeding import SeedLike, spawn_trial_seeds
+
+
+@dataclass
+class TrialContext:
+    """Everything one trial may depend on.
+
+    ``rng`` is created lazily from the trial's private seed stream; a
+    deterministic trial (e.g. one shmoo row) never pays for it.
+    """
+
+    index: int
+    seed: np.random.SeedSequence
+    params: dict[str, Any]
+    _rng: np.random.Generator | None = field(default=None, repr=False)
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The trial's private random generator."""
+        if self._rng is None:
+            self._rng = np.random.default_rng(self.seed)
+        return self._rng
+
+    @property
+    def config(self) -> SystemConfig:
+        """The run's :class:`SystemConfig` (when one was supplied)."""
+        cfg = self.params.get("config")
+        if cfg is None:
+            raise ReproError("this run was started without a config")
+        return cfg
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one engine run."""
+
+    experiment: str
+    trials: int
+    workers: int
+    values: list[Any]               # per-trial values, in trial-index order
+    trial_times_s: list[float]      # per-trial compute time (zeros on cache hit)
+    elapsed_s: float                # wall-clock for the whole run
+    from_cache: bool
+
+    @property
+    def total_trial_time_s(self) -> float:
+        """Summed single-trial compute time (CPU-side work)."""
+        return float(sum(self.trial_times_s))
+
+    @property
+    def trials_per_second(self) -> float:
+        """Wall-clock throughput of the run."""
+        return self.trials / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def speedup(self) -> float:
+        """Ratio of summed trial time to wall time (parallel gain)."""
+        return self.total_trial_time_s / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+
+def _run_chunk(
+    payload: tuple[
+        Callable[[TrialContext], Any],
+        dict[str, Any],
+        list[tuple[int, np.random.SeedSequence]],
+    ],
+) -> list[tuple[int, Any, float]]:
+    """Execute one chunk of trials; runs inside a worker process."""
+    fn, params, items = payload
+    out: list[tuple[int, Any, float]] = []
+    for index, seed in items:
+        start = time.perf_counter()
+        value = fn(TrialContext(index=index, seed=seed, params=params))
+        out.append((index, value, time.perf_counter() - start))
+    return out
+
+
+def default_workers() -> int:
+    """A sensible worker count for this machine (leaves one CPU free)."""
+    return max(1, (os.cpu_count() or 1) - 1)
+
+
+class ExperimentEngine:
+    """Shared executor for repeated stochastic experiments.
+
+    Parameters
+    ----------
+    workers:
+        Process count.  ``1`` (the default) runs inline; ``0`` or
+        negative selects :func:`default_workers`.
+    cache:
+        ``None``/``False`` (default) disables the on-disk cache,
+        ``True`` uses the default location, or pass a
+        :class:`~repro.engine.cache.ResultCache`.
+    observers:
+        :class:`~repro.engine.observe.EngineObserver` instances notified
+        of run/trial events in the parent process.
+    chunk_size:
+        Trials per dispatched task.  Defaults to ~4 chunks per worker,
+        which amortises pickling without starving the pool.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: ResultCache | bool | None = None,
+        observers: Sequence[EngineObserver] = (),
+        chunk_size: int | None = None,
+    ) -> None:
+        if workers <= 0:
+            workers = default_workers()
+        self.workers = workers
+        self.cache = resolve_cache(cache)
+        self.observers = list(observers)
+        self.chunk_size = chunk_size
+
+    # -- observer plumbing -------------------------------------------------
+
+    def add_observer(self, observer: EngineObserver) -> None:
+        """Attach an observer for subsequent runs."""
+        self.observers.append(observer)
+
+    def _notify(self, method: str, *args: Any) -> None:
+        for observer in self.observers:
+            getattr(observer, method)(*args)
+
+    # -- execution ---------------------------------------------------------
+
+    def _chunks(
+        self, items: list[tuple[int, np.random.SeedSequence]]
+    ) -> Iterable[list[tuple[int, np.random.SeedSequence]]]:
+        size = self.chunk_size
+        if size is None:
+            size = max(1, -(-len(items) // (self.workers * 4)))
+        for start in range(0, len(items), size):
+            yield items[start : start + size]
+
+    def run(
+        self,
+        fn: Callable[[TrialContext], Any],
+        *,
+        experiment: str,
+        trials: int,
+        seed: SeedLike = 0,
+        config: SystemConfig | None = None,
+        params: dict[str, Any] | None = None,
+        progress: Callable[[int, int], None] | None = None,
+    ) -> RunResult:
+        """Run ``trials`` independent trials of ``fn`` and collect values.
+
+        ``config`` and ``params`` are made available to every trial via
+        its :class:`TrialContext` and, together with ``experiment``,
+        ``seed`` and ``trials``, form the cache identity of the run.
+        """
+        if trials < 1:
+            raise ReproError("an experiment needs at least one trial")
+        run_params = dict(params or {})
+        if config is not None:
+            run_params["config"] = config
+
+        key = None
+        if self.cache is not None:
+            key = cache_key(experiment, config, params, seed, trials)
+            hit, values = self.cache.get(key)
+            if hit:
+                start = time.perf_counter()
+                self._notify("on_run_start", experiment, trials, self.workers)
+                result = RunResult(
+                    experiment=experiment,
+                    trials=trials,
+                    workers=self.workers,
+                    values=values,
+                    trial_times_s=[0.0] * trials,
+                    elapsed_s=time.perf_counter() - start,
+                    from_cache=True,
+                )
+                self._notify("on_run_end", result)
+                return result
+
+        observers = self.observers
+        if progress is not None:
+            observers = observers + [ProgressCallback(progress)]
+
+        start = time.perf_counter()
+        for observer in observers:
+            observer.on_run_start(experiment, trials, self.workers)
+
+        seeds = spawn_trial_seeds(seed, trials)
+        items = list(zip(range(trials), seeds))
+        values_by_index: list[Any] = [None] * trials
+        times_by_index: list[float] = [0.0] * trials
+
+        def _absorb(chunk_result: list[tuple[int, Any, float]]) -> None:
+            for index, value, elapsed in chunk_result:
+                values_by_index[index] = value
+                times_by_index[index] = elapsed
+                for observer in observers:
+                    observer.on_trial(experiment, index, elapsed)
+
+        if self.workers == 1 or trials == 1:
+            for chunk in self._chunks(items):
+                _absorb(_run_chunk((fn, run_params, chunk)))
+        else:
+            payloads = [(fn, run_params, chunk) for chunk in self._chunks(items)]
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+            )
+            with ctx.Pool(processes=min(self.workers, len(payloads))) as pool:
+                for chunk_result in pool.imap_unordered(_run_chunk, payloads):
+                    _absorb(chunk_result)
+
+        if self.cache is not None and key is not None:
+            self.cache.put(key, values_by_index)
+
+        result = RunResult(
+            experiment=experiment,
+            trials=trials,
+            workers=self.workers,
+            values=values_by_index,
+            trial_times_s=times_by_index,
+            elapsed_s=time.perf_counter() - start,
+            from_cache=False,
+        )
+        for observer in observers:
+            observer.on_run_end(result)
+        return result

@@ -1,0 +1,118 @@
+"""Observability hooks for experiment runs.
+
+The engine reports three events — run start, trial completion, run end —
+to any number of observers.  Observers run in the parent process (trial
+completions are delivered as results stream back from the pool), so they
+may hold state and talk to the terminal without worrying about worker
+isolation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:                       # pragma: no cover
+    from .core import RunResult
+
+
+class EngineObserver:
+    """Base observer: every hook is a no-op; subclass what you need."""
+
+    def on_run_start(self, experiment: str, trials: int, workers: int) -> None:
+        """A run is about to dispatch ``trials`` trials."""
+
+    def on_trial(self, experiment: str, index: int, elapsed_s: float) -> None:
+        """One trial finished (delivered in completion order)."""
+
+    def on_run_end(self, result: "RunResult") -> None:
+        """The run finished (including cache hits, with zero trials run)."""
+
+
+@dataclass
+class RunRecord:
+    """One run's throughput numbers as seen by :class:`ThroughputObserver`."""
+
+    experiment: str
+    trials: int
+    workers: int
+    started_at: float
+    completed: int = 0
+    busy_s: float = 0.0
+    wall_s: float = 0.0
+    from_cache: bool = False
+
+    @property
+    def trials_per_second(self) -> float:
+        """Completed trials per wall-clock second."""
+        return self.completed / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def mean_trial_s(self) -> float:
+        """Average single-trial compute time."""
+        return self.busy_s / self.completed if self.completed else 0.0
+
+
+class ThroughputObserver(EngineObserver):
+    """Accumulates per-run timing and throughput counters."""
+
+    def __init__(self) -> None:
+        self.runs: list[RunRecord] = []
+
+    def on_run_start(self, experiment: str, trials: int, workers: int) -> None:
+        self.runs.append(
+            RunRecord(
+                experiment=experiment,
+                trials=trials,
+                workers=workers,
+                started_at=time.perf_counter(),
+            )
+        )
+
+    def on_trial(self, experiment: str, index: int, elapsed_s: float) -> None:
+        record = self.runs[-1]
+        record.completed += 1
+        record.busy_s += elapsed_s
+
+    def on_run_end(self, result: "RunResult") -> None:
+        record = self.runs[-1]
+        record.wall_s = time.perf_counter() - record.started_at
+        record.from_cache = result.from_cache
+
+    @property
+    def total_trials(self) -> int:
+        """Trials actually computed (cache hits contribute zero)."""
+        return sum(r.completed for r in self.runs)
+
+    @property
+    def total_busy_s(self) -> float:
+        """Total single-trial compute time across every run."""
+        return sum(r.busy_s for r in self.runs)
+
+
+@dataclass
+class ProgressCallback(EngineObserver):
+    """Adapts a plain ``fn(done, total)`` callable into an observer.
+
+    ``every`` throttles delivery: the callback fires on the first trial,
+    then every ``every`` trials, and always on the last.
+    """
+
+    fn: Callable[[int, int], None]
+    every: int = 1
+    _done: int = field(default=0, repr=False)
+    _total: int = field(default=0, repr=False)
+
+    def on_run_start(self, experiment: str, trials: int, workers: int) -> None:
+        self._done = 0
+        self._total = trials
+
+    def on_trial(self, experiment: str, index: int, elapsed_s: float) -> None:
+        self._done += 1
+        if (
+            self._done == 1
+            or self._done == self._total
+            or self._done % max(1, self.every) == 0
+        ):
+            self.fn(self._done, self._total)

@@ -86,34 +86,73 @@ class ShmooResult:
         return counts
 
 
+def _shmoo_row_trial(ctx) -> tuple[list[float], list[float]]:
+    """Characterize one wafer row: regulated voltage and fmax per tile.
+
+    Deterministic given its inputs (the PDN solve and process spread are
+    drawn once in the parent), so row trials can run on any number of
+    engine workers and still produce the exact serial result.
+    """
+    ldo = LdoModel()
+    k = ctx.params["k"]
+    row = ctx.index
+    regulated: list[float] = []
+    fmax: list[float] = []
+    for v_in, spread in zip(ctx.params["v_in"][row], ctx.params["spread"][row]):
+        v_reg = ldo.regulate(v_in)
+        regulated.append(v_reg)
+        fmax.append(_fmax_hz(v_reg, k) * spread)
+    return regulated, fmax
+
+
 def characterize(
     config: SystemConfig | None = None,
     process_sigma: float = 0.02,
     seed: int = 0,
+    *,
+    workers: int = 1,
+    cache=None,
+    engine=None,
 ) -> ShmooResult:
     """Shmoo the (simulated) prototype.
 
     Per-tile max frequency from the alpha-power law at the tile's
     regulated voltage, with a lognormal-ish process spread of
-    ``process_sigma`` (relative) across the wafer.
+    ``process_sigma`` (relative) across the wafer.  Rows are
+    characterized as independent trials on the experiment engine;
+    results are bit-identical at any ``workers`` count.
     """
+    from ..engine import ExperimentEngine
+
     cfg = config or SystemConfig()
     if process_sigma < 0:
         raise ReproError("process sigma must be non-negative")
     solution = PdnSolver(cfg).solve()
-    ldo = LdoModel()
     k = _calibrate_k()
     rng = np.random.default_rng(seed)
     spread = rng.normal(1.0, process_sigma, size=(cfg.rows, cfg.cols))
+    v_in = [
+        [float(solution.voltage_at((r, c))) for c in range(cfg.cols)]
+        for r in range(cfg.rows)
+    ]
 
-    regulated = np.empty((cfg.rows, cfg.cols))
-    fmax = np.empty((cfg.rows, cfg.cols))
-    for coord in cfg.tile_coords():
-        v_in = solution.voltage_at(coord)
-        v_reg = ldo.regulate(v_in)
-        regulated[coord] = v_reg
-        fmax[coord] = _fmax_hz(v_reg, k) * float(spread[coord])
+    eng = engine or ExperimentEngine(workers=workers, cache=cache)
+    run = eng.run(
+        _shmoo_row_trial,
+        experiment="flow.shmoo_rows",
+        trials=cfg.rows,
+        seed=seed,
+        config=cfg,
+        params={
+            "k": k,
+            "v_in": v_in,
+            "spread": spread.tolist(),
+            "process_sigma": float(process_sigma),
+        },
+    )
 
+    regulated = np.array([reg_row for reg_row, _ in run.values])
+    fmax = np.array([fmax_row for _, fmax_row in run.values])
     return ShmooResult(config=cfg, fmax_hz=fmax, regulated_v=regulated)
 
 

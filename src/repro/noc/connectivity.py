@@ -129,27 +129,53 @@ class ConnectivityStats:
         return self.mean_single_pct / self.mean_dual_pct
 
 
+def _disconnection_trial(ctx) -> tuple[float, float]:
+    """One Fig. 6 trial: draw a fault map, measure both networks.
+
+    Runs on the experiment engine (module-level so worker processes can
+    pickle it); the trial's private rng makes the draw independent of
+    worker count and dispatch order.
+    """
+    fmap = random_fault_map(ctx.config, ctx.params["fault_count"], ctx.rng)
+    result = _pair_blockage(fmap)
+    return result.single * 100.0, result.dual * 100.0
+
+
 def monte_carlo_disconnection(
     config: SystemConfig,
     fault_counts: list[int],
     trials: int = 100,
     seed: int = 0,
+    *,
+    workers: int = 1,
+    cache=None,
+    engine=None,
+    progress=None,
 ) -> list[ConnectivityStats]:
     """Reproduce Fig. 6: mean disconnected-pair percentage vs fault count.
 
     Fault maps are uniformly random, matching the paper's "set of randomly
-    generated fault maps".
+    generated fault maps".  Trials run on the experiment engine: pass
+    ``workers`` to parallelise (statistics are identical at any worker
+    count for the same ``seed``) and ``cache=True`` to reuse recorded
+    runs; an explicit ``engine`` overrides both.
     """
-    rng = np.random.default_rng(seed)
+    from ..engine import ExperimentEngine
+
+    eng = engine or ExperimentEngine(workers=workers, cache=cache)
     out: list[ConnectivityStats] = []
     for count in fault_counts:
-        singles: list[float] = []
-        duals: list[float] = []
-        for _ in range(trials):
-            fmap = random_fault_map(config, count, rng)
-            result = _pair_blockage(fmap)
-            singles.append(result.single * 100.0)
-            duals.append(result.dual * 100.0)
+        run = eng.run(
+            _disconnection_trial,
+            experiment="noc.fig6_disconnection",
+            trials=trials,
+            seed=(seed, count),
+            config=config,
+            params={"fault_count": count},
+            progress=progress,
+        )
+        singles = [single for single, _ in run.values]
+        duals = [dual for _, dual in run.values]
         out.append(
             ConnectivityStats(
                 fault_count=count,

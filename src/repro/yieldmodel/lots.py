@@ -72,23 +72,39 @@ class LotReport:
         return shipped
 
 
+def _wafer_trial(ctx) -> int:
+    """One lot trial: post-assembly fault count of a single wafer.
+
+    Each wafer owns a private rng stream, so lot statistics are the same
+    whether wafers are simulated serially or across a worker pool.
+    """
+    return int(ctx.rng.binomial(ctx.config.tiles, ctx.params["tile_fail_probability"]))
+
+
 def simulate_lot(
     config: SystemConfig,
     wafers: int = 25,
     policy: BinPolicy | None = None,
     seed: int = 0,
     tile_fail_probability: float | None = None,
+    *,
+    workers: int = 1,
+    cache=None,
+    engine=None,
 ) -> LotReport:
     """Simulate one lot of assembled wafers.
 
     Per-tile failure combines both chiplets' bond yields (Section V);
     KGD escapes are negligible next to bonding at the default test
     coverage and are folded into an optional override probability.
+    Wafers are independent trials on the experiment engine (``workers``,
+    ``cache`` and ``engine`` as in :func:`repro.engine.ExperimentEngine`).
     """
+    from ..engine import ExperimentEngine
+
     if wafers < 1:
         raise ConfigError("lot needs at least one wafer")
     bins_policy = policy or BinPolicy()
-    rng = np.random.default_rng(seed)
 
     if tile_fail_probability is None:
         y_c = chiplet_bond_yield(
@@ -105,16 +121,23 @@ def simulate_lot(
     if not 0.0 <= tile_fail_probability <= 1.0:
         raise ConfigError("tile failure probability must be in [0, 1]")
 
-    fault_counts = rng.binomial(
-        config.tiles, tile_fail_probability, size=wafers
-    ).tolist()
+    eng = engine or ExperimentEngine(workers=workers, cache=cache)
+    run = eng.run(
+        _wafer_trial,
+        experiment="yield.lot_wafers",
+        trials=wafers,
+        seed=seed,
+        config=config,
+        params={"tile_fail_probability": float(tile_fail_probability)},
+    )
+    fault_counts = [int(f) for f in run.values]
     bins: dict[str, int] = {"full-spec": 0, "degraded": 0, "scrap": 0}
     for faults in fault_counts:
-        bins[bins_policy.bin_of(int(faults))] += 1
+        bins[bins_policy.bin_of(faults)] += 1
     return LotReport(
         wafers=wafers,
         bins=bins,
-        fault_counts=[int(f) for f in fault_counts],
+        fault_counts=fault_counts,
         tiles_per_wafer=config.tiles,
     )
 
@@ -123,8 +146,17 @@ def pillar_redundancy_lot_comparison(
     config: SystemConfig,
     wafers: int = 200,
     seed: int = 1,
+    *,
+    workers: int = 1,
+    cache=None,
+    engine=None,
 ) -> dict[int, LotReport]:
-    """Lot outcomes at 1 vs 2 pillars per pad — Section V at lot scale."""
+    """Lot outcomes at 1 vs 2 pillars per pad — Section V at lot scale.
+
+    Each pillar variant derives an independent seed root ``(seed,
+    pillars)``, so the two lots stay statistically independent while the
+    whole comparison remains reproducible at any worker count.
+    """
     out: dict[int, LotReport] = {}
     for pillars in (1, 2):
         y_c = chiplet_bond_yield(
@@ -136,7 +168,10 @@ def pillar_redundancy_lot_comparison(
         out[pillars] = simulate_lot(
             config,
             wafers=wafers,
-            seed=seed,
+            seed=(seed, pillars),
             tile_fail_probability=1.0 - y_c * y_m,
+            workers=workers,
+            cache=cache,
+            engine=engine,
         )
     return out

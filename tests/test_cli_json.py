@@ -1,0 +1,115 @@
+"""Tests for the CLI's structured-result API: --json, --workers, --no-cache."""
+
+import json
+
+import pytest
+
+from repro.cli import _RENDERERS, _RUNNERS, build_parser, main
+
+# Smallest cheap invocation of every command.
+COMMANDS = {
+    "table1": ["table1", "--rows", "4", "--cols", "4"],
+    "flow": ["flow", "--rows", "4", "--cols", "4", "--trials", "2"],
+    "droop": ["droop", "--rows", "4", "--cols", "4"],
+    "fig6": ["fig6", "--rows", "6", "--cols", "6", "--trials", "2",
+             "--max-faults", "2", "--no-cache"],
+    "clock": ["clock", "--rows", "4", "--cols", "4", "--faults", "2", "--seed", "1"],
+    "resiliency": ["resiliency", "--rows", "4", "--cols", "4", "--trials", "2",
+                   "--max-faults", "2", "--no-cache"],
+    "loadtime": ["loadtime", "--rows", "4", "--cols", "4"],
+    "yield": ["yield", "--rows", "4", "--cols", "4"],
+    "shmoo": ["shmoo", "--rows", "4", "--cols", "4", "--no-cache"],
+    "validate": ["validate", "--rows", "32", "--cols", "32"],
+    "report": ["report", "--rows", "4", "--cols", "4", "--trials", "2"],
+    "bringup": ["bringup", "--rows", "4", "--cols", "4", "--faults", "1",
+                "--seed", "1"],
+    "remap": ["remap", "--rows", "4", "--cols", "4", "--faults", "2", "--seed", "1"],
+    "lot": ["lot", "--rows", "4", "--cols", "4", "--wafers", "4", "--no-cache"],
+}
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    """Keep CLI cache writes out of the working directory."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
+class TestJsonOutput:
+    @pytest.mark.parametrize("command", sorted(COMMANDS))
+    def test_json_is_parseable_and_structured(self, command, capsys):
+        main(COMMANDS[command] + ["--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == command
+        assert isinstance(payload["ok"], bool)
+
+    def test_global_json_flag_before_subcommand(self, capsys):
+        assert main(["--json", "loadtime"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "loadtime"
+
+    def test_json_matches_text_exit_code(self, capsys):
+        text_code = main(COMMANDS["validate"])
+        capsys.readouterr()
+        json_code = main(COMMANDS["validate"] + ["--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert text_code == json_code == (0 if payload["ok"] else 1)
+
+    def test_every_command_has_runner_and_renderer(self):
+        assert set(_RUNNERS) == set(_RENDERERS) == set(COMMANDS)
+
+
+class TestTextRendering:
+    """Default text output is the renderer applied to the structured dict."""
+
+    @pytest.mark.parametrize("command", sorted(COMMANDS))
+    def test_text_is_rendered_dict(self, command, capsys):
+        parser = build_parser()
+        args = parser.parse_args(COMMANDS[command])
+        result = _RUNNERS[command](args)
+        expected = _RENDERERS[command](result)
+        assert isinstance(result, dict)
+        assert expected    # every command prints something
+
+    def test_fig6_text_format(self, capsys):
+        main(COMMANDS["fig6"])
+        out = capsys.readouterr().out
+        assert out.splitlines()[0] == f"{'faults':>7} {'single %':>9} {'dual %':>8}"
+
+    def test_lot_text_format(self, capsys):
+        main(COMMANDS["lot"])
+        out = capsys.readouterr().out
+        assert "pillar(s)/pad:" in out and "sellable" in out
+
+    def test_resiliency_text_has_header(self, capsys):
+        main(COMMANDS["resiliency"])
+        out = capsys.readouterr().out
+        assert "coverage %" in out.splitlines()[0]
+
+
+class TestEngineFlags:
+    def test_workers_do_not_change_cli_statistics(self, capsys):
+        base = ["fig6", "--rows", "6", "--cols", "6", "--trials", "3",
+                "--max-faults", "3", "--seed", "5", "--no-cache", "--json"]
+        main(base + ["--workers", "1"])
+        one = json.loads(capsys.readouterr().out)
+        main(base + ["--workers", "4"])
+        four = json.loads(capsys.readouterr().out)
+        assert one["stats"] == four["stats"]
+
+    def test_cache_populated_unless_disabled(self, tmp_path, monkeypatch):
+        cache_dir = tmp_path / "cli-cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+        cmd = ["fig6", "--rows", "4", "--cols", "4", "--trials", "2",
+               "--max-faults", "1"]
+        main(cmd + ["--no-cache"])
+        assert not cache_dir.exists()
+        main(cmd)
+        assert any(cache_dir.glob("*/*.pkl"))
+
+    def test_cached_rerun_matches(self, capsys):
+        cmd = ["lot", "--rows", "4", "--cols", "4", "--wafers", "4", "--json"]
+        main(cmd)
+        first = json.loads(capsys.readouterr().out)
+        main(cmd)
+        second = json.loads(capsys.readouterr().out)
+        assert first["variants"] == second["variants"]

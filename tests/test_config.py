@@ -137,3 +137,40 @@ class TestProperties:
         assert hash(cfg) == hash(SystemConfig(rows=rows, cols=cols))
         with pytest.raises(dataclasses.FrozenInstanceError):
             cfg.rows = 1    # type: ignore[misc]
+
+
+class TestSerialisation:
+    def test_to_dict_covers_every_field(self):
+        cfg = SystemConfig()
+        data = cfg.to_dict()
+        assert set(data) == {f.name for f in dataclasses.fields(SystemConfig)}
+
+    def test_round_trip_is_exact(self):
+        cfg = SystemConfig(rows=5, cols=9, cores_per_tile=11)
+        assert SystemConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_partial_dict_takes_defaults(self):
+        cfg = SystemConfig.from_dict({"rows": 6})
+        assert cfg.rows == 6
+        assert cfg.cols == SystemConfig().cols
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigError):
+            SystemConfig.from_dict({"rowz": 4})
+
+    def test_from_dict_validates(self):
+        with pytest.raises(ConfigError):
+            SystemConfig.from_dict({"rows": 0})
+
+    def test_variant_overrides_and_validates(self):
+        cfg = SystemConfig().variant(rows=3, cores_per_tile=9)
+        assert (cfg.rows, cfg.cores_per_tile) == (3, 9)
+        with pytest.raises(ConfigError):
+            SystemConfig().variant(pillars_per_pad=0)
+
+    def test_aliases_agree_with_from_dict(self):
+        assert paper_config() == SystemConfig.from_dict({})
+        assert reduced_config(7, 3) == SystemConfig.from_dict({"rows": 7, "cols": 3})
+        assert SystemConfig().scaled(4, 4) == SystemConfig.from_dict(
+            {"rows": 4, "cols": 4}
+        )
