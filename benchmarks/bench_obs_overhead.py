@@ -1,0 +1,116 @@
+"""Telemetry overhead benchmark: the disabled path must stay ~free.
+
+The observability layer's core promise is that instrumented code with
+*no* telemetry attached costs nothing measurable: subsystems keep a
+single ``is None`` handle check in their hot loops.  This bench drives
+the cycle-level NoC simulator three ways over identical traffic —
+
+* **baseline** — no telemetry argument, NULL ambient (the default every
+  library user gets);
+* **disabled** — an explicit ``Telemetry.disabled()`` attached (the
+  instrumented-but-off path);
+* **enabled** — a live ``Telemetry`` recording metrics and trace spans —
+
+and asserts the disabled path is within 5% of baseline (with a small
+absolute floor so sub-millisecond jitter on tiny runs cannot flake the
+build).  The enabled path is reported for information; it pays for real
+recording and has no cap.
+
+Runnable two ways::
+
+    python benchmarks/bench_obs_overhead.py      # standalone summary
+    pytest benchmarks/bench_obs_overhead.py -s   # under the bench harness
+"""
+
+import time
+
+from repro.config import SystemConfig
+from repro.noc.dualnetwork import NetworkId
+from repro.noc.simulator import NocSimulator
+from repro.obs import Telemetry
+from repro.workloads.traffic import TrafficPattern, generate_traffic
+
+from conftest import print_series
+
+ROWS = COLS = 8
+CYCLES = 150
+RATE = 0.08
+SEED = 2
+REPEATS = 5                     # best-of-N to shed scheduler noise
+MAX_OVERHEAD = 0.05             # disabled path within 5% of baseline
+JITTER_FLOOR_S = 0.010          # absolute slack for sub-ms timing noise
+
+
+def _drive(telemetry: Telemetry | None) -> float:
+    """One full simulation (inject, run, drain, report); returns seconds."""
+    cfg = SystemConfig(rows=ROWS, cols=COLS)
+    traffic = generate_traffic(cfg, TrafficPattern.UNIFORM, RATE, CYCLES, seed=SEED)
+    start = time.perf_counter()
+    sim = NocSimulator(cfg, telemetry=telemetry)
+    for cycle, packet in traffic:
+        while sim.cycle < cycle:
+            sim.step()
+        sim.inject(packet, network=NetworkId.XY)
+    sim.run(max(0, CYCLES - sim.cycle))
+    sim.drain()
+    sim.report()
+    return time.perf_counter() - start
+
+
+def _best(telemetry_factory) -> float:
+    return min(_drive(telemetry_factory()) for _ in range(REPEATS))
+
+
+def measure() -> dict:
+    """Best-of-N wall time for baseline/disabled/enabled telemetry."""
+    baseline_s = _best(lambda: None)
+    disabled_s = _best(Telemetry.disabled)
+    enabled_s = _best(Telemetry)
+    overhead = (disabled_s - baseline_s) / baseline_s if baseline_s > 0 else 0.0
+    return {
+        "baseline_s": baseline_s,
+        "disabled_s": disabled_s,
+        "enabled_s": enabled_s,
+        "disabled_overhead": overhead,
+        "within_budget": (
+            disabled_s <= baseline_s * (1 + MAX_OVERHEAD) + JITTER_FLOOR_S
+        ),
+    }
+
+
+def test_disabled_telemetry_overhead(benchmark):
+    result = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    print_series(
+        f"NoC sim {ROWS}x{COLS}, {CYCLES} cycles: telemetry overhead",
+        [
+            ("baseline (no telemetry)", f"{result['baseline_s'] * 1e3:.1f}ms"),
+            ("instrumented, disabled", f"{result['disabled_s'] * 1e3:.1f}ms"),
+            ("instrumented, enabled", f"{result['enabled_s'] * 1e3:.1f}ms"),
+            ("disabled overhead", f"{result['disabled_overhead']:+.1%}"),
+        ],
+    )
+    benchmark.extra_info["measured"] = {
+        k: result[k] for k in ("baseline_s", "disabled_s", "enabled_s")
+    }
+
+    assert result["within_budget"], (
+        f"disabled telemetry cost {result['disabled_overhead']:+.1%} "
+        f"(budget {MAX_OVERHEAD:.0%})"
+    )
+
+
+def main() -> int:
+    result = measure()
+    print(f"NoC sim {ROWS}x{COLS}, {CYCLES} cycles + drain, best of {REPEATS}")
+    print(f"  baseline (no telemetry):   {result['baseline_s'] * 1e3:.1f}ms")
+    print(f"  instrumented, disabled:    {result['disabled_s'] * 1e3:.1f}ms "
+          f"({result['disabled_overhead']:+.1%})")
+    print(f"  instrumented, enabled:     {result['enabled_s'] * 1e3:.1f}ms")
+    print(f"  disabled-path budget:      {MAX_OVERHEAD:.0%} -> "
+          f"{'OK' if result['within_budget'] else 'EXCEEDED'}")
+    return 0 if result["within_budget"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,8 +25,9 @@ from .engine import ExperimentEngine, ResultCache, ThroughputObserver
 from .errors import ReproError
 from .flow.designer import DesignFlowResult, run_design_flow
 from .flow.report import SystemReport, table1_report
+from .obs import MetricsRegistry, Telemetry, Tracer, use_telemetry
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "SystemConfig",
@@ -40,5 +41,9 @@ __all__ = [
     "run_design_flow",
     "SystemReport",
     "table1_report",
+    "MetricsRegistry",
+    "Telemetry",
+    "Tracer",
+    "use_telemetry",
     "__version__",
 ]

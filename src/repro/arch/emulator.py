@@ -22,6 +22,7 @@ from typing import Callable
 from ..config import Coord
 from ..errors import EmulatorError, NetworkError
 from ..noc.routing import dor_path
+from ..obs.telemetry import Telemetry, resolve_telemetry
 from .system import (
     DETOUR_SOFTWARE_PENALTY,
     HOP_LATENCY,
@@ -69,13 +70,33 @@ class EmulationStats:
 class Emulator:
     """Superstep-driven task-level emulator over a waferscale system."""
 
-    def __init__(self, system: WaferscaleSystem):
+    #: Histogram buckets for one-way hops per message.
+    HOP_BUCKETS = tuple(float(2**i) for i in range(0, 8))
+
+    def __init__(
+        self,
+        system: WaferscaleSystem,
+        telemetry: Telemetry | None = None,
+    ):
         self.system = system
         self.stats = EmulationStats()
         self._inboxes: dict[Coord, list[Message]] = {
             coord: [] for coord in system.healthy_coords()
         }
         self._outbox: list[Message] = []
+
+        tel = resolve_telemetry(telemetry)
+        self.telemetry = tel
+        self._obs: Telemetry | None = tel if tel.enabled else None
+        self._timeline_cycles = 0        # trace timestamps: emulated cycles
+        if self._obs is not None:
+            metrics = tel.metrics
+            self._m_messages = metrics.counter("emu.messages_sent")
+            self._m_detoured = metrics.counter("emu.detoured_messages")
+            self._m_supersteps = metrics.counter("emu.supersteps")
+            self._m_hops = metrics.histogram(
+                "emu.hops_per_message", buckets=self.HOP_BUCKETS
+            )
 
     # -- messaging ---------------------------------------------------------
 
@@ -118,6 +139,8 @@ class Emulator:
                 )
                 per_message = DETOUR_SOFTWARE_PENALTY
                 self.stats.detoured_messages += len(messages)
+                if self._obs is not None:
+                    self._m_detoured.inc(len(messages))
             else:
                 assert assignment.network is not None
                 hops = len(dor_path(src, dst, assignment.network.policy)) - 1
@@ -136,6 +159,12 @@ class Emulator:
             slowest = max(slowest, flow_cycles)
             self.stats.messages_sent += len(messages)
             self.stats.message_hops += hops * len(messages)
+            if self._obs is not None:
+                self._m_messages.inc(len(messages))
+                self._m_hops.observe(hops, count=len(messages))
+                self.telemetry.metrics.counter(
+                    "emu.tile_messages", tile=f"{src[0]},{src[1]}"
+                ).inc(len(messages))
             for message in messages:
                 self._inboxes[dst].append(message)
         return slowest
@@ -171,6 +200,21 @@ class Emulator:
         self.stats.local_compute_cycles += busiest
         self.stats.network_cycles += network_cycles
         self.stats.per_step_messages.append(self.stats.messages_sent - sent_before)
+        if self._obs is not None:
+            self._m_supersteps.inc()
+            step_messages = self.stats.messages_sent - sent_before
+            step_cycles = max(busiest, network_cycles)
+            start = self._timeline_cycles
+            self._timeline_cycles += max(step_cycles, 1)
+            self.telemetry.tracer.complete(
+                f"superstep {self.stats.supersteps - 1}",
+                ts=start,
+                dur=max(step_cycles, 1),
+                cat="emu",
+                compute_cycles=busiest,
+                network_cycles=network_cycles,
+                messages=step_messages,
+            )
         return bool(network_cycles) or busiest > 0 or any_messages
 
     def run(

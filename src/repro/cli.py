@@ -20,6 +20,8 @@ command         output
 ``bringup``     bring-up sequence on a randomly-faulted wafer
 ``remap``       logical fault-free grid extraction
 ``lot``         production-lot binning at 1 vs 2 pillars/pad
+``noc``         cycle-level NoC simulation under synthetic traffic
+``obs``         summarize/validate telemetry sink files
 ==============  =====================================================
 
 All commands accept ``--rows/--cols`` to scale the array and ``--json``
@@ -33,6 +35,16 @@ on the parallel experiment engine: ``--workers N`` fans trials across a
 process pool (statistics are identical at any worker count for the same
 seed) and results are cached on disk under ``.repro_cache`` (override
 with ``REPRO_CACHE_DIR``; disable with ``--no-cache``).
+
+Telemetry: ``--trace PATH`` writes a Chrome ``trace_event`` JSON (load
+it in Perfetto / ``chrome://tracing``; ``.jsonl`` suffix switches to
+JSON-lines) and ``--metrics PATH`` writes the metrics registry plus run
+manifests as JSON.  Either flag installs an ambient
+:class:`~repro.obs.telemetry.Telemetry` around the command, which the
+simulators and the engine pick up; with neither flag the command output
+is byte-identical to an un-instrumented run.  Inspect sink files with
+``repro obs summarize`` / ``repro obs validate`` (see
+``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -384,6 +396,88 @@ def run_lot(
     }
 
 
+def run_noc(
+    config: SystemConfig,
+    cycles: int = 200,
+    rate: float = 0.05,
+    pattern: str = "uniform",
+    seed: int = 0,
+    faults: int = 0,
+) -> dict:
+    """Cycle-level NoC simulation under a synthetic traffic pattern.
+
+    Injects requests on the X-Y network (responses return on Y-X per the
+    hardware's request/response split), runs for ``cycles`` cycles, then
+    drains in-flight traffic.  With an ambient telemetry installed
+    (``--trace``/``--metrics``) this is the richest trace source in the
+    CLI: one span per step epoch and per delivered packet, all in the
+    simulation-cycle time domain.
+    """
+    from .noc.dualnetwork import NetworkId
+    from .noc.faults import random_fault_map
+    from .noc.simulator import NocSimulator
+    from .workloads.traffic import TrafficPattern, generate_traffic
+
+    fault_map = random_fault_map(config, faults, rng=seed) if faults else None
+    sim = NocSimulator(config, fault_map=fault_map)
+    traffic = generate_traffic(
+        config, TrafficPattern(pattern), rate, cycles, seed=seed
+    )
+    for cycle, packet in traffic:
+        while sim.cycle < cycle:
+            sim.step()
+        sim.inject(packet, network=NetworkId.XY)
+    sim.run(max(0, cycles - sim.cycle))
+    sim.drain()
+    report = sim.report()
+    return {
+        "command": "noc",
+        "ok": True,
+        "pattern": pattern,
+        "rate": rate,
+        "seed": seed,
+        "faults": faults,
+        "warm_cycles": cycles,
+        "cycles": report.cycles,
+        "injected": report.injected,
+        "delivered": report.delivered,
+        "responses_delivered": report.responses_delivered,
+        "dropped_unreachable": report.dropped_unreachable,
+        "link_stalls": sim.link_stalls,
+        "mean_latency": report.mean_latency,
+        "p99_latency": report.p99_latency,
+        "throughput_packets_per_cycle": report.throughput_packets_per_cycle,
+        "per_network_delivered": {
+            net.name: count for net, count in report.per_network_delivered.items()
+        },
+    }
+
+
+def run_obs(action: str, paths: list[str]) -> dict:
+    """Validate or summarize telemetry sink files (trace/metrics/manifest)."""
+    from .errors import ObsError
+    from .obs import summarize_file, validate_file
+
+    files = []
+    ok = True
+    for path in paths:
+        entry: dict[str, Any] = {"path": path}
+        try:
+            if action == "summarize":
+                kind, text = summarize_file(path)
+                entry.update({"kind": kind, "ok": True, "summary": text})
+            else:
+                kind, problems = validate_file(path)
+                entry.update(
+                    {"kind": kind, "ok": not problems, "problems": problems}
+                )
+        except (OSError, ObsError) as exc:
+            entry.update({"kind": "unknown", "ok": False, "error": str(exc)})
+        ok = ok and entry["ok"]
+        files.append(entry)
+    return {"command": "obs", "ok": ok, "action": action, "files": files}
+
+
 # ---------------------------------------------------------------------------
 # Renderers: result dict -> the historical text output, byte-identical.
 # ---------------------------------------------------------------------------
@@ -527,6 +621,44 @@ def render_lot(result: dict) -> str:
     )
 
 
+def render_noc(result: dict) -> str:
+    per_net = ", ".join(
+        f"{name} {count}"
+        for name, count in sorted(result["per_network_delivered"].items())
+    )
+    return "\n".join(
+        [
+            f"pattern {result['pattern']} @ {result['rate']:g} pkt/tile/cycle, "
+            f"{result['warm_cycles']} cycles (drained at {result['cycles']})",
+            f"injected {result['injected']}, delivered {result['delivered']} "
+            f"({result['responses_delivered']} responses), "
+            f"dropped {result['dropped_unreachable']}",
+            f"latency: mean {result['mean_latency']:.2f} cycles, "
+            f"p99 {result['p99_latency']:.1f}",
+            f"throughput: {result['throughput_packets_per_cycle']:.3f} pkt/cycle",
+            f"per-network delivered: {per_net}",
+            f"link stalls: {result['link_stalls']}",
+        ]
+    )
+
+
+def render_obs(result: dict) -> str:
+    lines = []
+    for entry in result["files"]:
+        if "summary" in entry:
+            lines.append(entry["summary"])
+        elif entry.get("error"):
+            lines.append(f"{entry['path']}: ERROR {entry['error']}")
+        elif entry["ok"]:
+            lines.append(f"{entry['path']}: valid {entry['kind']} file")
+        else:
+            lines.append(
+                f"{entry['path']}: INVALID {entry['kind']} file\n  "
+                + "\n  ".join(entry["problems"])
+            )
+    return "\n".join(lines)
+
+
 # ---------------------------------------------------------------------------
 # Argument plumbing.
 # ---------------------------------------------------------------------------
@@ -572,6 +704,11 @@ _RUNNERS: dict[str, Callable[[argparse.Namespace], dict]] = {
     "lot": lambda a: run_lot(
         _config(a), wafers=a.wafers, seed=a.seed, **_engine_kwargs(a),
     ),
+    "noc": lambda a: run_noc(
+        _config(a), cycles=a.cycles, rate=a.rate,
+        pattern=a.pattern, seed=a.seed, faults=a.faults,
+    ),
+    "obs": lambda a: run_obs(a.action, a.paths),
 }
 
 _RENDERERS: dict[str, Callable[[dict], str]] = {
@@ -589,12 +726,34 @@ _RENDERERS: dict[str, Callable[[dict], str]] = {
     "bringup": render_bringup,
     "remap": render_remap,
     "lot": render_lot,
+    "noc": render_noc,
+    "obs": render_obs,
 }
 
 
 def _dispatch(args: argparse.Namespace) -> int:
-    """Run one command: compute the dict, emit JSON or text, exit code."""
-    result = _RUNNERS[args.command](args)
+    """Run one command: compute the dict, emit JSON or text, exit code.
+
+    When ``--trace`` or ``--metrics`` is given, a live
+    :class:`~repro.obs.telemetry.Telemetry` is installed as the ambient
+    one for the duration of the command and the requested sink files are
+    written afterwards.  Without either flag nothing is installed and
+    the command runs exactly as before.
+    """
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    if trace_path or metrics_path:
+        from .obs import Telemetry, use_telemetry
+
+        telemetry = Telemetry()
+        with use_telemetry(telemetry):
+            result = _RUNNERS[args.command](args)
+        if trace_path:
+            telemetry.write_trace(trace_path)
+        if metrics_path:
+            telemetry.write_metrics(metrics_path)
+    else:
+        result = _RUNNERS[args.command](args)
     if args.command == "report" and result["output"]:
         with open(result["output"], "w", encoding="utf-8") as handle:
             handle.write(result["markdown"])
@@ -616,6 +775,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the command's structured result as JSON",
     )
+    parser.add_argument(
+        "--trace",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write a Chrome trace_event JSON of the run "
+        "(.jsonl suffix for JSON-lines)",
+    )
+    parser.add_argument(
+        "--metrics",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write the metrics registry and run manifests as JSON",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     for name, extras in (
@@ -632,18 +806,27 @@ def build_parser() -> argparse.ArgumentParser:
         ("bringup", ("seed", "faults")),
         ("remap", ("seed", "faults")),
         ("lot", ("seed", "wafers")),
+        ("noc", ("seed", "faults", "cycles", "rate", "pattern")),
         ("validate", ()),
     ):
         p = sub.add_parser(name)
         _add_size_args(p)
-        # Accept --json after the subcommand too; SUPPRESS keeps the
-        # top-level default when the flag is absent here.
+        # Accept --json/--trace/--metrics after the subcommand too;
+        # SUPPRESS keeps the top-level default when a flag is absent here.
         p.add_argument(
             "--json",
             action="store_true",
             default=argparse.SUPPRESS,
             help=argparse.SUPPRESS,
         )
+        for sink in ("--trace", "--metrics"):
+            p.add_argument(
+                sink,
+                type=str,
+                default=argparse.SUPPRESS,
+                metavar="PATH",
+                help=argparse.SUPPRESS,
+            )
         if "trials" in extras:
             p.add_argument("--trials", type=int, default=10)
         if "seed" in extras:
@@ -656,6 +839,24 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--output", type=str, default="")
         if "wafers" in extras:
             p.add_argument("--wafers", type=int, default=50)
+        if "cycles" in extras:
+            p.add_argument("--cycles", type=int, default=200)
+        if "rate" in extras:
+            p.add_argument(
+                "--rate",
+                type=float,
+                default=0.05,
+                help="packet injection rate per tile per cycle",
+            )
+        if "pattern" in extras:
+            from .workloads.traffic import TrafficPattern
+
+            p.add_argument(
+                "--pattern",
+                type=str,
+                default="uniform",
+                choices=[t.value for t in TrafficPattern],
+            )
         if name in ENGINE_COMMANDS:
             p.add_argument(
                 "--workers",
@@ -670,6 +871,23 @@ def build_parser() -> argparse.ArgumentParser:
                 help="bypass the on-disk result cache",
             )
         p.set_defaults(handler=_dispatch)
+
+    # `obs` works on sink files, not a wafer configuration, so it sits
+    # outside the sized-command loop: no --rows/--cols.
+    obs = sub.add_parser("obs", help="inspect telemetry sink files")
+    obs.add_argument(
+        "action",
+        choices=("summarize", "validate"),
+        help="render a human summary or check the file against its schema",
+    )
+    obs.add_argument("paths", nargs="+", metavar="PATH")
+    obs.add_argument(
+        "--json",
+        action="store_true",
+        default=argparse.SUPPRESS,
+        help=argparse.SUPPRESS,
+    )
+    obs.set_defaults(handler=_dispatch)
     return parser
 
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from .. import params
 from ..config import SystemConfig
 from ..errors import JtagError
+from ..obs.telemetry import Telemetry, resolve_telemetry
 
 # TCK cycles to deliver one 32-bit word through an ARM DAP: the 35-bit
 # APACC scan plus controller state moves, ACK polling and periodic address
@@ -119,6 +120,7 @@ def load_time_model(
     total_bytes: int | None = None,
     tck_hz: float | None = None,
     cycles_per_word: int = CYCLES_PER_WORD_DEFAULT,
+    telemetry: Telemetry | None = None,
 ) -> LoadTimeEstimate:
     """Time to load ``total_bytes`` across the wafer through JTAG.
 
@@ -141,6 +143,22 @@ def load_time_model(
     words = total_bytes // 4
     words_per_chain = -(-words // plan.chain_count)    # ceil
     seconds = words_per_chain * cycles_per_word / hz
+
+    tel = resolve_telemetry(telemetry)
+    if tel.enabled:
+        metrics = tel.metrics
+        metrics.counter("dft.load_models_evaluated").inc()
+        metrics.counter("dft.chains_planned").inc(plan.chain_count)
+        metrics.counter("dft.words_loaded").inc(words)
+        metrics.histogram("dft.chain_length_tiles").observe(
+            plan.max_chain_length
+        )
+        tel.tracer.instant(
+            f"dft.load:{plan.chain_count}-chain",
+            cat="dft",
+            seconds=seconds,
+            tck_hz=hz,
+        )
     return LoadTimeEstimate(
         plan_chains=plan.chain_count,
         total_bytes=total_bytes,
@@ -150,11 +168,16 @@ def load_time_model(
     )
 
 
-def paper_load_time_comparison(config: SystemConfig | None = None) -> dict[str, float]:
+def paper_load_time_comparison(
+    config: SystemConfig | None = None,
+    telemetry: Telemetry | None = None,
+) -> dict[str, float]:
     """The Section VII numbers: single-chain hours vs 32-chain minutes."""
     cfg = config or SystemConfig()
-    single = load_time_model(single_chain(cfg))
-    multi = load_time_model(row_chains(cfg))
+    tel = resolve_telemetry(telemetry)
+    with tel.tracer.span("dft.load_time_comparison", cat="dft"):
+        single = load_time_model(single_chain(cfg), telemetry=tel)
+        multi = load_time_model(row_chains(cfg), telemetry=tel)
     return {
         "single_chain_hours": single.hours,
         "multi_chain_minutes": multi.minutes,

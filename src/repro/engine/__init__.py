@@ -22,7 +22,13 @@ See ``docs/engine.md`` for the execution model.
 
 from .cache import ResultCache, cache_key, canonicalize, resolve_cache
 from .core import ExperimentEngine, RunResult, TrialContext, default_workers
-from .observe import EngineObserver, ProgressCallback, RunRecord, ThroughputObserver
+from .observe import (
+    EngineObserver,
+    ProgressCallback,
+    RunRecord,
+    TelemetryObserver,
+    ThroughputObserver,
+)
 from .seeding import as_seed_sequence, rng_from, seed_fingerprint, spawn_trial_seeds
 
 __all__ = [
@@ -37,6 +43,7 @@ __all__ = [
     "EngineObserver",
     "ProgressCallback",
     "RunRecord",
+    "TelemetryObserver",
     "ThroughputObserver",
     "as_seed_sequence",
     "rng_from",

@@ -34,8 +34,10 @@ import numpy as np
 
 from ..config import SystemConfig
 from ..errors import ReproError
+from ..obs.manifest import build_manifest
+from ..obs.telemetry import Telemetry, resolve_telemetry
 from .cache import ResultCache, cache_key, resolve_cache
-from .observe import EngineObserver, ProgressCallback
+from .observe import EngineObserver, ProgressCallback, TelemetryObserver
 from .seeding import SeedLike, spawn_trial_seeds
 
 
@@ -136,6 +138,13 @@ class ExperimentEngine:
     chunk_size:
         Trials per dispatched task.  Defaults to ~4 chunks per worker,
         which amortises pickling without starving the pool.
+    telemetry:
+        A :class:`~repro.obs.telemetry.Telemetry`; defaults to the
+        ambient one (disabled unless installed, e.g. by the CLI's
+        ``--trace``/``--metrics`` flags).  When enabled, every run is
+        traced as a span, cache hits/misses and trial times are
+        recorded, and a :class:`~repro.obs.manifest.RunManifest` is
+        appended per run.
     """
 
     def __init__(
@@ -144,6 +153,7 @@ class ExperimentEngine:
         cache: ResultCache | bool | None = None,
         observers: Sequence[EngineObserver] = (),
         chunk_size: int | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if workers <= 0:
             workers = default_workers()
@@ -151,16 +161,13 @@ class ExperimentEngine:
         self.cache = resolve_cache(cache)
         self.observers = list(observers)
         self.chunk_size = chunk_size
+        self.telemetry = resolve_telemetry(telemetry)
 
     # -- observer plumbing -------------------------------------------------
 
     def add_observer(self, observer: EngineObserver) -> None:
         """Attach an observer for subsequent runs."""
         self.observers.append(observer)
-
-    def _notify(self, method: str, *args: Any) -> None:
-        for observer in self.observers:
-            getattr(observer, method)(*args)
 
     # -- execution ---------------------------------------------------------
 
@@ -196,13 +203,25 @@ class ExperimentEngine:
         if config is not None:
             run_params["config"] = config
 
+        telemetry = self.telemetry
+        observers = list(self.observers)
+        if telemetry.enabled:
+            observers.append(TelemetryObserver(telemetry))
+        if progress is not None:
+            observers.append(ProgressCallback(progress))
+
         key = None
         if self.cache is not None:
             key = cache_key(experiment, config, params, seed, trials)
             hit, values = self.cache.get(key)
+            if telemetry.enabled:
+                telemetry.metrics.counter(
+                    "engine.cache_hits" if hit else "engine.cache_misses"
+                ).inc()
             if hit:
                 start = time.perf_counter()
-                self._notify("on_run_start", experiment, trials, self.workers)
+                for observer in observers:
+                    observer.on_run_start(experiment, trials, self.workers)
                 result = RunResult(
                     experiment=experiment,
                     trials=trials,
@@ -212,12 +231,11 @@ class ExperimentEngine:
                     elapsed_s=time.perf_counter() - start,
                     from_cache=True,
                 )
-                self._notify("on_run_end", result)
+                for observer in observers:
+                    observer.on_run_end(result)
+                if telemetry.enabled:
+                    self._record_manifest(experiment, config, params, seed, result)
                 return result
-
-        observers = self.observers
-        if progress is not None:
-            observers = observers + [ProgressCallback(progress)]
 
         start = time.perf_counter()
         for observer in observers:
@@ -261,4 +279,31 @@ class ExperimentEngine:
         )
         for observer in observers:
             observer.on_run_end(result)
+        if telemetry.enabled:
+            self._record_manifest(experiment, config, params, seed, result)
         return result
+
+    def _record_manifest(
+        self,
+        experiment: str,
+        config: SystemConfig | None,
+        params: dict[str, Any] | None,
+        seed: SeedLike,
+        result: RunResult,
+    ) -> None:
+        """Append this run's provenance record to the telemetry."""
+        self.telemetry.record_manifest(
+            build_manifest(
+                experiment,
+                config=config,
+                params=params,
+                seed=seed,
+                trials=result.trials,
+                workers=self.workers,
+                wall_s=result.elapsed_s,
+                busy_s=result.total_trial_time_s,
+                from_cache=result.from_cache,
+                cache_hits=self.cache.hits if self.cache is not None else 0,
+                cache_misses=self.cache.misses if self.cache is not None else 0,
+            )
+        )

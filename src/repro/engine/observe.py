@@ -5,6 +5,20 @@ to any number of observers.  Observers run in the parent process (trial
 completions are delivered as results stream back from the pool), so they
 may hold state and talk to the terminal without worrying about worker
 isolation.
+
+Since the unified telemetry layer (:mod:`repro.obs`) landed, the
+built-in observers keep their state in metrics-registry instruments
+rather than private scalars:
+
+* :class:`ThroughputObserver` accumulates into a
+  :class:`~repro.obs.metrics.MetricsRegistry` (its own by default, or a
+  shared one passed in) under ``engine.throughput.*`` names;
+* :class:`ProgressCallback` counts with registry instruments and mirrors
+  progress to the ambient telemetry's ``engine.progress_done`` gauge;
+* :class:`TelemetryObserver` bridges the engine events onto a
+  :class:`~repro.obs.telemetry.Telemetry` (span per run, counters and a
+  trial-time histogram); the engine attaches one automatically whenever
+  its telemetry is enabled.
 """
 
 from __future__ import annotations
@@ -12,6 +26,9 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
+
+from ..obs.metrics import Counter, Gauge, MetricsRegistry, TIME_BUCKETS_S
+from ..obs.telemetry import Telemetry, current_telemetry
 
 if TYPE_CHECKING:                       # pragma: no cover
     from .core import RunResult
@@ -50,17 +67,52 @@ class RunRecord:
 
     @property
     def mean_trial_s(self) -> float:
-        """Average single-trial compute time."""
+        """Average single-trial compute time (0.0 for cached runs)."""
         return self.busy_s / self.completed if self.completed else 0.0
+
+    def describe(self) -> str:
+        """One-line human rendering; cache hits are stated explicitly.
+
+        A fully cached run computes zero trials, so its ``mean_trial_s``
+        is necessarily 0 — rather than report a misleading "0 s/trial"
+        throughput, the rendering says the values came from the cache.
+        """
+        if self.from_cache:
+            return (
+                f"{self.experiment}: {self.trials} trials served from cache "
+                f"in {self.wall_s:.3f}s (no trials computed)"
+            )
+        return (
+            f"{self.experiment}: {self.completed}/{self.trials} trials "
+            f"in {self.wall_s:.3f}s "
+            f"(mean {self.mean_trial_s * 1e3:.2f} ms/trial, "
+            f"{self.trials_per_second:.1f} trials/s)"
+        )
 
 
 class ThroughputObserver(EngineObserver):
-    """Accumulates per-run timing and throughput counters."""
+    """Accumulates per-run timing and throughput counters.
 
-    def __init__(self) -> None:
+    Aggregate totals live in a :class:`~repro.obs.metrics.
+    MetricsRegistry` under ``engine.throughput.*`` — pass a shared
+    registry to surface them alongside other telemetry, or let the
+    observer keep a private one.  Per-run :class:`RunRecord` entries
+    remain available as ``runs``.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.metrics = registry if registry is not None else MetricsRegistry()
         self.runs: list[RunRecord] = []
+        self._c_runs = self.metrics.counter("engine.throughput.runs")
+        self._c_cached = self.metrics.counter("engine.throughput.cached_runs")
+        self._c_trials = self.metrics.counter("engine.throughput.trials")
+        self._c_busy = self.metrics.counter("engine.throughput.busy_seconds")
+        self._h_trial = self.metrics.histogram(
+            "engine.throughput.trial_seconds", buckets=TIME_BUCKETS_S
+        )
 
     def on_run_start(self, experiment: str, trials: int, workers: int) -> None:
+        self._c_runs.inc()
         self.runs.append(
             RunRecord(
                 experiment=experiment,
@@ -74,21 +126,30 @@ class ThroughputObserver(EngineObserver):
         record = self.runs[-1]
         record.completed += 1
         record.busy_s += elapsed_s
+        self._c_trials.inc()
+        self._c_busy.inc(elapsed_s)
+        self._h_trial.observe(elapsed_s)
 
     def on_run_end(self, result: "RunResult") -> None:
         record = self.runs[-1]
         record.wall_s = time.perf_counter() - record.started_at
         record.from_cache = result.from_cache
+        if result.from_cache:
+            self._c_cached.inc()
 
     @property
     def total_trials(self) -> int:
         """Trials actually computed (cache hits contribute zero)."""
-        return sum(r.completed for r in self.runs)
+        return int(self._c_trials.value)
 
     @property
     def total_busy_s(self) -> float:
         """Total single-trial compute time across every run."""
-        return sum(r.busy_s for r in self.runs)
+        return float(self._c_busy.value)
+
+    def summary(self) -> str:
+        """Multi-line rendering of every recorded run."""
+        return "\n".join(record.describe() for record in self.runs)
 
 
 @dataclass
@@ -96,23 +157,71 @@ class ProgressCallback(EngineObserver):
     """Adapts a plain ``fn(done, total)`` callable into an observer.
 
     ``every`` throttles delivery: the callback fires on the first trial,
-    then every ``every`` trials, and always on the last.
+    then every ``every`` trials, and always on the last.  Progress state
+    is held in metric instruments; when an ambient telemetry is enabled
+    the current position is also mirrored to its
+    ``engine.progress_done`` / ``engine.progress_total`` gauges.
     """
 
     fn: Callable[[int, int], None]
     every: int = 1
-    _done: int = field(default=0, repr=False)
-    _total: int = field(default=0, repr=False)
+    _done: Counter = field(default=None, repr=False)        # type: ignore[assignment]
+    _total: Gauge = field(default=None, repr=False)         # type: ignore[assignment]
+    _mirror: Gauge = field(default=None, repr=False)        # type: ignore[assignment]
 
     def on_run_start(self, experiment: str, trials: int, workers: int) -> None:
-        self._done = 0
-        self._total = trials
+        self._done = Counter("engine.progress_done")
+        self._total = Gauge("engine.progress_total")
+        self._total.set(trials)
+        ambient = current_telemetry()
+        self._mirror = ambient.metrics.gauge("engine.progress_done")
+        ambient.metrics.gauge("engine.progress_total").set(trials)
 
     def on_trial(self, experiment: str, index: int, elapsed_s: float) -> None:
-        self._done += 1
-        if (
-            self._done == 1
-            or self._done == self._total
-            or self._done % max(1, self.every) == 0
-        ):
-            self.fn(self._done, self._total)
+        self._done.inc()
+        done = int(self._done.value)
+        total = int(self._total.value)
+        self._mirror.set(done)
+        if done == 1 or done == total or done % max(1, self.every) == 0:
+            self.fn(done, total)
+
+
+class TelemetryObserver(EngineObserver):
+    """Bridges engine events onto a telemetry (registry + tracer).
+
+    One instance is attached per run by :class:`~repro.engine.core.
+    ExperimentEngine` when its telemetry is enabled: counts runs and
+    trials, observes per-trial compute time into a histogram, and wraps
+    the run in a wall-clock trace span.
+    """
+
+    def __init__(self, telemetry: Telemetry) -> None:
+        self.telemetry = telemetry
+        metrics = telemetry.metrics
+        self._c_runs = metrics.counter("engine.runs")
+        self._c_trials = metrics.counter("engine.trials")
+        self._h_trial = metrics.histogram(
+            "engine.trial_seconds", buckets=TIME_BUCKETS_S
+        )
+        self._span_name: str | None = None
+
+    def on_run_start(self, experiment: str, trials: int, workers: int) -> None:
+        self._c_runs.inc()
+        self._span_name = f"engine.run:{experiment}"
+        self.telemetry.tracer.begin(
+            self._span_name, cat="engine", trials=trials, workers=workers
+        )
+
+    def on_trial(self, experiment: str, index: int, elapsed_s: float) -> None:
+        self._c_trials.inc()
+        self._h_trial.observe(elapsed_s)
+
+    def on_run_end(self, result: "RunResult") -> None:
+        if self._span_name is not None:
+            self.telemetry.tracer.end(
+                self._span_name,
+                cat="engine",
+                from_cache=result.from_cache,
+                elapsed_s=result.elapsed_s,
+            )
+            self._span_name = None

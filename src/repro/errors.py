@@ -60,6 +60,10 @@ class EmulatorError(ReproError):
     """Functional emulator error (bad address, halted core access...)."""
 
 
+class ObsError(ReproError):
+    """Telemetry failure (bad metric use, malformed sink file...)."""
+
+
 class MemoryMapError(EmulatorError):
     """An address does not decode to any mapped resource."""
 

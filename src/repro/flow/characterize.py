@@ -25,6 +25,7 @@ import numpy as np
 from .. import params
 from ..config import SystemConfig
 from ..errors import ReproError
+from ..obs.telemetry import Telemetry, resolve_telemetry
 from ..pdn.ldo import LdoModel
 from ..pdn.solver import PdnSolver
 
@@ -113,6 +114,7 @@ def characterize(
     workers: int = 1,
     cache=None,
     engine=None,
+    telemetry: Telemetry | None = None,
 ) -> ShmooResult:
     """Shmoo the (simulated) prototype.
 
@@ -127,6 +129,7 @@ def characterize(
     cfg = config or SystemConfig()
     if process_sigma < 0:
         raise ReproError("process sigma must be non-negative")
+    tel = resolve_telemetry(telemetry)
     solution = PdnSolver(cfg).solve()
     k = _calibrate_k()
     rng = np.random.default_rng(seed)
@@ -136,23 +139,32 @@ def characterize(
         for r in range(cfg.rows)
     ]
 
-    eng = engine or ExperimentEngine(workers=workers, cache=cache)
-    run = eng.run(
-        _shmoo_row_trial,
-        experiment="flow.shmoo_rows",
-        trials=cfg.rows,
-        seed=seed,
-        config=cfg,
-        params={
-            "k": k,
-            "v_in": v_in,
-            "spread": spread.tolist(),
-            "process_sigma": float(process_sigma),
-        },
-    )
+    eng = engine or ExperimentEngine(workers=workers, cache=cache, telemetry=tel)
+    with tel.tracer.span("flow.characterize", cat="flow", rows=cfg.rows):
+        run = eng.run(
+            _shmoo_row_trial,
+            experiment="flow.shmoo_rows",
+            trials=cfg.rows,
+            seed=seed,
+            config=cfg,
+            params={
+                "k": k,
+                "v_in": v_in,
+                "spread": spread.tolist(),
+                "process_sigma": float(process_sigma),
+            },
+        )
 
     regulated = np.array([reg_row for reg_row, _ in run.values])
     fmax = np.array([fmax_row for _, fmax_row in run.values])
+    if tel.enabled:
+        tel.metrics.counter("flow.rows_characterized").inc(cfg.rows)
+        fmax_hist = tel.metrics.histogram(
+            "flow.tile_fmax_mhz",
+            buckets=tuple(float(b) for b in range(0, 440, 20)),
+        )
+        for value in fmax.reshape(-1):
+            fmax_hist.observe(value / 1e6)
     return ShmooResult(config=cfg, fmax_hz=fmax, regulated_v=regulated)
 
 

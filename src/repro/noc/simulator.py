@@ -15,6 +15,17 @@ fault map into a steppable model:
 The simulator is deliberately packet-per-cycle (one flit per packet, one
 hop per cycle, FIFO depth in packets) — the same abstraction level the
 paper uses to discuss its network.
+
+Telemetry
+---------
+Pass a :class:`~repro.obs.telemetry.Telemetry` (or install one as the
+ambient telemetry) to record per-cycle queue-occupancy histograms, stall
+and backpressure counters, per-network load, a latency histogram, and a
+trace with one span per :meth:`step` epoch plus one span per delivered
+packet on its destination tile's track — all timestamped in *simulation
+cycles*.  Without an enabled telemetry the instrumentation is a single
+``is None`` check and the simulation is bit-identical to the
+un-instrumented model.
 """
 
 from __future__ import annotations
@@ -25,11 +36,18 @@ import numpy as np
 
 from ..config import Coord, SystemConfig
 from ..errors import NetworkError
+from ..obs.telemetry import Telemetry, resolve_telemetry
 from .dualnetwork import NetworkId
 from .faults import FaultMap
 from .packets import Packet, PacketKind
 from .router import Port, Router, port_toward
 from .routing import RoutingPolicy
+
+#: Histogram buckets for packet latency in cycles.
+LATENCY_BUCKETS = tuple(float(2**i) for i in range(0, 14))
+
+#: Histogram buckets for whole-network queue occupancy (packets).
+OCCUPANCY_BUCKETS = tuple(float(2**i) for i in range(0, 15))
 
 
 @dataclass
@@ -49,12 +67,33 @@ class SimulationReport:
         """Mean injection-to-delivery latency in cycles."""
         return float(np.mean(self.latencies)) if self.latencies else 0.0
 
-    @property
-    def p99_latency(self) -> float:
-        """99th-percentile latency in cycles."""
+    def latency_percentile(self, q: float) -> float:
+        """Linear-interpolated latency percentile (``q`` in 0..100).
+
+        Matches :func:`numpy.percentile`'s default (linear) method at
+        every sample count — with ``n`` samples the rank ``(n-1)*q/100``
+        is interpolated between the two nearest order statistics, so a
+        two-sample p99 is *not* simply the maximum — and returns ``0.0``
+        for an empty delivered set instead of raising.
+        """
+        if not 0 <= q <= 100:
+            raise NetworkError("percentile must be in [0, 100]")
         if not self.latencies:
             return 0.0
-        return float(np.percentile(self.latencies, 99))
+        ordered = sorted(self.latencies)
+        rank = (len(ordered) - 1) * (q / 100.0)
+        lower = int(rank)
+        fraction = rank - lower
+        if fraction == 0.0 or lower + 1 >= len(ordered):
+            return float(ordered[lower])
+        return float(
+            ordered[lower] + (ordered[lower + 1] - ordered[lower]) * fraction
+        )
+
+    @property
+    def p99_latency(self) -> float:
+        """99th-percentile latency in cycles (0.0 when nothing delivered)."""
+        return self.latency_percentile(99.0)
 
     @property
     def throughput_packets_per_cycle(self) -> float:
@@ -71,6 +110,7 @@ class NocSimulator:
         fault_map: FaultMap | None = None,
         fifo_depth: int = 4,
         response_delay: int = 2,
+        telemetry: Telemetry | None = None,
     ):
         self.config = config
         self.fault_map = fault_map or FaultMap(config)
@@ -90,9 +130,46 @@ class NocSimulator:
         self.injected_count = 0
         self.dropped_unreachable = 0
         self.dropped_in_flight = 0      # DoR packets that hit a faulty link
+        self.link_stalls = 0            # winners held back by backpressure
         self._per_network_delivered = {n: 0 for n in NetworkId}
 
+        tel = resolve_telemetry(telemetry)
+        self.telemetry = tel
+        self._obs: Telemetry | None = tel if tel.enabled else None
+        self._router_snapshot_cycle = -1
+        if self._obs is not None:
+            metrics = tel.metrics
+            self._m_injected = metrics.counter("noc.injected")
+            self._m_inject_backpressure = metrics.counter(
+                "noc.injection_backpressure"
+            )
+            self._m_dropped = metrics.counter("noc.dropped_unreachable")
+            self._m_stalls = metrics.counter("noc.link_stalls")
+            self._m_latency = metrics.histogram(
+                "noc.latency_cycles", buckets=LATENCY_BUCKETS
+            )
+            self._m_delivered = {
+                net: metrics.counter("noc.delivered", network=net.name)
+                for net in NetworkId
+            }
+            self._m_occupancy = {
+                net: metrics.histogram(
+                    "noc.queue_occupancy",
+                    buckets=OCCUPANCY_BUCKETS,
+                    network=net.name,
+                )
+                for net in NetworkId
+            }
+            self._m_load = {
+                net: metrics.gauge("noc.network_load", network=net.name)
+                for net in NetworkId
+            }
+
     # ------------------------------------------------------------------
+
+    def _tile_tid(self, coord: Coord) -> int:
+        """Stable per-tile trace track id (tid 0 is the simulator's)."""
+        return 1 + coord[0] * self.config.cols + coord[1]
 
     def inject(self, packet: Packet, network: NetworkId) -> bool:
         """Queue a packet for injection on a network.
@@ -103,6 +180,8 @@ class NocSimulator:
         """
         if self.fault_map.is_faulty(packet.src) or self.fault_map.is_faulty(packet.dst):
             self.dropped_unreachable += 1
+            if self._obs is not None:
+                self._m_dropped.inc()
             return False
         self._pending_injections.append((packet, network))
         return True
@@ -110,19 +189,28 @@ class NocSimulator:
     def _try_local_injections(self) -> None:
         """Move pending packets into their source router's LOCAL FIFO."""
         remaining: list[tuple[Packet, NetworkId]] = []
+        accepted = 0
         for packet, net in self._pending_injections:
             router = self.routers[net].get(packet.src)
             if router is None:
                 self.dropped_unreachable += 1
+                if self._obs is not None:
+                    self._m_dropped.inc()
                 continue
             if router.can_accept(Port.LOCAL):
                 if packet.injected_cycle is None:
                     packet.injected_cycle = self.cycle
                 router.accept(Port.LOCAL, packet)
                 self.injected_count += 1
+                accepted += 1
             else:
                 remaining.append((packet, net))
         self._pending_injections = remaining
+        if self._obs is not None:
+            if accepted:
+                self._m_injected.inc(accepted)
+            if remaining:
+                self._m_inject_backpressure.inc(len(remaining))
 
     def _release_due_responses(self) -> None:
         due = [x for x in self._pending_responses if x[0] <= self.cycle]
@@ -136,6 +224,8 @@ class NocSimulator:
         packet.delivered_cycle = self.cycle
         self.delivered_packets.append(packet)
         self._per_network_delivered[network] += 1
+        if self._obs is not None:
+            self._record_delivery(packet, network)
         if packet.kind is PacketKind.REQUEST:
             response = Packet(
                 kind=PacketKind.RESPONSE,
@@ -149,6 +239,27 @@ class NocSimulator:
                 (self.cycle + self.response_delay, response, network.complement)
             )
 
+    def _record_delivery(self, packet: Packet, network: NetworkId) -> None:
+        """Metrics and a per-tile trace span for one delivered packet."""
+        latency = packet.latency
+        self._m_delivered[network].inc()
+        if latency is not None:
+            self._m_latency.observe(latency)
+            tracer = self.telemetry.tracer
+            tid = self._tile_tid(packet.dst)
+            tracer.name_track(
+                tid, f"tile ({packet.dst[0]},{packet.dst[1]})"
+            )
+            tracer.complete(
+                f"pkt {packet.src}->{packet.dst}",
+                ts=packet.injected_cycle,
+                dur=max(latency, 1),
+                cat="noc.router",
+                tid=tid,
+                network=network.name,
+                kind=packet.kind.name,
+            )
+
     def step(self) -> None:
         """Advance the simulation by one cycle."""
         self._release_due_responses()
@@ -157,6 +268,7 @@ class NocSimulator:
         # Two-phase update: arbitrate everywhere first, then move packets,
         # so a move this cycle cannot enable another move this cycle.
         moves: list[tuple[NetworkId, Router, Port, Port, Router | None, Port | None]] = []
+        stalled = 0
         for net in NetworkId:
             for router in self.routers[net].values():
                 for out_port, (in_port, packet) in router.arbitrate().items():
@@ -175,6 +287,8 @@ class NocSimulator:
                         moves.append(
                             (net, router, out_port, in_port, downstream, entry_port)
                         )
+                    else:
+                        stalled += 1
 
         for net, router, out_port, in_port, downstream, entry in moves:
             if out_port is Port.LOCAL:
@@ -188,19 +302,54 @@ class NocSimulator:
                 packet = router.grant(out_port, in_port)
                 downstream.accept(entry, packet)
 
+        self.link_stalls += stalled
+        if self._obs is not None:
+            self._record_step(len(moves), stalled)
         self.cycle += 1
+
+    def _record_step(self, moved: int, stalled: int) -> None:
+        """Per-cycle metrics and the step span (cycle-domain timestamps)."""
+        if stalled:
+            self._m_stalls.inc(stalled)
+        for net in NetworkId:
+            occupancy = sum(
+                router.occupancy() for router in self.routers[net].values()
+            )
+            self._m_occupancy[net].observe(occupancy)
+            self._m_load[net].set(occupancy)
+        self.telemetry.tracer.complete(
+            "noc.step",
+            ts=self.cycle,
+            dur=1,
+            cat="noc.sim",
+            moved=moved,
+            stalled=stalled,
+        )
 
     def run(self, cycles: int) -> None:
         """Advance by ``cycles`` cycles."""
         if cycles < 0:
             raise NetworkError("cycles must be non-negative")
+        start = self.cycle
         for _ in range(cycles):
             self.step()
+        if self._obs is not None and cycles:
+            self.telemetry.tracer.complete(
+                "noc.run", ts=start, dur=self.cycle - start, cat="noc.sim"
+            )
 
     def drain(self, max_cycles: int = 100_000) -> None:
         """Run until all in-flight traffic is delivered (or the limit hits)."""
+        start = self.cycle
         for _ in range(max_cycles):
             if self.idle():
+                if self._obs is not None and self.cycle > start:
+                    self.telemetry.tracer.complete(
+                        "noc.drain",
+                        ts=start,
+                        dur=self.cycle - start,
+                        cat="noc.sim",
+                    )
                 return
             self.step()
         raise NetworkError(f"network failed to drain within {max_cycles} cycles")
@@ -225,6 +374,8 @@ class NocSimulator:
             for p in self.delivered_packets
             if p.kind is PacketKind.RESPONSE
         )
+        if self._obs is not None:
+            self._record_router_distributions()
         return SimulationReport(
             cycles=self.cycle,
             injected=self.injected_count,
@@ -234,6 +385,30 @@ class NocSimulator:
             latencies=latencies,
             per_network_delivered=dict(self._per_network_delivered),
         )
+
+    def _record_router_distributions(self) -> None:
+        """Per-router load snapshot: one observation per router.
+
+        Captures the spread of forwarded-packet counts and buffered
+        occupancy *across* routers (hot-spot detection) without emitting
+        thousands of individual per-router series.  Recorded at most
+        once per simulated cycle so repeated :meth:`report` calls do not
+        double-count.
+        """
+        if self._router_snapshot_cycle == self.cycle:
+            return
+        self._router_snapshot_cycle = self.cycle
+        metrics = self.telemetry.metrics
+        for net in NetworkId:
+            forwarded = metrics.histogram(
+                "noc.router_forwarded_packets", network=net.name
+            )
+            occupancy = metrics.histogram(
+                "noc.router_buffered_packets", network=net.name
+            )
+            for router in self.routers[net].values():
+                forwarded.observe(router.forwarded_packets)
+                occupancy.observe(router.occupancy())
 
 
 def packet_next_coord(coord: Coord, port: Port) -> Coord:

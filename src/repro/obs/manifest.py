@@ -1,0 +1,185 @@
+"""Run manifests: the provenance sidecar of an engine run.
+
+A manifest records everything needed to say *what produced this result*:
+the experiment name, a content hash of the configuration and parameters,
+the seed fingerprint, trial/worker counts, the package version and (when
+available) ``git describe`` of the working tree, wall/busy time and the
+cache outcome.  Identical runs produce identical :meth:`RunManifest.
+identity` blocks — only the timing/cache fields differ — which is what
+makes manifests diffable across machines and sessions.
+
+Manifests are written as JSON sidecars (one file per engine run when a
+``manifest_dir`` is configured on the :class:`~repro.obs.telemetry.
+Telemetry`) and embedded in the metrics document the CLI emits under
+``--metrics``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import subprocess
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any
+
+from ..errors import ObsError
+
+#: Schema tag stamped into every manifest document.
+MANIFEST_SCHEMA = "repro.manifest/1"
+
+_GIT_DESCRIBE_CACHE: list[str | None] = []
+
+
+def git_describe() -> str | None:
+    """``git describe --always --dirty`` of the package tree, or None.
+
+    The result is memoised for the process: manifests are emitted per
+    engine run and must not fork a subprocess each time.
+    """
+    if _GIT_DESCRIBE_CACHE:
+        return _GIT_DESCRIBE_CACHE[0]
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+        described = out.stdout.strip() if out.returncode == 0 else None
+    except (OSError, subprocess.SubprocessError):
+        described = None
+    _GIT_DESCRIBE_CACHE.append(described)
+    return described
+
+
+def config_hash(config: Any, params: dict | None = None) -> str | None:
+    """SHA-256 over the canonical encoding of ``(config, params)``.
+
+    Reuses the engine cache's canonicalisation so the manifest hash and
+    the result-cache key agree on what identifies a run.  Returns None
+    when the inputs cannot be canonicalised (manifests must never make a
+    run fail).
+    """
+    from ..engine.cache import canonicalize           # local: avoid cycle
+
+    try:
+        blob = json.dumps(
+            {"config": canonicalize(config), "params": canonicalize(params or {})},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+    except Exception:
+        return None
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Provenance record of one engine run."""
+
+    experiment: str
+    config_hash: str | None
+    seed: list[int] | None
+    trials: int
+    workers: int
+    package_version: str
+    git: str | None
+    created_at: str                  # ISO-8601 UTC
+    wall_s: float
+    busy_s: float
+    from_cache: bool
+    cache_hits: int
+    cache_misses: int
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def identity(self) -> dict[str, Any]:
+        """The deterministic part: equal for identical runs."""
+        return {
+            "experiment": self.experiment,
+            "config_hash": self.config_hash,
+            "seed": self.seed,
+            "trials": self.trials,
+            "workers": self.workers,
+            "package_version": self.package_version,
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready document including the schema tag."""
+        doc = dataclasses.asdict(self)
+        doc["schema"] = MANIFEST_SCHEMA
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "RunManifest":
+        """Rebuild a manifest parsed from JSON."""
+        payload = {k: v for k, v in doc.items() if k != "schema"}
+        names = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(payload) - names
+        if unknown:
+            raise ObsError(f"unknown manifest fields: {sorted(unknown)}")
+        return cls(**payload)
+
+    def write(self, path: str) -> None:
+        """Write the manifest as an indented JSON sidecar."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+def build_manifest(
+    experiment: str,
+    *,
+    config: Any = None,
+    params: dict | None = None,
+    seed: Any = None,
+    trials: int = 0,
+    workers: int = 1,
+    wall_s: float = 0.0,
+    busy_s: float = 0.0,
+    from_cache: bool = False,
+    cache_hits: int = 0,
+    cache_misses: int = 0,
+    extra: dict[str, Any] | None = None,
+) -> RunManifest:
+    """Assemble a :class:`RunManifest` for one run.
+
+    Never raises on provenance lookups: a missing git binary or an
+    un-canonicalisable seed degrades to ``None`` fields.
+    """
+    from .. import __version__
+    from ..engine.seeding import seed_fingerprint     # local: avoid cycle
+
+    fingerprint: list[int] | None
+    try:
+        fingerprint = seed_fingerprint(seed) if seed is not None else None
+    except (ValueError, TypeError):
+        fingerprint = None
+    return RunManifest(
+        experiment=experiment,
+        config_hash=config_hash(config, params),
+        seed=fingerprint,
+        trials=trials,
+        workers=workers,
+        package_version=__version__,
+        git=git_describe(),
+        created_at=datetime.now(timezone.utc).isoformat(),
+        wall_s=wall_s,
+        busy_s=busy_s,
+        from_cache=from_cache,
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
+        extra=dict(extra or {}),
+    )
+
+
+def read_manifest(path: str) -> RunManifest:
+    """Load one manifest sidecar."""
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if not isinstance(doc, dict):
+        raise ObsError(f"{path}: manifest must be a JSON object")
+    return RunManifest.from_dict(doc)

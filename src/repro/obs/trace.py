@@ -1,0 +1,256 @@
+"""Structured event tracing with Chrome ``trace_event`` output.
+
+The tracer records a flat list of event dicts in the Chrome trace-event
+format (the JSON consumed by ``chrome://tracing`` and Perfetto's legacy
+loader).  Two sink formats:
+
+* :meth:`Tracer.write_chrome` — a single JSON object with a
+  ``traceEvents`` array, directly loadable in a trace viewer;
+* :meth:`Tracer.write_jsonl` — one event per line, convenient for
+  streaming consumption and ``jq``.
+
+Timestamps are explicit.  By default events are stamped with
+``time.perf_counter()`` microseconds, but every emitting method accepts
+``ts=`` so simulators can stamp events with *simulation cycle counts*
+instead — a NoC step at cycle 41 produces a span at ts=41, and the
+viewer's timeline reads in cycles.  The two timestamp domains should not
+be mixed within one tracer; instrumented subsystems keep them apart via
+the event category.
+
+Nested spans come from :meth:`Tracer.span` (a context manager emitting a
+complete ``X`` event on exit) or explicit :meth:`begin`/:meth:`end`
+pairs; viewers reconstruct nesting per ``(pid, tid)`` track from the
+timestamps.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from ..errors import ObsError
+
+#: Schema tag for JSONL trace sinks (chrome JSON is identified by its
+#: ``traceEvents`` key instead, which viewers require).
+TRACE_SCHEMA = "repro.trace/1"
+
+#: Chrome trace-event phases this tracer emits / the validator accepts.
+KNOWN_PHASES = frozenset({"B", "E", "X", "i", "I", "C", "M"})
+
+
+def _now_us() -> float:
+    return time.perf_counter() * 1e6
+
+
+class Tracer:
+    """In-memory trace-event recorder."""
+
+    def __init__(self, process_name: str = "repro") -> None:
+        self.events: list[dict] = []
+        self.pid = os.getpid()
+        self._named_tids: set[int] = set()
+        if process_name:
+            self.events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "ts": 0,
+                    "pid": self.pid,
+                    "tid": 0,
+                    "args": {"name": process_name},
+                }
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this tracer records anything."""
+        return True
+
+    def now(self) -> float:
+        """The default clock: ``perf_counter`` microseconds."""
+        return _now_us()
+
+    def _emit(self, event: dict) -> None:
+        self.events.append(event)
+
+    # -- emitting ----------------------------------------------------------
+
+    def name_track(self, tid: int, name: str) -> None:
+        """Label a (pid, tid) track in the viewer; idempotent per tid."""
+        if tid in self._named_tids:
+            return
+        self._named_tids.add(tid)
+        self._emit(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "ts": 0,
+                "pid": self.pid,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+
+    def begin(
+        self, name: str, cat: str = "repro", ts: float | None = None,
+        tid: int = 0, **args: object,
+    ) -> None:
+        """Open a nested span (close with :meth:`end`)."""
+        self._emit(
+            {
+                "name": name, "cat": cat, "ph": "B",
+                "ts": self.now() if ts is None else ts,
+                "pid": self.pid, "tid": tid, "args": dict(args),
+            }
+        )
+
+    def end(
+        self, name: str, cat: str = "repro", ts: float | None = None,
+        tid: int = 0, **args: object,
+    ) -> None:
+        """Close the innermost open span named ``name`` on the track."""
+        self._emit(
+            {
+                "name": name, "cat": cat, "ph": "E",
+                "ts": self.now() if ts is None else ts,
+                "pid": self.pid, "tid": tid, "args": dict(args),
+            }
+        )
+
+    def complete(
+        self, name: str, ts: float, dur: float, cat: str = "repro",
+        tid: int = 0, **args: object,
+    ) -> None:
+        """Record a finished span with explicit start and duration."""
+        self._emit(
+            {
+                "name": name, "cat": cat, "ph": "X",
+                "ts": ts, "dur": dur,
+                "pid": self.pid, "tid": tid, "args": dict(args),
+            }
+        )
+
+    def instant(
+        self, name: str, cat: str = "repro", ts: float | None = None,
+        tid: int = 0, **args: object,
+    ) -> None:
+        """Record a zero-duration marker."""
+        self._emit(
+            {
+                "name": name, "cat": cat, "ph": "i", "s": "t",
+                "ts": self.now() if ts is None else ts,
+                "pid": self.pid, "tid": tid, "args": dict(args),
+            }
+        )
+
+    @contextmanager
+    def span(
+        self, name: str, cat: str = "repro", tid: int = 0, **args: object,
+    ) -> Iterator[None]:
+        """Wall-clock span context manager (emits one ``X`` event)."""
+        start = self.now()
+        try:
+            yield
+        finally:
+            self.complete(
+                name, ts=start, dur=self.now() - start, cat=cat,
+                tid=tid, **args,
+            )
+
+    # -- sinks -------------------------------------------------------------
+
+    def to_chrome(self) -> dict:
+        """The Chrome trace-event JSON document."""
+        return {
+            "traceEvents": self.events,
+            "displayTimeUnit": "ms",
+            "otherData": {"schema": TRACE_SCHEMA},
+        }
+
+    def write_chrome(self, path: str) -> None:
+        """Write a ``chrome://tracing`` / Perfetto loadable JSON file."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_chrome(), handle)
+            handle.write("\n")
+
+    def write_jsonl(self, path: str) -> None:
+        """Write one event per line (streaming-friendly)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for event in self.events:
+                handle.write(json.dumps(event))
+                handle.write("\n")
+
+    def write(self, path: str) -> None:
+        """Write chrome JSON, or JSONL when ``path`` ends in ``.jsonl``."""
+        if str(path).endswith(".jsonl"):
+            self.write_jsonl(path)
+        else:
+            self.write_chrome(path)
+
+
+class NullTracer(Tracer):
+    """Tracer that records nothing; every emit is a no-op."""
+
+    def __init__(self) -> None:
+        self.events = []
+        self.pid = os.getpid()
+        self._named_tids = set()
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def _emit(self, event: dict) -> None:
+        pass
+
+    def name_track(self, tid: int, name: str) -> None:
+        pass
+
+    @contextmanager
+    def span(self, name, cat="repro", tid=0, **args) -> Iterator[None]:
+        yield
+
+
+NULL_TRACER = NullTracer()
+
+
+def read_trace(path: str) -> list[dict]:
+    """Load events back from either sink format.
+
+    Accepts the chrome JSON object (``traceEvents`` key), a bare JSON
+    array of events, or JSONL.  Raises :class:`ObsError` on anything
+    else.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    stripped = text.lstrip()
+    if not stripped:
+        raise ObsError(f"{path}: empty trace file")
+    if stripped[0] == "{" :
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError:
+            # Not a single object: fall through to JSONL parsing.
+            doc = None
+        if isinstance(doc, dict):
+            events = doc.get("traceEvents")
+            if not isinstance(events, list):
+                raise ObsError(f"{path}: chrome trace missing 'traceEvents'")
+            return events
+    elif stripped[0] == "[":
+        doc = json.loads(text)
+        if not isinstance(doc, list):
+            raise ObsError(f"{path}: expected a JSON array of events")
+        return doc
+    events = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ObsError(f"{path}:{lineno}: bad JSONL event: {exc}") from exc
+    return events

@@ -154,6 +154,35 @@ class TestObservability:
         )
         assert seen[-1] == (7, 7)
 
+    def test_describe_computed_run(self):
+        observer = ThroughputObserver()
+        ExperimentEngine(observers=[observer]).run(
+            _draw_trial, experiment="t", trials=4, seed=0
+        )
+        record = observer.runs[-1]
+        assert not record.from_cache
+        text = record.describe()
+        assert "4/4 trials" in text
+        assert "ms/trial" in text
+        assert "cache" not in text
+
+    def test_describe_cached_run_is_explicit(self, tmp_path):
+        observer = ThroughputObserver()
+        cache = ResultCache(tmp_path / "cache")
+        engine = ExperimentEngine(cache=cache, observers=[observer])
+        engine.run(_draw_trial, experiment="t", trials=5, seed=0)
+        engine.run(_draw_trial, experiment="t", trials=5, seed=0)
+        cached = observer.runs[-1]
+        assert cached.from_cache
+        assert cached.mean_trial_s == 0.0
+        text = cached.describe()
+        assert "served from cache" in text
+        assert "no trials computed" in text
+        assert "ms/trial" not in text
+        # Both renderings appear in the aggregate summary.
+        summary = observer.summary()
+        assert "ms/trial" in summary and "served from cache" in summary
+
 
 class TestPortedExperiments:
     """The four paper studies produce identical statistics at any worker count."""

@@ -10,7 +10,7 @@ from repro.noc.faults import FaultMap
 from repro.noc.packets import PACKET_BITS, Packet, PacketKind
 from repro.noc.router import InputFifo, Port, Router, port_toward
 from repro.noc.routing import RoutingPolicy
-from repro.noc.simulator import NocSimulator
+from repro.noc.simulator import NocSimulator, SimulationReport
 from repro.workloads.traffic import TrafficPattern, generate_traffic
 
 coords8 = st.tuples(st.integers(0, 7), st.integers(0, 7))
@@ -179,3 +179,50 @@ class TestSimulator:
         report = sim.report()
         assert report.throughput_packets_per_cycle > 0
         assert report.p99_latency >= report.mean_latency
+
+
+class TestLatencyPercentile:
+    """Regression tests for SimulationReport.latency_percentile / p99."""
+
+    def _report(self, latencies):
+        return SimulationReport(
+            cycles=100,
+            injected=len(latencies),
+            delivered=len(latencies),
+            responses_delivered=0,
+            dropped_unreachable=0,
+            latencies=list(latencies),
+        )
+
+    def test_empty_returns_zero_instead_of_raising(self):
+        report = self._report([])
+        assert report.p99_latency == 0.0
+        assert report.latency_percentile(50) == 0.0
+
+    def test_single_sample(self):
+        assert self._report([7]).p99_latency == 7.0
+
+    def test_two_samples_interpolates(self):
+        # p99 of [10, 20] is not simply max(): rank 0.99 between them.
+        report = self._report([10, 20])
+        assert report.p99_latency == pytest.approx(19.9)
+
+    @given(
+        latencies=st.lists(st.integers(1, 500), min_size=1, max_size=40),
+        q=st.sampled_from([0, 25, 50, 90, 99, 100]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_numpy_linear_method(self, latencies, q):
+        import numpy as np
+
+        report = self._report(latencies)
+        assert report.latency_percentile(q) == pytest.approx(
+            float(np.percentile(latencies, q))
+        )
+
+    def test_out_of_range_q_raises(self):
+        report = self._report([1, 2, 3])
+        with pytest.raises(NetworkError):
+            report.latency_percentile(101)
+        with pytest.raises(NetworkError):
+            report.latency_percentile(-1)
