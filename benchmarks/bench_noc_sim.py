@@ -1,0 +1,154 @@
+"""NoC simulator engine benchmark: fast vs reference cycles/sec.
+
+Drives both simulation engines over identical 32x32 traffic at three
+injection rates (low load, mid load, saturation), verifies the reports
+are field-for-field identical, and records wall-clock cycles/sec in
+``BENCH_noc.json`` — the repo's perf trajectory for the simulator.  The
+speedup floors (>=5x at 1% injection, >=1.5x at saturation) are the
+acceptance bar for the active-set, struct-of-arrays engine; the run
+fails if either regresses.
+
+Runnable two ways::
+
+    python benchmarks/bench_noc_sim.py                 # writes BENCH_noc.json
+    python benchmarks/bench_noc_sim.py --out path.json --cycles-scale 0.5
+    pytest benchmarks/bench_noc_sim.py -s              # under the bench harness
+"""
+
+import argparse
+import json
+import time
+
+from repro.config import SystemConfig
+from repro.noc.dualnetwork import NetworkId
+from repro.noc.simulator import NocSimulator
+from repro.workloads.traffic import TrafficPattern, generate_traffic
+
+from conftest import print_series
+
+ROWS = COLS = 32
+SEED = 1
+#: (label, injection rate, offered cycles) — cycle counts sized so the
+#: reference engine finishes each point in a few seconds.
+POINTS = (
+    ("low (1%)", 0.01, 300),
+    ("mid (10%)", 0.10, 200),
+    ("saturation (30%)", 0.30, 100),
+)
+MIN_SPEEDUP_LOW = 5.0           # acceptance floor at 1% injection
+MIN_SPEEDUP_SATURATION = 1.5    # acceptance floor at saturation
+
+
+def _drive(engine: str, rate: float, cycles: int) -> tuple[float, object]:
+    """One full run (inject, run, drain); returns (seconds, report)."""
+    cfg = SystemConfig(rows=ROWS, cols=COLS)
+    traffic = generate_traffic(cfg, TrafficPattern.UNIFORM, rate, cycles, seed=SEED)
+    start = time.perf_counter()
+    sim = NocSimulator(cfg, engine=engine)
+    for cycle, packet in traffic:
+        while sim.cycle < cycle:
+            sim.step()
+        sim.inject(packet, network=NetworkId.XY)
+    sim.run(max(0, cycles - sim.cycle))
+    sim.drain(max_cycles=500_000)
+    elapsed = time.perf_counter() - start
+    return elapsed, sim.report()
+
+
+def measure(cycles_scale: float = 1.0) -> dict:
+    """Benchmark both engines at every load point; verify equivalence."""
+    points = []
+    for label, rate, cycles in POINTS:
+        cycles = max(20, int(cycles * cycles_scale))
+        ref_s, ref_report = _drive("reference", rate, cycles)
+        fast_s, fast_report = _drive("fast", rate, cycles)
+        if ref_report != fast_report:
+            raise AssertionError(
+                f"engines diverged at rate {rate}: {ref_report} != {fast_report}"
+            )
+        points.append(
+            {
+                "label": label,
+                "injection_rate": rate,
+                "offered_cycles": cycles,
+                "simulated_cycles": ref_report.cycles,
+                "delivered": ref_report.delivered,
+                "reference_s": ref_s,
+                "fast_s": fast_s,
+                "reference_cycles_per_s": ref_report.cycles / ref_s,
+                "fast_cycles_per_s": fast_report.cycles / fast_s,
+                "speedup": ref_s / fast_s,
+            }
+        )
+    low, _, sat = points
+    ok = (
+        low["speedup"] >= MIN_SPEEDUP_LOW
+        and sat["speedup"] >= MIN_SPEEDUP_SATURATION
+    )
+    return {
+        "bench": "noc_sim",
+        "config": {"rows": ROWS, "cols": COLS, "fifo_depth": 4, "seed": SEED},
+        "thresholds": {
+            "low_rate_speedup": MIN_SPEEDUP_LOW,
+            "saturation_speedup": MIN_SPEEDUP_SATURATION,
+        },
+        "reports_identical": True,
+        "points": points,
+        "ok": ok,
+    }
+
+
+def _rows(result: dict) -> list[tuple]:
+    return [
+        (
+            f"{p['label']:<18}",
+            f"ref {p['reference_cycles_per_s']:8.1f} c/s",
+            f"fast {p['fast_cycles_per_s']:9.1f} c/s",
+            f"{p['speedup']:5.2f}x",
+        )
+        for p in result["points"]
+    ]
+
+
+def test_fast_engine_speedup(benchmark):
+    result = benchmark.pedantic(measure, args=(0.5,), rounds=1, iterations=1)
+    print_series(f"NoC engines, {ROWS}x{COLS} uniform traffic", _rows(result))
+    benchmark.extra_info["measured"] = {
+        p["label"]: p["speedup"] for p in result["points"]
+    }
+    assert result["reports_identical"]
+    assert result["ok"], (
+        f"speedups {[p['speedup'] for p in result['points']]} below floors "
+        f"{result['thresholds']}"
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", default="BENCH_noc.json", help="result file path"
+    )
+    parser.add_argument(
+        "--cycles-scale",
+        type=float,
+        default=1.0,
+        help="scale the offered-cycle counts (CI uses < 1 for speed)",
+    )
+    args = parser.parse_args()
+    result = measure(args.cycles_scale)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+    print(f"NoC engines, {ROWS}x{COLS} uniform traffic -> {args.out}")
+    for row in _rows(result):
+        print("   ", *row)
+    print(
+        f"  floors: {MIN_SPEEDUP_LOW}x at 1%, "
+        f"{MIN_SPEEDUP_SATURATION}x at saturation -> "
+        f"{'OK' if result['ok'] else 'REGRESSED'}"
+    )
+    return 0 if result["ok"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

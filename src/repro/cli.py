@@ -403,6 +403,7 @@ def run_noc(
     pattern: str = "uniform",
     seed: int = 0,
     faults: int = 0,
+    engine: str = "reference",
 ) -> dict:
     """Cycle-level NoC simulation under a synthetic traffic pattern.
 
@@ -419,7 +420,7 @@ def run_noc(
     from .workloads.traffic import TrafficPattern, generate_traffic
 
     fault_map = random_fault_map(config, faults, rng=seed) if faults else None
-    sim = NocSimulator(config, fault_map=fault_map)
+    sim = NocSimulator(config, fault_map=fault_map, engine=engine)
     traffic = generate_traffic(
         config, TrafficPattern(pattern), rate, cycles, seed=seed
     )
@@ -433,6 +434,7 @@ def run_noc(
     return {
         "command": "noc",
         "ok": True,
+        "engine": engine,
         "pattern": pattern,
         "rate": rate,
         "seed": seed,
@@ -629,7 +631,8 @@ def render_noc(result: dict) -> str:
     return "\n".join(
         [
             f"pattern {result['pattern']} @ {result['rate']:g} pkt/tile/cycle, "
-            f"{result['warm_cycles']} cycles (drained at {result['cycles']})",
+            f"{result['warm_cycles']} cycles (drained at {result['cycles']}, "
+            f"{result['engine']} engine)",
             f"injected {result['injected']}, delivered {result['delivered']} "
             f"({result['responses_delivered']} responses), "
             f"dropped {result['dropped_unreachable']}",
@@ -707,6 +710,7 @@ _RUNNERS: dict[str, Callable[[argparse.Namespace], dict]] = {
     "noc": lambda a: run_noc(
         _config(a), cycles=a.cycles, rate=a.rate,
         pattern=a.pattern, seed=a.seed, faults=a.faults,
+        engine=a.engine,
     ),
     "obs": lambda a: run_obs(a.action, a.paths),
 }
@@ -806,7 +810,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("bringup", ("seed", "faults")),
         ("remap", ("seed", "faults")),
         ("lot", ("seed", "wafers")),
-        ("noc", ("seed", "faults", "cycles", "rate", "pattern")),
+        ("noc", ("seed", "faults", "cycles", "rate", "pattern", "sim_engine")),
         ("validate", ()),
     ):
         p = sub.add_parser(name)
@@ -856,6 +860,17 @@ def build_parser() -> argparse.ArgumentParser:
                 type=str,
                 default="uniform",
                 choices=[t.value for t in TrafficPattern],
+            )
+        if "sim_engine" in extras:
+            from .noc.simulator import ENGINES
+
+            p.add_argument(
+                "--engine",
+                type=str,
+                default="reference",
+                choices=list(ENGINES),
+                help="simulation core: the object-model reference engine "
+                "or the active-set struct-of-arrays fast engine",
             )
         if name in ENGINE_COMMANDS:
             p.add_argument(

@@ -7,6 +7,7 @@ from .connectivity import (
     monte_carlo_disconnection,
 )
 from .dualnetwork import DualNetwork, NetworkId
+from .fastsim import FastNocSimulator
 from .faults import FaultMap, random_fault_map
 from .kernel import KernelRouter, NetworkAssignment
 from .loadlatency import LoadLatencyCurve, LoadPoint, measure_load_latency
@@ -22,8 +23,8 @@ from .remap import (
     largest_fault_free_rectangle,
     row_column_deletion,
 )
-from .routing import RoutingPolicy, xy_path, yx_path
-from .simulator import NocSimulator, SimulationReport
+from .routing import RoutingPolicy, build_port_lut, xy_path, yx_path
+from .simulator import ENGINES, NocSimulator, SimulationReport
 from .topology import MeshTopology
 
 __all__ = [
@@ -33,6 +34,8 @@ __all__ = [
     "disconnected_fraction",
     "monte_carlo_disconnection",
     "DualNetwork",
+    "ENGINES",
+    "FastNocSimulator",
     "NetworkId",
     "FaultMap",
     "random_fault_map",
@@ -51,6 +54,7 @@ __all__ = [
     "row_column_deletion",
     "PacketKind",
     "RoutingPolicy",
+    "build_port_lut",
     "xy_path",
     "yx_path",
     "NocSimulator",

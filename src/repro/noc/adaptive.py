@@ -100,6 +100,8 @@ WEST_DIR = (0, -1)
 class AdaptiveRouter:
     """Input-queued router with minimal-adaptive odd-even output choice."""
 
+    __slots__ = ("coord", "inputs", "forwarded_packets")
+
     def __init__(self, coord: Coord, fifo_depth: int = 4):
         if fifo_depth < 1:
             raise NetworkError("FIFO depth must be >= 1")

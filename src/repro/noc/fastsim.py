@@ -1,0 +1,292 @@
+"""Active-set, struct-of-arrays engine for the cycle-level NoC simulator.
+
+The reference engine in :mod:`.simulator` walks every
+:class:`~repro.noc.router.Router` of both networks every cycle — ~2·N
+Python objects and their per-port FIFO dicts on an N-tile array, even
+when the mesh is nearly idle.  This module computes the *same semantics*
+(bit-identical :class:`~repro.noc.simulator.SimulationReport`s, verified
+by the differential suite in ``tests/test_noc_fastsim.py``) over flat
+state, in the style of Booksim/garnet cycle models:
+
+* **Static routing tables** — the DoR output port for ``(tile, dst)``
+  never changes, so :func:`repro.noc.routing.build_port_lut` tabulates
+  it once per network.  The table is kept as a flat :class:`bytes`
+  object: ``lut[tile * n + dst]`` is a C-level index returning a plain
+  ``int``, which beats both a dict lookup and scalar numpy indexing in
+  the arbitration loop.  Arrays too large to tabulate (> ~64 MB per
+  network) fall back to the scalar :func:`~repro.noc.routing.dor_port_code`.
+* **Active-set scheduling** — a per-network set of flat tile indices
+  with non-empty FIFOs, maintained incrementally on accept/grant.
+  Arbitration iterates ``sorted(active)`` — row-major order, exactly
+  the reference engine's router-dict order, which is what makes
+  delivery order (and therefore the report's latency list) identical.
+  An idle mesh costs nothing per cycle.
+* **Struct-of-arrays state** — FIFO queues live in one flat list
+  (``fifos[tile * 5 + port]``), and occupancy, round-robin pointers and
+  forwarded counts are flat Python lists indexed by tile.  No per-router
+  objects, no per-cycle dict churn; packets themselves are slotted
+  dataclasses shared with the reference engine.
+
+Port codes follow ``list(Port)`` order (N=0, S=1, W=2, E=3, LOCAL=4),
+so the downstream entry port of an output port is ``code ^ 1``.
+
+Injection, response generation, draining, reporting and telemetry all
+come from the :class:`~repro.noc.simulator.NocSimulator` base class —
+this module only replaces how a cycle is computed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..config import SystemConfig
+from .dualnetwork import NetworkId
+from .faults import FaultMap
+from .routing import PORT_LOCAL, build_port_lut, dor_port_code
+from .simulator import NocSimulator
+from ..obs.telemetry import Telemetry
+
+#: Networks in engine index order; ``NetworkId.XY.value == 0`` so a
+#: network's enum value doubles as its index into the per-net arrays.
+NET_ORDER = (NetworkId.XY, NetworkId.YX)
+
+#: Largest tile count whose per-network LUT (n² bytes) is tabulated;
+#: beyond this (> ~64 MB per network) ports are computed arithmetically.
+LUT_MAX_TILES = 8192
+
+#: Neighbour offsets in port-code order N, S, W, E.
+_PORT_STEPS = ((-1, 0), (1, 0), (0, -1), (0, 1))
+
+
+class FastNocSimulator(NocSimulator):
+    """Struct-of-arrays :class:`NocSimulator` engine (``engine="fast"``).
+
+    Use ``NocSimulator(config, ..., engine="fast")`` rather than
+    instantiating this class directly.  The object-model ``routers``
+    grids do not exist here; per-router state is exposed through
+    :meth:`router_occupancy` and :meth:`router_forwarded` instead.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        fault_map: FaultMap | None = None,
+        fifo_depth: int = 4,
+        response_delay: int = 2,
+        telemetry: Telemetry | None = None,
+        engine: str = "fast",
+    ):
+        super().__init__(
+            config,
+            fault_map=fault_map,
+            fifo_depth=fifo_depth,
+            response_delay=response_delay,
+            telemetry=telemetry,
+            engine=engine,
+        )
+
+    # ------------------------------------------------------------------
+    # State
+
+    def _build_state(self) -> None:
+        cfg = self.config
+        rows, cols = cfg.rows, cfg.cols
+        n = rows * cols
+        self._rows = rows
+        self._cols = cols
+        self._n = n
+
+        healthy = [True] * n
+        for idx in self.fault_map.faulty_flat_indices():
+            healthy[idx] = False
+        self._healthy = healthy
+
+        # Flat neighbour table, 4 entries per tile in port-code order;
+        # -1 for off-mesh or faulty downstream (DoR drops there).
+        nbrs = [-1] * (4 * n)
+        for idx in range(n):
+            r, c = divmod(idx, cols)
+            for code, (dr, dc) in enumerate(_PORT_STEPS):
+                nr, nc = r + dr, c + dc
+                if 0 <= nr < rows and 0 <= nc < cols:
+                    j = nr * cols + nc
+                    if healthy[j]:
+                        nbrs[idx * 4 + code] = j
+        self._nbrs = nbrs
+
+        # Per-network struct-of-arrays state, indexed by net (0=XY, 1=YX).
+        self._lut: list[bytes | None] = []
+        for net in NET_ORDER:
+            if n <= LUT_MAX_TILES:
+                self._lut.append(build_port_lut(rows, cols, net.policy).tobytes())
+            else:
+                self._lut.append(None)
+        self._fifos: list[list[deque | None]] = [
+            [deque() if healthy[i // 5] else None for i in range(5 * n)]
+            for _ in NET_ORDER
+        ]
+        self._occ = [[0] * n for _ in NET_ORDER]
+        self._rr = [[[0] * 5 for _ in range(n)] for _ in NET_ORDER]
+        self._fwd = [[0] * n for _ in NET_ORDER]
+        self._active: list[set[int]] = [set() for _ in NET_ORDER]
+
+    def router_occupancy(self, network: NetworkId, coord) -> int:
+        """Packets buffered at one router (fast-engine state inspection)."""
+        return self._occ[network.value][coord[0] * self._cols + coord[1]]
+
+    def router_forwarded(self, network: NetworkId, coord) -> int:
+        """Packets forwarded by one router since construction."""
+        return self._fwd[network.value][coord[0] * self._cols + coord[1]]
+
+    # ------------------------------------------------------------------
+    # Per-cycle hot path
+
+    def _try_local_injections(self) -> None:
+        remaining: list = []
+        accepted = 0
+        cols = self._cols
+        depth = self.fifo_depth
+        cycle = self.cycle
+        for item in self._pending_injections:
+            packet, net = item
+            src = packet.src
+            idx = src[0] * cols + src[1]
+            if not self._healthy[idx]:
+                self.dropped_unreachable += 1
+                if self._obs is not None:
+                    self._m_dropped.inc()
+                continue
+            net_i = net.value
+            fifo = self._fifos[net_i][idx * 5 + PORT_LOCAL]
+            if len(fifo) < depth:
+                if packet.injected_cycle is None:
+                    packet.injected_cycle = cycle
+                fifo.append(packet)
+                occ = self._occ[net_i]
+                if occ[idx] == 0:
+                    self._active[net_i].add(idx)
+                occ[idx] += 1
+                self.injected_count += 1
+                self._in_flight += 1
+                self._net_occupancy[net] += 1
+                accepted += 1
+            else:
+                remaining.append(item)
+        self._pending_injections = remaining
+        if self._obs is not None:
+            if accepted:
+                self._m_injected.inc(accepted)
+            if remaining:
+                self._m_inject_backpressure.inc(len(remaining))
+
+    def step(self) -> None:
+        """Advance the simulation by one cycle (active routers only)."""
+        self._release_due_responses()
+        if self._pending_injections:
+            self._try_local_injections()
+
+        # Phase 1: arbitrate.  Nothing mutates here, so the winner set is
+        # independent of iteration order; the *order* of ``moves`` is
+        # row-major per network to match the reference engine's delivery
+        # order exactly.  hop >= 0 is a link move, -1 a local delivery,
+        # -2 a drop into a faulty/absent downstream.
+        moves: list[tuple[int, int, int, int, int]] = []
+        stalled = 0
+        depth = self.fifo_depth
+        cols = self._cols
+        n = self._n
+        nbrs = self._nbrs
+        for net_i in (0, 1):
+            active = self._active[net_i]
+            if not active:
+                continue
+            fifos = self._fifos[net_i]
+            lut = self._lut[net_i]
+            rr = self._rr[net_i]
+            policy = NET_ORDER[net_i].policy
+            for idx in sorted(active):
+                base = idx * 5
+                lut_base = idx * n
+                rr_row = rr[idx]
+                picked: dict[int, tuple[int, int]] = {}
+                for in_p in range(5):
+                    fifo = fifos[base + in_p]
+                    if not fifo:
+                        continue
+                    dst = fifo[0].dst
+                    if lut is not None:
+                        out = lut[lut_base + dst[0] * cols + dst[1]]
+                    else:
+                        out = dor_port_code(
+                            idx // cols, idx % cols, dst[0], dst[1], policy
+                        )
+                    # Round-robin pick: smallest (in_p - rr) mod 5 wins,
+                    # identical to the reference engine's sorted scan.
+                    key = (in_p - rr_row[out]) % 5
+                    prev = picked.get(out)
+                    if prev is None or key < prev[0]:
+                        picked[out] = (key, in_p)
+                for out, (_, in_p) in picked.items():
+                    if out == PORT_LOCAL:
+                        moves.append((net_i, idx, out, in_p, -1))
+                        continue
+                    hop = nbrs[idx * 4 + out]
+                    if hop < 0:
+                        moves.append((net_i, idx, out, in_p, -2))
+                    elif len(fifos[hop * 5 + (out ^ 1)]) < depth:
+                        moves.append((net_i, idx, out, in_p, hop))
+                    else:
+                        stalled += 1
+
+        # Phase 2: apply the moves.
+        for net_i, idx, out, in_p, hop in moves:
+            fifos = self._fifos[net_i]
+            occ = self._occ[net_i]
+            packet = fifos[idx * 5 + in_p].popleft()
+            left = occ[idx] - 1
+            occ[idx] = left
+            if left == 0:
+                self._active[net_i].discard(idx)
+            self._rr[net_i][idx][out] = (in_p + 1) % 5
+            self._fwd[net_i][idx] += 1
+            if hop >= 0:
+                fifos[hop * 5 + (out ^ 1)].append(packet)
+                if occ[hop] == 0:
+                    self._active[net_i].add(hop)
+                occ[hop] += 1
+            elif hop == -1:
+                self._deliver(packet, NET_ORDER[net_i])
+            else:
+                self.dropped_unreachable += 1
+                self.dropped_in_flight += 1
+                self._in_flight -= 1
+                self._net_occupancy[NET_ORDER[net_i]] -= 1
+
+        self.link_stalls += stalled
+        if self._obs is not None:
+            self._record_step(len(moves), stalled)
+        self.cycle += 1
+
+    # ------------------------------------------------------------------
+    # Telemetry over flat state
+
+    def _record_router_distributions(self) -> None:
+        """Per-router load snapshot straight from the flat arrays."""
+        if self._router_snapshot_cycle == self.cycle:
+            return
+        self._router_snapshot_cycle = self.cycle
+        metrics = self.telemetry.metrics
+        healthy = self._healthy
+        for net_i, net in enumerate(NET_ORDER):
+            forwarded = metrics.histogram(
+                "noc.router_forwarded_packets", network=net.name
+            )
+            occupancy = metrics.histogram(
+                "noc.router_buffered_packets", network=net.name
+            )
+            fwd = self._fwd[net_i]
+            occ = self._occ[net_i]
+            for idx in range(self._n):
+                if healthy[idx]:
+                    forwarded.observe(fwd[idx])
+                    occupancy.observe(occ[idx])

@@ -55,6 +55,15 @@ class FaultMap:
         self.config.validate_coord(coord)
         return FaultMap(self.config, self.faulty | {coord})
 
+    def faulty_flat_indices(self) -> list[int]:
+        """Sorted flat row-major indices of the faulty tiles.
+
+        The flat-index view the struct-of-arrays simulation engine keys
+        its state by (``index = row * cols + col``).
+        """
+        cols = self.config.cols
+        return sorted(r * cols + c for r, c in self.faulty)
+
     def as_bool_array(self) -> np.ndarray:
         """``(rows, cols)`` boolean array, True = faulty."""
         arr = np.zeros((self.config.rows, self.config.cols), dtype=bool)

@@ -90,6 +90,7 @@ def measure_load_latency(
     fault_map: FaultMap | None = None,
     seed: int = 0,
     latency_saturation_factor: float = 8.0,
+    engine: str = "reference",
 ) -> LoadLatencyCurve:
     """Sweep injection rates and measure delivered latency.
 
@@ -97,6 +98,10 @@ def measure_load_latency(
     ``latency_saturation_factor`` times the zero-load latency, or the
     network failed to drain in a bounded horizon — the standard knee
     detection for load-latency curves.
+
+    ``engine`` selects the simulation core (``"reference"`` or
+    ``"fast"``); both produce identical curves, the fast engine just
+    gets there sooner — use it for large arrays or fine-grained sweeps.
     """
     from ..workloads.traffic import TrafficPattern, generate_traffic
 
@@ -109,7 +114,7 @@ def measure_load_latency(
     points: list[LoadPoint] = []
     zero_load: float | None = None
     for rate in sorted(rates):
-        sim = NocSimulator(config, fault_map=fault_map)
+        sim = NocSimulator(config, fault_map=fault_map, engine=engine)
         traffic = generate_traffic(config, pattern, rate, warm_cycles, seed=seed)
         injections = {cycle: [] for cycle, _ in traffic}
         for cycle, packet in traffic:

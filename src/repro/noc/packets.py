@@ -40,9 +40,15 @@ class PacketKind(enum.Enum):
     RESPONSE = 1
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
-    """One network packet (one flit on a 100-bit bus)."""
+    """One network packet (one flit on a 100-bit bus).
+
+    ``slots=True`` matters here: packets are the only per-unit-of-work
+    allocation in the cycle-level simulator, and slotted instances cut
+    both the per-packet memory (no ``__dict__``) and the attribute-load
+    cost in the router hot loops.
+    """
 
     kind: PacketKind
     src: Coord

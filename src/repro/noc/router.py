@@ -51,7 +51,7 @@ def port_toward(src: Coord, dst: Coord) -> Port:
     raise NetworkError(f"{dst} is not adjacent to {src}")
 
 
-@dataclass
+@dataclass(slots=True)
 class InputFifo:
     """An asynchronous-FIFO-backed input queue."""
 
@@ -85,6 +85,8 @@ class InputFifo:
 
 class Router:
     """One input-queued DoR router on one physical network."""
+
+    __slots__ = ("coord", "policy", "inputs", "_rr_state", "forwarded_packets")
 
     def __init__(
         self,

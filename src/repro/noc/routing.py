@@ -15,6 +15,8 @@ from __future__ import annotations
 
 import enum
 
+import numpy as np
+
 from ..config import Coord, SystemConfig
 from ..errors import RoutingError
 from .faults import FaultMap
@@ -25,6 +27,64 @@ class RoutingPolicy(enum.Enum):
 
     XY = "xy"       # row first, then column
     YX = "yx"       # column first, then row
+
+
+#: Integer port codes used by the struct-of-arrays fast engine.  The
+#: order matches ``list(repro.noc.router.Port)`` exactly (N, S, W, E,
+#: LOCAL) so a code doubles as an index into per-port arrays, and the
+#: N/S and W/E pairs differ only in the low bit: the downstream entry
+#: port of an output port is ``code ^ 1``.
+PORT_NORTH, PORT_SOUTH, PORT_WEST, PORT_EAST, PORT_LOCAL = range(5)
+
+
+def dor_port_code(
+    cur_r: int, cur_c: int, dst_r: int, dst_c: int, policy: RoutingPolicy
+) -> int:
+    """The DoR output-port code at ``(cur_r, cur_c)`` toward a destination.
+
+    Scalar twin of :func:`build_port_lut` for arrays too large to
+    tabulate; agrees with :func:`next_hop` at every tile pair.
+    """
+    if policy is RoutingPolicy.XY:
+        if dst_c != cur_c:
+            return PORT_EAST if dst_c > cur_c else PORT_WEST
+        if dst_r != cur_r:
+            return PORT_SOUTH if dst_r > cur_r else PORT_NORTH
+        return PORT_LOCAL
+    if dst_r != cur_r:
+        return PORT_SOUTH if dst_r > cur_r else PORT_NORTH
+    if dst_c != cur_c:
+        return PORT_EAST if dst_c > cur_c else PORT_WEST
+    return PORT_LOCAL
+
+
+def build_port_lut(rows: int, cols: int, policy: RoutingPolicy) -> np.ndarray:
+    """Tabulate the static DoR output-port decision for a whole mesh.
+
+    Returns an ``(N, N)`` int8 array (``N = rows * cols``) whose entry
+    ``[cur, dst]`` is the port code (:data:`PORT_NORTH` ..
+    :data:`PORT_LOCAL`) a router at flat row-major index ``cur`` uses
+    for a packet addressed to flat index ``dst``.  The decision is a
+    pure function of the coordinate pair — faults never reroute DoR
+    traffic, they only drop it — so one table per network replaces every
+    per-packet policy call in the simulator's hot loop.
+    """
+    if rows < 1 or cols < 1:
+        raise RoutingError("mesh dimensions must be positive")
+    flat = np.arange(rows * cols)
+    r, c = flat // cols, flat % cols
+    cur_r, dst_r = r[:, None], r[None, :]
+    cur_c, dst_c = c[:, None], c[None, :]
+    col_port = np.where(dst_c > cur_c, PORT_EAST, PORT_WEST)
+    row_port = np.where(dst_r > cur_r, PORT_SOUTH, PORT_NORTH)
+    same_r, same_c = dst_r == cur_r, dst_c == cur_c
+    if policy is RoutingPolicy.XY:
+        out = np.where(same_c, row_port, col_port)
+    else:
+        out = np.where(same_r, col_port, row_port)
+    out = out.astype(np.int8)
+    out[same_r & same_c] = PORT_LOCAL
+    return out
 
 
 def _steps(a: int, b: int) -> list[int]:

@@ -49,8 +49,11 @@ LATENCY_BUCKETS = tuple(float(2**i) for i in range(0, 14))
 #: Histogram buckets for whole-network queue occupancy (packets).
 OCCUPANCY_BUCKETS = tuple(float(2**i) for i in range(0, 15))
 
+#: Valid values for :class:`NocSimulator`'s ``engine`` argument.
+ENGINES = ("reference", "fast")
 
-@dataclass
+
+@dataclass(slots=True)
 class SimulationReport:
     """Aggregate results of one simulation run."""
 
@@ -61,11 +64,28 @@ class SimulationReport:
     dropped_unreachable: int
     latencies: list[int] = field(default_factory=list)
     per_network_delivered: dict[NetworkId, int] = field(default_factory=dict)
+    # Lazily computed sorted view of ``latencies``; excluded from
+    # equality/repr so reports stay comparable field-for-field.
+    _sorted_latencies: list[int] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def mean_latency(self) -> float:
         """Mean injection-to-delivery latency in cycles."""
         return float(np.mean(self.latencies)) if self.latencies else 0.0
+
+    def _ordered(self) -> list[int]:
+        """Sorted latencies, cached after the first percentile query.
+
+        The cache is invalidated by length: appending to ``latencies``
+        after a query triggers a re-sort on the next one.
+        """
+        cached = self._sorted_latencies
+        if cached is None or len(cached) != len(self.latencies):
+            cached = sorted(self.latencies)
+            self._sorted_latencies = cached
+        return cached
 
     def latency_percentile(self, q: float) -> float:
         """Linear-interpolated latency percentile (``q`` in 0..100).
@@ -74,13 +94,15 @@ class SimulationReport:
         every sample count — with ``n`` samples the rank ``(n-1)*q/100``
         is interpolated between the two nearest order statistics, so a
         two-sample p99 is *not* simply the maximum — and returns ``0.0``
-        for an empty delivered set instead of raising.
+        for an empty delivered set instead of raising.  The sorted order
+        is computed once and cached, so repeated percentile queries on
+        one report cost O(1) after the first.
         """
         if not 0 <= q <= 100:
             raise NetworkError("percentile must be in [0, 100]")
         if not self.latencies:
             return 0.0
-        ordered = sorted(self.latencies)
+        ordered = self._ordered()
         rank = (len(ordered) - 1) * (q / 100.0)
         lower = int(rank)
         fraction = rank - lower
@@ -102,7 +124,39 @@ class SimulationReport:
 
 
 class NocSimulator:
-    """Cycle-level dual-network mesh simulator."""
+    """Cycle-level dual-network mesh simulator.
+
+    Two interchangeable engines compute the same semantics:
+
+    * ``engine="reference"`` (default) — the explicit object model: one
+      :class:`~repro.noc.router.Router` per healthy tile per network,
+      every router arbitrated every cycle.  Easy to inspect (the
+      ``routers`` grids are public) and the golden model the fast
+      engine is differentially tested against.
+    * ``engine="fast"`` — the active-set, struct-of-arrays engine
+      (:class:`repro.noc.fastsim.FastNocSimulator`): per-network DoR
+      next-hop lookup tables, flat per-tile state arrays, and a
+      busy-router set so each cycle touches only routers holding
+      traffic.  Bit-identical reports, no per-router objects.
+
+    Constructing ``NocSimulator(..., engine="fast")`` transparently
+    returns the fast subclass, so callers never import it directly.
+    """
+
+    def __new__(
+        cls,
+        config: SystemConfig,
+        fault_map: FaultMap | None = None,
+        fifo_depth: int = 4,
+        response_delay: int = 2,
+        telemetry: Telemetry | None = None,
+        engine: str = "reference",
+    ):
+        if cls is NocSimulator and engine == "fast":
+            from .fastsim import FastNocSimulator
+
+            return super().__new__(FastNocSimulator)
+        return super().__new__(cls)
 
     def __init__(
         self,
@@ -111,18 +165,18 @@ class NocSimulator:
         fifo_depth: int = 4,
         response_delay: int = 2,
         telemetry: Telemetry | None = None,
+        engine: str = "reference",
     ):
+        if engine not in ENGINES:
+            raise NetworkError(f"unknown engine {engine!r}; pick one of {ENGINES}")
+        if fifo_depth < 1:
+            raise NetworkError("FIFO depth must be >= 1")
+        self.engine = engine
         self.config = config
         self.fault_map = fault_map or FaultMap(config)
+        self.fifo_depth = fifo_depth
         self.response_delay = response_delay
         self.cycle = 0
-        self.routers: dict[NetworkId, dict[Coord, Router]] = {}
-        for net in NetworkId:
-            grid: dict[Coord, Router] = {}
-            for coord in config.tile_coords():
-                if not self.fault_map.is_faulty(coord):
-                    grid[coord] = Router(coord, net.policy, fifo_depth)
-            self.routers[net] = grid
 
         self._pending_injections: list[tuple[Packet, NetworkId]] = []
         self._pending_responses: list[tuple[int, Packet, NetworkId]] = []
@@ -132,6 +186,14 @@ class NocSimulator:
         self.dropped_in_flight = 0      # DoR packets that hit a faulty link
         self.link_stalls = 0            # winners held back by backpressure
         self._per_network_delivered = {n: 0 for n in NetworkId}
+        # Incremental counters: packets currently buffered in routers
+        # (total, and per network).  They make idle() O(1) and give the
+        # telemetry its occupancy numbers without any per-cycle scan.
+        self._in_flight = 0
+        self._net_occupancy = {n: 0 for n in NetworkId}
+        self._last_report: SimulationReport | None = None
+
+        self._build_state()
 
         tel = resolve_telemetry(telemetry)
         self.telemetry = tel
@@ -166,6 +228,16 @@ class NocSimulator:
             }
 
     # ------------------------------------------------------------------
+
+    def _build_state(self) -> None:
+        """Build the engine's mutable network state (reference: routers)."""
+        self.routers: dict[NetworkId, dict[Coord, Router]] = {}
+        for net in NetworkId:
+            grid: dict[Coord, Router] = {}
+            for coord in self.config.tile_coords():
+                if not self.fault_map.is_faulty(coord):
+                    grid[coord] = Router(coord, net.policy, self.fifo_depth)
+            self.routers[net] = grid
 
     def _tile_tid(self, coord: Coord) -> int:
         """Stable per-tile trace track id (tid 0 is the simulator's)."""
@@ -202,6 +274,8 @@ class NocSimulator:
                     packet.injected_cycle = self.cycle
                 router.accept(Port.LOCAL, packet)
                 self.injected_count += 1
+                self._in_flight += 1
+                self._net_occupancy[net] += 1
                 accepted += 1
             else:
                 remaining.append((packet, net))
@@ -224,6 +298,8 @@ class NocSimulator:
         packet.delivered_cycle = self.cycle
         self.delivered_packets.append(packet)
         self._per_network_delivered[network] += 1
+        self._in_flight -= 1
+        self._net_occupancy[network] -= 1
         if self._obs is not None:
             self._record_delivery(packet, network)
         if packet.kind is PacketKind.REQUEST:
@@ -298,6 +374,8 @@ class NocSimulator:
                 packet = router.grant(out_port, in_port)
                 self.dropped_unreachable += 1
                 self.dropped_in_flight += 1
+                self._in_flight -= 1
+                self._net_occupancy[net] -= 1
             else:
                 packet = router.grant(out_port, in_port)
                 downstream.accept(entry, packet)
@@ -308,13 +386,16 @@ class NocSimulator:
         self.cycle += 1
 
     def _record_step(self, moved: int, stalled: int) -> None:
-        """Per-cycle metrics and the step span (cycle-domain timestamps)."""
+        """Per-cycle metrics and the step span (cycle-domain timestamps).
+
+        Occupancy comes from the incrementally-maintained per-network
+        counters, not a per-cycle scan of every router — O(1) per cycle
+        regardless of array size or engine.
+        """
         if stalled:
             self._m_stalls.inc(stalled)
         for net in NetworkId:
-            occupancy = sum(
-                router.occupancy() for router in self.routers[net].values()
-            )
+            occupancy = self._net_occupancy[net]
             self._m_occupancy[net].observe(occupancy)
             self._m_load[net].set(occupancy)
         self.telemetry.tracer.complete(
@@ -355,14 +436,15 @@ class NocSimulator:
         raise NetworkError(f"network failed to drain within {max_cycles} cycles")
 
     def idle(self) -> bool:
-        """True when no packet is queued, buffered or pending anywhere."""
+        """True when no packet is queued, buffered or pending anywhere.
+
+        O(1): buffered traffic is tracked by an in-flight counter
+        (injected − delivered − dropped in flight) instead of scanning
+        every router, so :meth:`drain`'s per-cycle check is free.
+        """
         if self._pending_injections or self._pending_responses:
             return False
-        return all(
-            router.occupancy() == 0
-            for grid in self.routers.values()
-            for router in grid.values()
-        )
+        return self._in_flight == 0
 
     def report(self) -> SimulationReport:
         """Summarise the run so far."""
@@ -376,7 +458,7 @@ class NocSimulator:
         )
         if self._obs is not None:
             self._record_router_distributions()
-        return SimulationReport(
+        report = SimulationReport(
             cycles=self.cycle,
             injected=self.injected_count,
             delivered=len(self.delivered_packets),
@@ -385,6 +467,18 @@ class NocSimulator:
             latencies=latencies,
             per_network_delivered=dict(self._per_network_delivered),
         )
+        # Reuse the previous report's sorted-latency cache when nothing
+        # new was delivered, so report(); report.p99_latency in a loop
+        # pays for one sort total, not one per call.
+        last = self._last_report
+        if (
+            last is not None
+            and last.delivered == report.delivered
+            and last._sorted_latencies is not None
+        ):
+            report._sorted_latencies = last._sorted_latencies
+        self._last_report = report
+        return report
 
     def _record_router_distributions(self) -> None:
         """Per-router load snapshot: one observation per router.
