@@ -1,0 +1,274 @@
+"""Analytic-kernel benchmark: PDN, Fig. 6 connectivity, emulation routes.
+
+Times the three fast analytic kernels against their retained reference
+paths, verifies the results are identical, and records the speedups in
+``BENCH_analysis.json`` — the perf trajectory of the analysis layer,
+mirroring ``bench_noc_sim.py`` for the simulator:
+
+* **PDN** — constant-power fixed point over a batch of activity maps:
+  per-map fresh-``spsolve`` solves vs one cached LU factorization shared
+  by the whole :meth:`PdnSolver.solve_many` batch (floor: >=5x);
+* **connectivity** — a 32x32 Fig. 6 Monte-Carlo sweep: the per-fault
+  broadcast loop vs the tile/repeat vectorized kernel (floor: >=5x);
+* **emulation** — BFS on a faulty 16x16 wafer, repeated across fresh
+  systems: per-flow ``kernel.assign`` vs the fault-map-keyed route cache
+  (floor: >=2x).
+
+Runnable two ways::
+
+    python benchmarks/bench_analysis.py                # writes BENCH_analysis.json
+    python benchmarks/bench_analysis.py --out path.json --scale 0.5
+    pytest benchmarks/bench_analysis.py -s             # under the bench harness
+"""
+
+import argparse
+import json
+import time
+
+import networkx as nx
+import numpy as np
+
+from repro.arch.emulator import clear_route_cache
+from repro.arch.system import WaferscaleSystem
+from repro.config import SystemConfig
+from repro.noc.connectivity import monte_carlo_disconnection
+from repro.noc.faults import FaultMap
+from repro.obs.telemetry import Telemetry, use_telemetry
+from repro.pdn.solver import PdnSolver
+from repro.workloads.bfs import DistributedBfs
+
+from conftest import print_series
+
+SEED = 1
+MIN_SPEEDUP_PDN = 5.0           # constant-power fixed point, 32x32
+MIN_SPEEDUP_CONNECTIVITY = 5.0  # Fig. 6 MC sweep, 32x32
+MIN_SPEEDUP_EMULATION = 2.0     # BFS over a faulty 16x16 wafer
+
+#: Emulation scenario: faults at the row/column midpoints force detours,
+#: so the benchmark exercises the detour branch of the route cache too.
+EMU_ROWS = EMU_COLS = 16
+EMU_FAULTS = ((0, 8), (8, 0), (4, 4))
+EMU_GRAPH_NODES, EMU_GRAPH_EDGES = 400, 1600
+EMU_RUNS = 3
+
+
+def _activity_maps(cfg: SystemConfig, count: int) -> list[np.ndarray]:
+    """Deterministic non-uniform power maps (centre-weighted hot spots)."""
+    rng = np.random.default_rng(SEED)
+    maps = []
+    for _ in range(count):
+        activity = rng.uniform(0.4, 1.0, size=(cfg.rows, cfg.cols))
+        maps.append(activity * cfg.tile_peak_power_w)
+    return maps
+
+
+def _bench_pdn(scale: float) -> dict:
+    cfg = SystemConfig()
+    n_maps = max(2, int(8 * scale))
+    maps = _activity_maps(cfg, n_maps)
+
+    start = time.perf_counter()
+    reference = [
+        PdnSolver(cfg, factorize=False).solve(m, load_model="constant_power")
+        for m in maps
+    ]
+    ref_s = time.perf_counter() - start
+
+    tel = Telemetry()
+    start = time.perf_counter()
+    with use_telemetry(tel):
+        fast = PdnSolver(cfg).solve_many(maps, load_model="constant_power")
+    fast_s = time.perf_counter() - start
+
+    for ref_sol, fast_sol in zip(reference, fast):
+        if not np.allclose(ref_sol.voltages, fast_sol.voltages, atol=1e-12):
+            raise AssertionError("PDN fast/reference voltages diverged")
+        if ref_sol.iterations != fast_sol.iterations:
+            raise AssertionError("PDN fast/reference iteration counts diverged")
+    return {
+        "label": "pdn constant_power",
+        "maps": n_maps,
+        "iterations": [s.iterations for s in fast],
+        "reference_s": ref_s,
+        "fast_s": fast_s,
+        "speedup": ref_s / fast_s,
+        "telemetry": {
+            "pdn.factorizations": tel.metrics.counter("pdn.factorizations").value,
+            "pdn.factorization_reuses": tel.metrics.counter(
+                "pdn.factorization_reuses"
+            ).value,
+        },
+    }
+
+
+def _bench_connectivity(scale: float) -> dict:
+    cfg = SystemConfig()
+    fault_counts = [2, 5, 10]
+    trials = max(4, int(20 * scale))
+
+    start = time.perf_counter()
+    reference = monte_carlo_disconnection(
+        cfg, fault_counts, trials=trials, seed=SEED, method="reference"
+    )
+    ref_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    fast = monte_carlo_disconnection(
+        cfg, fault_counts, trials=trials, seed=SEED, method="vectorized"
+    )
+    fast_s = time.perf_counter() - start
+
+    for ref_stats, fast_stats in zip(reference, fast):
+        if (
+            ref_stats.mean_single_pct != fast_stats.mean_single_pct
+            or ref_stats.mean_dual_pct != fast_stats.mean_dual_pct
+        ):
+            raise AssertionError(
+                f"connectivity kernels diverged at fault count "
+                f"{ref_stats.fault_count}"
+            )
+    return {
+        "label": "fig6 MC sweep",
+        "fault_counts": fault_counts,
+        "trials": trials,
+        "reference_s": ref_s,
+        "fast_s": fast_s,
+        "speedup": ref_s / fast_s,
+    }
+
+
+def _bench_emulation() -> dict:
+    cfg = SystemConfig(rows=EMU_ROWS, cols=EMU_COLS)
+    fmap = FaultMap(cfg)
+    for fault in EMU_FAULTS:
+        fmap = fmap.with_fault(fault)
+    graph = nx.gnm_random_graph(EMU_GRAPH_NODES, EMU_GRAPH_EDGES, seed=SEED)
+
+    def run(route_cache: bool):
+        system = WaferscaleSystem(cfg, fmap)
+        return DistributedBfs(system, graph).run(0, route_cache=route_cache)
+
+    start = time.perf_counter()
+    reference = [run(route_cache=False) for _ in range(EMU_RUNS)]
+    ref_s = time.perf_counter() - start
+
+    # Fresh systems each run: only the shared fault-map-keyed route table
+    # carries over, so the first run pays the misses and the rest are hits.
+    clear_route_cache()
+    start = time.perf_counter()
+    fast = [run(route_cache=True) for _ in range(EMU_RUNS)]
+    fast_s = time.perf_counter() - start
+
+    for ref_res, fast_res in zip(reference, fast):
+        if ref_res.distance != fast_res.distance:
+            raise AssertionError("emulated BFS distances diverged")
+        if ref_res.stats != fast_res.stats:
+            raise AssertionError("emulation stats diverged")
+
+    # Separate untimed pass to report the route-cache counters.
+    clear_route_cache()
+    tel = Telemetry()
+    with use_telemetry(tel):
+        for _ in range(2):
+            run(route_cache=True)
+    return {
+        "label": "bfs emulation (faulty wafer)",
+        "rows": EMU_ROWS,
+        "cols": EMU_COLS,
+        "faults": len(EMU_FAULTS),
+        "runs": EMU_RUNS,
+        "detoured_messages": reference[0].stats.detoured_messages,
+        "reference_s": ref_s,
+        "fast_s": fast_s,
+        "speedup": ref_s / fast_s,
+        "telemetry": {
+            "emu.route_cache_hits": tel.metrics.counter(
+                "emu.route_cache_hits"
+            ).value,
+            "emu.route_cache_misses": tel.metrics.counter(
+                "emu.route_cache_misses"
+            ).value,
+        },
+    }
+
+
+def measure(scale: float = 1.0) -> dict:
+    """Benchmark every kernel; verify fast/reference equivalence."""
+    pdn = _bench_pdn(scale)
+    connectivity = _bench_connectivity(scale)
+    emulation = _bench_emulation()
+    points = [pdn, connectivity, emulation]
+    ok = (
+        pdn["speedup"] >= MIN_SPEEDUP_PDN
+        and connectivity["speedup"] >= MIN_SPEEDUP_CONNECTIVITY
+        and emulation["speedup"] >= MIN_SPEEDUP_EMULATION
+    )
+    return {
+        "bench": "analysis_kernels",
+        "config": {"seed": SEED},
+        "thresholds": {
+            "pdn_speedup": MIN_SPEEDUP_PDN,
+            "connectivity_speedup": MIN_SPEEDUP_CONNECTIVITY,
+            "emulation_speedup": MIN_SPEEDUP_EMULATION,
+        },
+        "results_identical": True,
+        "points": points,
+        "ok": ok,
+    }
+
+
+def _rows(result: dict) -> list[tuple]:
+    return [
+        (
+            f"{p['label']:<30}",
+            f"ref {p['reference_s']:7.3f}s",
+            f"fast {p['fast_s']:7.3f}s",
+            f"{p['speedup']:5.2f}x",
+        )
+        for p in result["points"]
+    ]
+
+
+def test_analysis_kernel_speedups(benchmark):
+    result = benchmark.pedantic(measure, args=(0.5,), rounds=1, iterations=1)
+    print_series("Analytic kernels, fast vs reference", _rows(result))
+    benchmark.extra_info["measured"] = {
+        p["label"]: p["speedup"] for p in result["points"]
+    }
+    assert result["results_identical"]
+    assert result["ok"], (
+        f"speedups {[p['speedup'] for p in result['points']]} below floors "
+        f"{result['thresholds']}"
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", default="BENCH_analysis.json", help="result file path"
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="scale PDN map and MC trial counts (CI uses < 1 for speed)",
+    )
+    args = parser.parse_args()
+    result = measure(args.scale)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+    print(f"Analytic kernels, fast vs reference -> {args.out}")
+    for row in _rows(result):
+        print("   ", *row)
+    print(
+        f"  floors: {MIN_SPEEDUP_PDN}x PDN, "
+        f"{MIN_SPEEDUP_CONNECTIVITY}x connectivity, "
+        f"{MIN_SPEEDUP_EMULATION}x emulation -> "
+        f"{'OK' if result['ok'] else 'REGRESSED'}"
+    )
+    return 0 if result["ok"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

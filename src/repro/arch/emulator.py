@@ -16,11 +16,13 @@ faulty wafer exercises the dual-network resiliency machinery end to end.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable
 
 from ..config import Coord
 from ..errors import EmulatorError, NetworkError
+from ..noc.faults import FaultMap
 from ..noc.routing import dor_path
 from ..obs.telemetry import Telemetry, resolve_telemetry
 from .system import (
@@ -30,6 +32,36 @@ from .system import (
     SERVICE_LATENCY,
     WaferscaleSystem,
 )
+
+#: Route entry: (one-way hops, is_detour, reachable).
+_Route = tuple[int, bool, bool]
+
+# Shared per-fault-map route tables.  The flow cost of a (src, dst) pair —
+# hop count, detour flag, reachability — is a pure function of the fault
+# map (the kernel's network *choice* balances load but never changes the
+# DoR hop count, which is the Manhattan distance), so emulators running
+# over the same map share one table and each pair is derived exactly once.
+_ROUTE_CACHE: OrderedDict[FaultMap, dict[tuple[Coord, Coord], _Route]] = (
+    OrderedDict()
+)
+_ROUTE_CACHE_MAPS = 8
+
+
+def _shared_routes(fault_map: FaultMap) -> dict[tuple[Coord, Coord], _Route]:
+    """The shared route table for ``fault_map`` (LRU-bounded registry)."""
+    routes = _ROUTE_CACHE.get(fault_map)
+    if routes is None:
+        routes = _ROUTE_CACHE[fault_map] = {}
+        while len(_ROUTE_CACHE) > _ROUTE_CACHE_MAPS:
+            _ROUTE_CACHE.popitem(last=False)
+    else:
+        _ROUTE_CACHE.move_to_end(fault_map)
+    return routes
+
+
+def clear_route_cache() -> None:
+    """Drop all shared route tables (benchmark / test isolation)."""
+    _ROUTE_CACHE.clear()
 
 
 @dataclass
@@ -77,6 +109,7 @@ class Emulator:
         self,
         system: WaferscaleSystem,
         telemetry: Telemetry | None = None,
+        route_cache: bool = True,
     ):
         self.system = system
         self.stats = EmulationStats()
@@ -84,6 +117,7 @@ class Emulator:
             coord: [] for coord in system.healthy_coords()
         }
         self._outbox: list[Message] = []
+        self._routes = _shared_routes(system.fault_map) if route_cache else None
 
         tel = resolve_telemetry(telemetry)
         self.telemetry = tel
@@ -94,6 +128,8 @@ class Emulator:
             self._m_messages = metrics.counter("emu.messages_sent")
             self._m_detoured = metrics.counter("emu.detoured_messages")
             self._m_supersteps = metrics.counter("emu.supersteps")
+            self._m_route_hits = metrics.counter("emu.route_cache_hits")
+            self._m_route_misses = metrics.counter("emu.route_cache_misses")
             self._m_hops = metrics.histogram(
                 "emu.hops_per_message", buckets=self.HOP_BUCKETS
             )
@@ -109,6 +145,56 @@ class Emulator:
         if words < 1:
             raise EmulatorError("message must carry at least one word")
         self._outbox.append(Message(src=src, dst=dst, payload=payload, words=words))
+
+    def _route(self, src: Coord, dst: Coord) -> tuple[int, bool]:
+        """One-way hops and detour flag for one flow.
+
+        With the route cache enabled (the default), each (src, dst) pair
+        is derived once per fault map — `kernel.assign` plus, for detours,
+        the two-leg Manhattan sum — and every later flow is a dict hit.
+        Non-detour hop counts use the closed form directly: DoR paths are
+        minimal, so their hop count *is* the Manhattan distance.  The
+        reference path (``route_cache=False``) keeps the explicit
+        per-flow assignment and `dor_path` walk for differential testing.
+        """
+        routes = self._routes
+        if routes is not None:
+            cached = routes.get((src, dst))
+            if cached is not None:
+                if self._obs is not None:
+                    self._m_route_hits.inc()
+                hops, is_detour, reachable = cached
+                if not reachable:
+                    raise NetworkError(f"no path for messages {src} -> {dst}")
+                return hops, is_detour
+
+        assignment = self.system.kernel.assign(src, dst, allow_detour=True)
+        reachable = assignment.reachable or assignment.is_detour
+        if assignment.is_detour:
+            via = assignment.detour_via
+            assert via is not None
+            hops = (
+                abs(via[0] - src[0]) + abs(via[1] - src[1])
+                + abs(dst[0] - via[0]) + abs(dst[1] - via[1])
+            )
+            is_detour = True
+        elif reachable:
+            assert assignment.network is not None
+            if routes is None:
+                hops = len(dor_path(src, dst, assignment.network.policy)) - 1
+            else:
+                hops = abs(src[0] - dst[0]) + abs(src[1] - dst[1])
+            is_detour = False
+        else:
+            hops, is_detour = 0, False
+
+        if routes is not None:
+            if self._obs is not None:
+                self._m_route_misses.inc()
+            routes[(src, dst)] = (hops, is_detour, reachable)
+        if not reachable:
+            raise NetworkError(f"no path for messages {src} -> {dst}")
+        return hops, is_detour
 
     def _deliver(self) -> int:
         """Deliver queued messages; returns the step's network cycle cost.
@@ -127,23 +213,13 @@ class Emulator:
                 for message in messages:
                     self._inboxes[dst].append(message)
                 continue
-            assignment = self.system.kernel.assign(src, dst, allow_detour=True)
-            if not assignment.reachable and not assignment.is_detour:
-                raise NetworkError(f"no path for messages {src} -> {dst}")
-            if assignment.is_detour:
-                via = assignment.detour_via
-                assert via is not None
-                hops = (
-                    abs(via[0] - src[0]) + abs(via[1] - src[1])
-                    + abs(dst[0] - via[0]) + abs(dst[1] - via[1])
-                )
+            hops, is_detour = self._route(src, dst)
+            if is_detour:
                 per_message = DETOUR_SOFTWARE_PENALTY
                 self.stats.detoured_messages += len(messages)
                 if self._obs is not None:
                     self._m_detoured.inc(len(messages))
             else:
-                assert assignment.network is not None
-                hops = len(dor_path(src, dst, assignment.network.policy)) - 1
                 per_message = 0
 
             # First message pays the full path; the rest pipeline behind it

@@ -21,7 +21,6 @@ from ..config import Coord, SystemConfig
 from ..errors import EmulatorError, NetworkError
 from ..noc.faults import FaultMap
 from ..noc.kernel import KernelRouter
-from ..noc.routing import dor_path
 from .isa import Program
 from .membank import MemoryBank
 from .memorymap import MemoryMap
@@ -97,7 +96,9 @@ class WaferscaleSystem:
                 + 2 * hops * HOP_LATENCY
             )
         assert assignment.network is not None
-        hops = len(dor_path(src, dst, assignment.network.policy)) - 1
+        # DoR paths are minimal: the hop count is the Manhattan distance,
+        # whichever network (X-Y or Y-X) the kernel assigned.
+        hops = self._hops(src, dst)
         self.network_hops_total += 2 * hops
         return NETWORK_BASE + SERVICE_LATENCY + 2 * hops * HOP_LATENCY
 

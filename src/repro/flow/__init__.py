@@ -6,7 +6,12 @@ from .bringup import (
     fault_map_to_json,
     run_bringup,
 )
-from .characterize import ShmooResult, characterization_report, characterize
+from .characterize import (
+    ShmooResult,
+    characterization_report,
+    characterize,
+    characterize_activity_sweep,
+)
 from .designer import DesignFlowResult, run_design_flow
 from .report import SystemReport, table1_report
 from .validate import CheckResult, ValidationReport, validate_design
@@ -19,6 +24,7 @@ __all__ = [
     "ShmooResult",
     "characterization_report",
     "characterize",
+    "characterize_activity_sweep",
     "DesignFlowResult",
     "run_design_flow",
     "SystemReport",

@@ -4,7 +4,9 @@ from .adaptive import AdaptiveNocSimulator, AdaptiveRouter
 from .connectivity import (
     ConnectivityStats,
     disconnected_fraction,
+    disconnected_fractions,
     monte_carlo_disconnection,
+    same_row_col_share,
 )
 from .dualnetwork import DualNetwork, NetworkId
 from .fastsim import FastNocSimulator
@@ -32,7 +34,9 @@ __all__ = [
     "AdaptiveRouter",
     "ConnectivityStats",
     "disconnected_fraction",
+    "disconnected_fractions",
     "monte_carlo_disconnection",
+    "same_row_col_share",
     "DualNetwork",
     "ENGINES",
     "FastNocSimulator",

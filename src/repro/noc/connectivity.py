@@ -12,22 +12,36 @@ pairs versus fault count for
 The paper's headline point: at five faulty chiplets out of 2048, a single
 network loses >12% of pairs while the dual network loses <2%.
 
-The per-map computation is vectorised: for each fault we build boolean
-blocked-pair matrices directly from the DoR geometry (a fault at
-``(fr, fc)`` blocks the X-Y pair ``(r1,c1)->(r2,c2)`` iff it lies on the
-source-row segment or the destination-column segment), so a full 32x32
-wafer (1M ordered pairs) evaluates in milliseconds per map.
+Two computation kernels produce the exact same fractions:
+
+* ``method="vectorized"`` (default) — per wafer geometry, the coordinate
+  grids, the pair-segment gather indices and the same-row/column mask
+  are precomputed once (:func:`_coord_grid`); per fault map, segment
+  fault counts come from two cumulative-sum tables so the full ordered
+  pair matrix is a handful of whole-array operations with **no loop
+  over faults**.
+* ``method="reference"`` — the retained per-fault broadcast loop, the
+  golden model the differential tests compare against bit for bit.
+
+A fault at ``(fr, fc)`` blocks the X-Y pair ``(r1,c1)->(r2,c2)`` iff it
+lies on the source-row segment or the destination-column segment; the
+Y-X L from A to B covers the same tiles as the X-Y L from B to A, so the
+second path's blockage matrix is the transpose of the first.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
 from ..config import SystemConfig
 from ..errors import NetworkError
 from .faults import FaultMap, random_fault_map
+
+#: Kernel names accepted by the ``method`` parameters below.
+METHODS = ("vectorized", "reference")
 
 
 @dataclass(frozen=True)
@@ -59,8 +73,111 @@ class PairDisconnection:
         return self.single / self.dual
 
 
+@lru_cache(maxsize=4)
+def _coord_grid(rows: int, cols: int) -> dict:
+    """Per-geometry precompute shared by every fault map of one config.
+
+    The X-Y L of ``(r1,c1)->(r2,c2)`` is blocked iff some fault sits in
+    row ``r1`` with column in ``[min(c1,c2), max(c1,c2)]`` or in column
+    ``c2`` with row in ``[min(r1,r2), max(r1,r2)]``.  Both conditions
+    live in tiny per-map tables — ``(rows, cols, cols)`` for row
+    segments, ``(rows, rows, cols)`` for column segments — and expand to
+    the full ordered-pair matrix by pure ``tile``/``repeat`` layout
+    tricks, so the per-map work never loops over faults and never
+    gathers with million-entry index arrays.  Cached here: the min/max
+    segment-endpoint grids the tables are built from, the destination
+    coordinate vectors, and the same-row-or-column pair mask used by
+    :func:`same_row_col_share`.
+    """
+    col_a = np.arange(cols)[:, None]
+    col_b = np.arange(cols)[None, :]
+    row_a = np.arange(rows)[:, None]
+    row_b = np.arange(rows)[None, :]
+    flat = np.arange(rows * cols)
+    r, c = flat // cols, flat % cols
+    return {
+        "cmin": np.minimum(col_a, col_b),
+        "cmax": np.maximum(col_a, col_b),
+        "rmin": np.minimum(row_a, row_b),
+        "rmax": np.maximum(row_a, row_b),
+        "dst_r": r,                     # destination row per flat index
+        "dst_c": c,                     # destination column per flat index
+        "same_rc": (r[:, None] == r[None, :]) | (c[:, None] == c[None, :]),
+    }
+
+
+def _blockage_matrix(fault_map: FaultMap) -> tuple[np.ndarray, np.ndarray]:
+    """Full-grid X-Y blocked-pair matrix and healthy-tile mask.
+
+    Returns ``(xy_blocked, healthy)`` where ``xy_blocked[i, j]`` is True
+    when the X-Y L from flat tile ``i`` to flat tile ``j`` crosses a
+    fault (endpoints included — a pair with a faulty endpoint is always
+    blocked, and a healthy diagonal entry never is) and ``healthy`` is
+    the flat healthy-tile mask.  The Y-X blockage matrix is
+    ``xy_blocked.T``.
+    """
+    cfg = fault_map.config
+    rows, cols = cfg.rows, cfg.cols
+    n = rows * cols
+    grid = _coord_grid(rows, cols)
+    fault_arr = fault_map.as_bool_array()
+
+    row_cum = np.zeros((rows, cols + 1), dtype=np.int16)
+    np.cumsum(fault_arr, axis=1, dtype=np.int16, out=row_cum[:, 1:])
+    col_cum = np.zeros((rows + 1, cols), dtype=np.int16)
+    np.cumsum(fault_arr, axis=0, dtype=np.int16, out=col_cum[1:, :])
+
+    # tbl_row[r, a, b]: any fault in row r, columns [min(a,b), max(a,b)].
+    # tbl_col[a, b, c]: any fault in column c, rows [min(a,b), max(a,b)].
+    tbl_row = row_cum[:, grid["cmax"] + 1] > row_cum[:, grid["cmin"]]
+    tbl_col = col_cum[grid["rmax"] + 1, :] > col_cum[grid["rmin"], :]
+
+    # Row-segment term: depends on (source tile, destination column), and
+    # tbl_row reshaped to (n, cols) is already indexed by source flat id,
+    # so the pair matrix is that block tiled across the destination rows.
+    xy_blocked = np.tile(tbl_row.reshape(n, cols), (1, rows))
+    # Column-segment term: depends on (source row, destination tile);
+    # gather the (rows, n) block and repeat each row per source column.
+    dst_block = tbl_col[:, grid["dst_r"], grid["dst_c"]]
+    xy_blocked |= np.repeat(dst_block, cols, axis=0)
+    return xy_blocked, ~fault_arr.reshape(-1)
+
+
 def _pair_blockage(fault_map: FaultMap) -> PairDisconnection:
-    """Exact disconnection fractions for one fault map (vectorised)."""
+    """Exact disconnection fractions for one fault map (vectorised).
+
+    Counts run over the full grid and subtract the analytically-known
+    contribution of faulty-endpoint pairs (``f`` faulty of ``n`` tiles
+    leave ``f * (2n - f)`` ordered pairs with a faulty endpoint, all of
+    them blocked in both directions), avoiding any per-map mask builds.
+    """
+    xy_blocked, healthy = _blockage_matrix(fault_map)
+    n = healthy.size
+    h = int(healthy.sum())
+    if h < 2:
+        raise NetworkError("need at least two healthy tiles")
+    f = n - h
+    endpoint_pairs = f * (2 * n - f)
+
+    one_way_count = int(np.count_nonzero(xy_blocked)) - endpoint_pairs
+    dual_count = (
+        int(np.count_nonzero(xy_blocked & xy_blocked.T)) - endpoint_pairs
+    )
+    # |A or B| = |A| + |B| - |A and B|, and |B| = |A| by symmetry.
+    single_count = 2 * one_way_count - dual_count
+
+    pair_count = h * (h - 1)
+    return PairDisconnection(
+        fault_count=fault_map.fault_count,
+        one_way_xy=one_way_count / pair_count,
+        single=single_count / pair_count,
+        dual=dual_count / pair_count,
+        healthy_pairs=pair_count,
+    )
+
+
+def _pair_blockage_reference(fault_map: FaultMap) -> PairDisconnection:
+    """The retained per-fault broadcast loop (golden differential model)."""
     cfg = fault_map.config
     rows, cols = cfg.rows, cfg.cols
     coords = np.array(
@@ -105,9 +222,31 @@ def _pair_blockage(fault_map: FaultMap) -> PairDisconnection:
     )
 
 
-def disconnected_fraction(fault_map: FaultMap) -> PairDisconnection:
+_KERNELS = {"vectorized": _pair_blockage, "reference": _pair_blockage_reference}
+
+
+def disconnected_fraction(
+    fault_map: FaultMap, method: str = "vectorized"
+) -> PairDisconnection:
     """Exact disconnection fractions for one fault map."""
-    return _pair_blockage(fault_map)
+    if method not in _KERNELS:
+        raise NetworkError(f"unknown connectivity method {method!r}")
+    return _KERNELS[method](fault_map)
+
+
+def disconnected_fractions(
+    fault_maps: list[FaultMap], method: str = "vectorized"
+) -> list[PairDisconnection]:
+    """Batched exact disconnection fractions for many fault maps.
+
+    All per-geometry precompute (coordinate grids, gather indices) is
+    shared across the batch, so per map only the cumulative fault tables
+    and the pair matrices are rebuilt.
+    """
+    if method not in _KERNELS:
+        raise NetworkError(f"unknown connectivity method {method!r}")
+    kernel = _KERNELS[method]
+    return [kernel(fmap) for fmap in fault_maps]
 
 
 @dataclass(frozen=True)
@@ -136,9 +275,44 @@ def _disconnection_trial(ctx) -> tuple[float, float]:
     pickle it); the trial's private rng makes the draw independent of
     worker count and dispatch order.
     """
-    fmap = random_fault_map(ctx.config, ctx.params["fault_count"], ctx.rng)
-    result = _pair_blockage(fmap)
+    fault_count = ctx.params["fault_count"]
+    fmap = random_fault_map(ctx.config, fault_count, ctx.rng)
+    method = ctx.params.get("method", "vectorized")
+    try:
+        result = disconnected_fraction(fmap, method=method)
+    except NetworkError as err:
+        raise NetworkError(
+            f"degenerate fault map in Fig. 6 Monte Carlo "
+            f"(trial {ctx.index}, fault_count {fault_count}): {err}"
+        ) from err
     return result.single * 100.0, result.dual * 100.0
+
+
+def _disconnection_batch_trial(ctx) -> list[tuple[float, float]]:
+    """One batched Fig. 6 trial: draw and measure several maps at once.
+
+    Trial ``i`` of a batched run covers maps ``i*batch .. i*batch+k-1``
+    (``k`` shrinks on the final trial so exactly ``trials_total`` maps
+    are drawn across the run).
+    """
+    fault_count = ctx.params["fault_count"]
+    batch = ctx.params["batch"]
+    total = ctx.params["trials_total"]
+    n_maps = min(batch, total - ctx.index * batch)
+    method = ctx.params.get("method", "vectorized")
+    out: list[tuple[float, float]] = []
+    for offset in range(n_maps):
+        fmap = random_fault_map(ctx.config, fault_count, ctx.rng)
+        try:
+            result = disconnected_fraction(fmap, method=method)
+        except NetworkError as err:
+            raise NetworkError(
+                f"degenerate fault map in Fig. 6 Monte Carlo (trial "
+                f"{ctx.index}, map {offset} of the batch, fault_count "
+                f"{fault_count}): {err}"
+            ) from err
+        out.append((result.single * 100.0, result.dual * 100.0))
+    return out
 
 
 def monte_carlo_disconnection(
@@ -151,6 +325,8 @@ def monte_carlo_disconnection(
     cache=None,
     engine=None,
     progress=None,
+    batch: int = 1,
+    method: str = "vectorized",
 ) -> list[ConnectivityStats]:
     """Reproduce Fig. 6: mean disconnected-pair percentage vs fault count.
 
@@ -159,23 +335,56 @@ def monte_carlo_disconnection(
     ``workers`` to parallelise (statistics are identical at any worker
     count for the same ``seed``) and ``cache=True`` to reuse recorded
     runs; an explicit ``engine`` overrides both.
+
+    ``batch`` > 1 evaluates that many maps per engine trial (amortising
+    per-trial dispatch for large sweeps).  ``trials`` always counts maps,
+    but batched runs consume each trial rng stream ``batch`` times, so
+    their statistics match other runs of the same ``batch`` — not the
+    per-map (``batch=1``) stream.  ``method`` selects the connectivity
+    kernel (``"vectorized"`` or the retained ``"reference"`` loop).
+
+    A degenerate draw (< 2 healthy tiles) raises :class:`NetworkError`
+    naming the trial index, fault count and run seed that produced it.
     """
     from ..engine import ExperimentEngine
 
+    if batch < 1:
+        raise NetworkError("batch must be >= 1")
+    if method not in _KERNELS:
+        raise NetworkError(f"unknown connectivity method {method!r}")
     eng = engine or ExperimentEngine(workers=workers, cache=cache)
     out: list[ConnectivityStats] = []
     for count in fault_counts:
-        run = eng.run(
-            _disconnection_trial,
-            experiment="noc.fig6_disconnection",
-            trials=trials,
-            seed=(seed, count),
-            config=config,
-            params={"fault_count": count},
-            progress=progress,
-        )
-        singles = [single for single, _ in run.values]
-        duals = [dual for _, dual in run.values]
+        # Default-parameter runs keep their historical engine cache
+        # identity; batched or reference-kernel runs get their own.
+        params: dict = {"fault_count": count}
+        if method != "vectorized":
+            params["method"] = method
+        if batch == 1:
+            trial_fn, engine_trials = _disconnection_trial, trials
+        else:
+            params["batch"] = batch
+            params["trials_total"] = trials
+            trial_fn = _disconnection_batch_trial
+            engine_trials = -(-trials // batch)
+        try:
+            run = eng.run(
+                trial_fn,
+                experiment="noc.fig6_disconnection",
+                trials=engine_trials,
+                seed=(seed, count),
+                config=config,
+                params=params,
+                progress=progress,
+            )
+        except NetworkError as err:
+            raise NetworkError(f"{err} [run seed {(seed, count)!r}]") from err
+        if batch == 1:
+            pairs = run.values
+        else:
+            pairs = [pair for chunk in run.values for pair in chunk]
+        singles = [single for single, _ in pairs]
+        duals = [dual for _, dual in pairs]
         out.append(
             ConnectivityStats(
                 fault_count=count,
@@ -189,14 +398,33 @@ def monte_carlo_disconnection(
     return out
 
 
-def same_row_col_share(fault_map: FaultMap) -> float:
+def same_row_col_share(fault_map: FaultMap, method: str = "vectorized") -> float:
     """Among dual-network-disconnected pairs, the share in a common row/column.
 
     The paper notes the residual disconnections under two networks "mostly
     connect those pairs of chiplets that are in the same row/column" —
-    those pairs have no second disjoint path to begin with.
+    those pairs have no second disjoint path to begin with.  Built on the
+    vectorized blockage matrices; ``method="reference"`` walks every
+    pair's two DoR paths explicitly (the differential golden model).
     """
+    if method == "reference":
+        return _same_row_col_share_reference(fault_map)
+    if method != "vectorized":
+        raise NetworkError(f"unknown connectivity method {method!r}")
     cfg = fault_map.config
+    xy_blocked, healthy = _blockage_matrix(fault_map)
+    valid = healthy[:, None] & healthy[None, :]
+    np.fill_diagonal(valid, False)
+    dual_blocked = xy_blocked & xy_blocked.T & valid
+    blocked_total = int(dual_blocked.sum())
+    if blocked_total == 0:
+        return 0.0
+    same_rc = _coord_grid(cfg.rows, cfg.cols)["same_rc"]
+    return int((dual_blocked & same_rc).sum()) / blocked_total
+
+
+def _same_row_col_share_reference(fault_map: FaultMap) -> float:
+    """Pure-Python per-pair path walk (golden differential model)."""
     healthy = fault_map.healthy_tiles()
     blocked_same = 0
     blocked_total = 0

@@ -18,6 +18,14 @@ Two load models are supported:
 
 The headline result reproduced here is Fig. 2: 2.5V at the wafer edge
 drooping to roughly 1.4V at the array centre during peak draw.
+
+The Laplacian depends only on the mesh geometry, never on the load, so
+the solver caches one sparse LU factorization (:func:`splu`) and every
+subsequent solve — each fixed-point iteration, every new power map, all
+columns of a :meth:`PdnSolver.solve_many` batch — costs a pair of
+triangular solves instead of a fresh factorization.  Pass
+``factorize=False`` to keep the historical fresh-``spsolve``-per-call
+path (the reference the differential tests compare against).
 """
 
 from __future__ import annotations
@@ -26,10 +34,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 from scipy.sparse import coo_matrix, csr_matrix
-from scipy.sparse.linalg import spsolve
+from scipy.sparse.linalg import splu, spsolve
 
 from ..config import Coord, SystemConfig
 from ..errors import ConvergenceError, PdnError
+from ..obs.telemetry import resolve_telemetry
 from .plane import PlaneStack, extract_plane_stack
 
 # Lumped resistance from the bench supply through the edge connector into a
@@ -49,7 +58,7 @@ class PdnSolution:
     edge_voltage: float
     iterations: int
     converged: bool
-    power_loads_w: np.ndarray = field(repr=False, default=None)  # type: ignore[assignment]
+    power_loads_w: np.ndarray | None = field(repr=False, default=None)
 
     def voltage_at(self, coord: Coord) -> float:
         """Delivered (unregulated) voltage at one tile."""
@@ -86,6 +95,28 @@ class PdnSolution:
         """Resistive loss dissipated in the power planes."""
         return self.supply_power_w - self.load_power_w
 
+    @property
+    def specified_power_w(self) -> float | None:
+        """Total tile power the solve was asked to deliver.
+
+        ``None`` when the solution was constructed without recording its
+        power map (``power_loads_w=None``).
+        """
+        if self.power_loads_w is None:
+            return None
+        return float(self.power_loads_w.sum())
+
+    @property
+    def delivery_efficiency(self) -> float | None:
+        """Specified load power over supply power (plane-loss efficiency).
+
+        ``None`` when the power map was not recorded or no power is drawn.
+        """
+        specified = self.specified_power_w
+        if specified is None or self.supply_power_w <= 0.0:
+            return None
+        return specified / self.supply_power_w
+
     def droop_profile(self) -> list[tuple[float, float]]:
         """``(distance_to_edge_mm, voltage)`` pairs for a droop-vs-distance plot.
 
@@ -115,6 +146,11 @@ class PdnSolver:
         Power-plane stack; default is the paper's two slotted 2um planes.
     edge_connector_ohm:
         Lumped supply-to-boundary-node resistance.
+    factorize:
+        When True (default) the mesh Laplacian is LU-factorized once
+        (:func:`splu`) and reused by every linear solve this instance
+        performs; False keeps the fresh-``spsolve``-per-call reference
+        path used by the differential tests and benchmarks.
     """
 
     def __init__(
@@ -122,14 +158,17 @@ class PdnSolver:
         config: SystemConfig | None = None,
         stack: PlaneStack | None = None,
         edge_connector_ohm: float = DEFAULT_EDGE_CONNECTOR_OHM,
+        factorize: bool = True,
     ):
         self.config = config or SystemConfig()
         self.stack = stack or extract_plane_stack(self.config)
         if edge_connector_ohm <= 0:
             raise PdnError("edge connector resistance must be positive")
         self.edge_connector_ohm = edge_connector_ohm
+        self.factorize = factorize
         self._laplacian: csr_matrix | None = None
         self._edge_conductance: np.ndarray | None = None
+        self._lu = None                 # cached splu factorization
 
     # ------------------------------------------------------------------
     # mesh construction
@@ -187,6 +226,54 @@ class PdnSolver:
         return laplacian, edge_g
 
     # ------------------------------------------------------------------
+    # linear kernel
+    # ------------------------------------------------------------------
+
+    def _ensure_system(self) -> tuple[csr_matrix, np.ndarray]:
+        if self._laplacian is None:
+            self._laplacian, self._edge_conductance = self._build_system()
+        assert self._edge_conductance is not None
+        return self._laplacian, self._edge_conductance
+
+    def _linear_solve(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``laplacian @ x = rhs`` (``rhs`` may be a matrix of columns).
+
+        With ``factorize=True`` the first call LU-factorizes the
+        Laplacian and every call afterwards is a pair of triangular
+        solves; telemetry counts the factorizations and their reuses.
+        """
+        laplacian, _ = self._ensure_system()
+        if not self.factorize:
+            if rhs.ndim == 1:
+                return spsolve(laplacian, rhs)
+            return np.column_stack(
+                [spsolve(laplacian, rhs[:, i]) for i in range(rhs.shape[1])]
+            )
+        tel = resolve_telemetry(None)
+        if self._lu is None:
+            self._lu = splu(laplacian.tocsc())
+            if tel.enabled:
+                tel.metrics.counter("pdn.factorizations").inc()
+        elif tel.enabled:
+            tel.metrics.counter("pdn.factorization_reuses").inc()
+        return self._lu.solve(rhs)
+
+    def _validate_power(self, tile_power_w: float | np.ndarray | None) -> np.ndarray:
+        cfg = self.config
+        if tile_power_w is None:
+            tile_power_w = cfg.tile_peak_power_w
+        power = np.asarray(tile_power_w, dtype=float)
+        if power.ndim == 0:
+            power = np.full((cfg.rows, cfg.cols), float(power))
+        if power.shape != (cfg.rows, cfg.cols):
+            raise PdnError(
+                f"power map shape {power.shape} != array {(cfg.rows, cfg.cols)}"
+            )
+        if (power < 0).any():
+            raise PdnError("tile power must be non-negative")
+        return power
+
+    # ------------------------------------------------------------------
     # solve
     # ------------------------------------------------------------------
 
@@ -218,22 +305,8 @@ class PdnSolver:
         cfg = self.config
         if load_model not in ("ldo", "constant_power"):
             raise PdnError(f"unknown load model {load_model!r}")
-        if tile_power_w is None:
-            tile_power_w = cfg.tile_peak_power_w
-        power = np.asarray(tile_power_w, dtype=float)
-        if power.ndim == 0:
-            power = np.full((cfg.rows, cfg.cols), float(power))
-        if power.shape != (cfg.rows, cfg.cols):
-            raise PdnError(
-                f"power map shape {power.shape} != array {(cfg.rows, cfg.cols)}"
-            )
-        if (power < 0).any():
-            raise PdnError("tile power must be non-negative")
-
-        if self._laplacian is None:
-            self._laplacian, self._edge_conductance = self._build_system()
-        laplacian, edge_g = self._laplacian, self._edge_conductance
-        assert edge_g is not None
+        power = self._validate_power(tile_power_w)
+        _, edge_g = self._ensure_system()
 
         v_edge = cfg.edge_supply_voltage
         injection = edge_g * v_edge
@@ -241,7 +314,7 @@ class PdnSolver:
 
         if load_model == "ldo":
             load_current = flat_power / cfg.ff_corner_voltage
-            voltages = spsolve(laplacian, injection - load_current)
+            voltages = self._linear_solve(injection - load_current)
             currents = load_current.reshape(cfg.rows, cfg.cols)
             return PdnSolution(
                 config=cfg,
@@ -260,7 +333,7 @@ class PdnSolver:
             load_v = np.maximum(voltages, min_load_voltage)
             load_current = flat_power / load_v
             rhs = injection - load_current
-            new_voltages = spsolve(laplacian, rhs)
+            new_voltages = self._linear_solve(rhs)
             delta = float(np.abs(new_voltages - voltages).max())
             voltages = new_voltages
             if delta < tolerance_v:
@@ -284,6 +357,89 @@ class PdnSolver:
             converged=converged,
             power_loads_w=power,
         )
+
+    def solve_many(
+        self,
+        power_maps: "list[float | np.ndarray]",
+        load_model: str = "ldo",
+        max_iterations: int = 100,
+        tolerance_v: float = 1e-6,
+        min_load_voltage: float = 0.2,
+    ) -> list[PdnSolution]:
+        """Solve the mesh for a batch of power maps.
+
+        The factorization is shared across the whole batch.  The linear
+        ``"ldo"`` model solves every map in a single multi-RHS triangular
+        solve; ``"constant_power"`` iterates all maps jointly, retiring
+        each map's column from the right-hand-side block as soon as it
+        converges, so per-map iteration counts (and voltages) match a
+        sequence of individual :meth:`solve` calls exactly.
+        """
+        cfg = self.config
+        if load_model not in ("ldo", "constant_power"):
+            raise PdnError(f"unknown load model {load_model!r}")
+        if not power_maps:
+            return []
+        powers = [self._validate_power(p) for p in power_maps]
+        _, edge_g = self._ensure_system()
+        v_edge = cfg.edge_supply_voltage
+        injection = edge_g * v_edge
+        flat = np.stack([p.reshape(-1) for p in powers], axis=1)  # (n, m)
+        m = flat.shape[1]
+
+        if load_model == "ldo":
+            load_current = flat / cfg.ff_corner_voltage
+            voltages = self._linear_solve(injection[:, None] - load_current)
+            return [
+                PdnSolution(
+                    config=cfg,
+                    voltages=voltages[:, i].reshape(cfg.rows, cfg.cols),
+                    currents=load_current[:, i].reshape(cfg.rows, cfg.cols),
+                    edge_voltage=v_edge,
+                    iterations=1,
+                    converged=True,
+                    power_loads_w=powers[i],
+                )
+                for i in range(m)
+            ]
+
+        voltages = np.full((cfg.tiles, m), v_edge)
+        iterations = np.zeros(m, dtype=int)
+        active = np.ones(m, dtype=bool)
+        for iteration in range(1, max_iterations + 1):
+            idx = np.nonzero(active)[0]
+            load_v = np.maximum(voltages[:, idx], min_load_voltage)
+            rhs = injection[:, None] - flat[:, idx] / load_v
+            new_voltages = self._linear_solve(rhs)
+            if new_voltages.ndim == 1:
+                new_voltages = new_voltages[:, None]
+            delta = np.abs(new_voltages - voltages[:, idx]).max(axis=0)
+            voltages[:, idx] = new_voltages
+            iterations[idx] = iteration
+            active[idx[delta < tolerance_v]] = False
+            if not active.any():
+                break
+        if active.any():
+            raise ConvergenceError(
+                f"PDN fixed point did not converge for {int(active.sum())} "
+                f"of {m} power maps in {max_iterations} iterations"
+            )
+
+        out: list[PdnSolution] = []
+        for i in range(m):
+            load_v = np.maximum(voltages[:, i], min_load_voltage)
+            out.append(
+                PdnSolution(
+                    config=cfg,
+                    voltages=voltages[:, i].reshape(cfg.rows, cfg.cols),
+                    currents=(flat[:, i] / load_v).reshape(cfg.rows, cfg.cols),
+                    edge_voltage=v_edge,
+                    iterations=int(iterations[i]),
+                    converged=True,
+                    power_loads_w=powers[i],
+                )
+            )
+        return out
 
 
 def solve_pdn(

@@ -118,10 +118,13 @@ def max_tile_power_w(
     cfg = config or SystemConfig()
     if scheme not in ("edge", "twv"):
         raise PdnError(f"unknown scheme {scheme!r}")
+    # One solver for the whole binary search: the mesh factorization is
+    # load-independent, so each probe is a single triangular solve.
+    edge_solver = PdnSolver(cfg) if scheme == "edge" else None
 
     def delivered_min(power_w: float) -> float:
-        if scheme == "edge":
-            return PdnSolver(cfg).solve(tile_power_w=power_w).min_voltage
+        if edge_solver is not None:
+            return edge_solver.solve(tile_power_w=power_w).min_voltage
         return solve_twv_delivery(cfg, tile_power_w=power_w).delivered_voltage
 
     lo, hi = 0.0, 10.0

@@ -60,12 +60,21 @@ class DistributedBfs:
         if missing:
             raise WorkloadError(f"{len(missing)} vertices lack owners")
 
-    def run(self, source: int, max_supersteps: int = 10_000) -> BfsResult:
-        """Run BFS from ``source``; returns distances and stats."""
+    def run(
+        self,
+        source: int,
+        max_supersteps: int = 10_000,
+        route_cache: bool = True,
+    ) -> BfsResult:
+        """Run BFS from ``source``; returns distances and stats.
+
+        ``route_cache=False`` selects the emulator's reference routing
+        path (per-flow assignment) for differential testing.
+        """
         if source not in self.graph:
             raise WorkloadError(f"source {source} not in graph")
 
-        emulator = Emulator(self.system)
+        emulator = Emulator(self.system, route_cache=route_cache)
         distance: dict[int, int] = {}
         owner = self.partition.owner_of
 
