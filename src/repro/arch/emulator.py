@@ -110,9 +110,15 @@ class Emulator:
         system: WaferscaleSystem,
         telemetry: Telemetry | None = None,
         route_cache: bool = True,
+        checkers=None,
     ):
         self.system = system
         self.stats = EmulationStats()
+        # Route checkers (``on_route``) fire on shared-route-cache hits —
+        # e.g. RouteCoherenceChecker re-deriving sampled cached entries.
+        self.checkers = list(checkers or ())
+        fns = [c.on_route for c in self.checkers if hasattr(c, "on_route")]
+        self._chk_route = fns or None
         self._inboxes: dict[Coord, list[Message]] = {
             coord: [] for coord in system.healthy_coords()
         }
@@ -163,6 +169,9 @@ class Emulator:
             if cached is not None:
                 if self._obs is not None:
                     self._m_route_hits.inc()
+                if self._chk_route is not None:
+                    for fn in self._chk_route:
+                        fn(self, src, dst, cached)
                 hops, is_detour, reachable = cached
                 if not reachable:
                     raise NetworkError(f"no path for messages {src} -> {dst}")

@@ -22,6 +22,7 @@ command         output
 ``lot``         production-lot binning at 1 vs 2 pillars/pad
 ``noc``         cycle-level NoC simulation under synthetic traffic
 ``obs``         summarize/validate telemetry sink files
+``verify``      randomized invariant/golden-model verification campaign
 ==============  =====================================================
 
 All commands accept ``--rows/--cols`` to scale the array and ``--json``
@@ -404,6 +405,7 @@ def run_noc(
     seed: int = 0,
     faults: int = 0,
     engine: str = "reference",
+    check: bool = False,
 ) -> dict:
     """Cycle-level NoC simulation under a synthetic traffic pattern.
 
@@ -413,14 +415,23 @@ def run_noc(
     (``--trace``/``--metrics``) this is the richest trace source in the
     CLI: one span per step epoch and per delivered packet, all in the
     simulation-cycle time domain.
+
+    ``check=True`` (the ``--check`` flag) attaches the cheap always-on
+    invariant checkers (flit conservation + delivery legality) to the
+    live run; any violation aborts the command with a structured error.
     """
     from .noc.dualnetwork import NetworkId
     from .noc.faults import random_fault_map
     from .noc.simulator import NocSimulator
     from .workloads.traffic import TrafficPattern, generate_traffic
 
+    checkers = None
+    if check:
+        from .verify import default_noc_checkers
+
+        checkers = default_noc_checkers()
     fault_map = random_fault_map(config, faults, rng=seed) if faults else None
-    sim = NocSimulator(config, fault_map=fault_map, engine=engine)
+    sim = NocSimulator(config, fault_map=fault_map, engine=engine, checkers=checkers)
     traffic = generate_traffic(
         config, TrafficPattern(pattern), rate, cycles, seed=seed
     )
@@ -445,6 +456,10 @@ def run_noc(
         "delivered": report.delivered,
         "responses_delivered": report.responses_delivered,
         "dropped_unreachable": report.dropped_unreachable,
+        "dropped_in_flight": report.dropped_in_flight,
+        "in_flight": report.in_flight,
+        "flit_conservation_ok": report.flit_conservation_ok,
+        "checked": check,
         "link_stalls": sim.link_stalls,
         "mean_latency": report.mean_latency,
         "p99_latency": report.p99_latency,
@@ -453,6 +468,29 @@ def run_noc(
             net.name: count for net, count in report.per_network_delivered.items()
         },
     }
+
+
+def run_verify_cmd(
+    suite: str = "all",
+    trials: int = 25,
+    seed: int = 0,
+    rows: int = 8,
+    cols: int = 8,
+    workers: int = 1,
+) -> dict:
+    """Randomized invariant/golden-model verification campaign.
+
+    Runs the selected :mod:`repro.verify.campaign` suites — fast engine
+    vs reference engine vs naive oracle with invariant checkers attached
+    — and returns the JSON verdict.  Exit code is nonzero when any suite
+    fails.
+    """
+    from .verify import run_verify
+
+    verdict = run_verify(
+        suite=suite, trials=trials, seed=seed, rows=rows, cols=cols, workers=workers
+    )
+    return {"command": "verify", "ok": verdict["passed"], **verdict}
 
 
 def run_obs(action: str, paths: list[str]) -> dict:
@@ -645,6 +683,31 @@ def render_noc(result: dict) -> str:
     )
 
 
+def render_verify(result: dict) -> str:
+    lines = [
+        f"verification campaign: suite={result['suite']} "
+        f"trials={result['trials']} seed={result['seed']} "
+        f"array={result['rows']}x{result['cols']}"
+    ]
+    for name, entry in result["suites"].items():
+        if entry["passed"]:
+            lines.append(
+                f"[PASS] {name}: {entry['trials']} trials, "
+                f"{entry['checks']} invariant checks "
+                f"({entry['elapsed_s']:.2f}s)"
+            )
+        else:
+            failure = entry.get("failure", {})
+            lines.append(
+                f"[FAIL] {name}: {failure.get('message', 'unknown failure')}"
+            )
+            context = failure.get("context") or {}
+            for key, value in context.items():
+                lines.append(f"       {key} = {value}")
+    lines.append("VERDICT: " + ("PASS" if result["ok"] else "FAIL"))
+    return "\n".join(lines)
+
+
 def render_obs(result: dict) -> str:
     lines = []
     for entry in result["files"]:
@@ -710,9 +773,13 @@ _RUNNERS: dict[str, Callable[[argparse.Namespace], dict]] = {
     "noc": lambda a: run_noc(
         _config(a), cycles=a.cycles, rate=a.rate,
         pattern=a.pattern, seed=a.seed, faults=a.faults,
-        engine=a.engine,
+        engine=a.engine, check=a.check,
     ),
     "obs": lambda a: run_obs(a.action, a.paths),
+    "verify": lambda a: run_verify_cmd(
+        suite=a.suite, trials=a.trials, seed=a.seed,
+        rows=a.rows, cols=a.cols, workers=a.workers,
+    ),
 }
 
 _RENDERERS: dict[str, Callable[[dict], str]] = {
@@ -732,6 +799,7 @@ _RENDERERS: dict[str, Callable[[dict], str]] = {
     "lot": render_lot,
     "noc": render_noc,
     "obs": render_obs,
+    "verify": render_verify,
 }
 
 
@@ -872,6 +940,12 @@ def build_parser() -> argparse.ArgumentParser:
                 help="simulation core: the object-model reference engine "
                 "or the active-set struct-of-arrays fast engine",
             )
+            p.add_argument(
+                "--check",
+                action="store_true",
+                help="attach the always-on invariant checkers "
+                "(flit conservation + delivery legality) to the run",
+            )
         if name in ENGINE_COMMANDS:
             p.add_argument(
                 "--workers",
@@ -903,6 +977,47 @@ def build_parser() -> argparse.ArgumentParser:
         help=argparse.SUPPRESS,
     )
     obs.set_defaults(handler=_dispatch)
+
+    # `verify` runs randomized campaigns on small arrays, so it takes its
+    # own --rows/--cols defaults (8x8, not the paper-scale 32x32).
+    from .verify.campaign import SUITES as VERIFY_SUITES
+
+    verify = sub.add_parser(
+        "verify",
+        help="randomized invariant & golden-model verification campaign",
+    )
+    verify.add_argument(
+        "--suite",
+        type=str,
+        default="all",
+        choices=list(VERIFY_SUITES) + ["all"],
+        help="which subsystem campaign to run",
+    )
+    verify.add_argument("--trials", type=int, default=25)
+    verify.add_argument("--seed", type=int, default=0)
+    verify.add_argument("--rows", type=int, default=8, help="tile rows")
+    verify.add_argument("--cols", type=int, default=8, help="tile columns")
+    verify.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="experiment-engine worker processes (0 = all CPUs)",
+    )
+    verify.add_argument(
+        "--json",
+        action="store_true",
+        default=argparse.SUPPRESS,
+        help=argparse.SUPPRESS,
+    )
+    for sink in ("--trace", "--metrics"):
+        verify.add_argument(
+            sink,
+            type=str,
+            default=argparse.SUPPRESS,
+            metavar="PATH",
+            help=argparse.SUPPRESS,
+        )
+    verify.set_defaults(handler=_dispatch)
     return parser
 
 

@@ -190,12 +190,21 @@ class ExperimentEngine:
         config: SystemConfig | None = None,
         params: dict[str, Any] | None = None,
         progress: Callable[[int, int], None] | None = None,
+        verify: Callable[[int, Any], None] | None = None,
     ) -> RunResult:
         """Run ``trials`` independent trials of ``fn`` and collect values.
 
         ``config`` and ``params`` are made available to every trial via
         its :class:`TrialContext` and, together with ``experiment``,
         ``seed`` and ``trials``, form the cache identity of the run.
+
+        ``verify`` is the per-trial verification hook: called in the
+        parent process as ``verify(index, value)`` for every trial value
+        in index order — *including* values served from the result cache,
+        so a stale or corrupted cache entry cannot bypass verification.
+        Raise from the hook (e.g. an
+        :class:`~repro.verify.invariants.InvariantViolation`) to fail
+        the run; verified-trial counts are recorded through telemetry.
         """
         if trials < 1:
             raise ReproError("an experiment needs at least one trial")
@@ -222,6 +231,7 @@ class ExperimentEngine:
                 start = time.perf_counter()
                 for observer in observers:
                     observer.on_run_start(experiment, trials, self.workers)
+                self._verify_values(verify, values)
                 result = RunResult(
                     experiment=experiment,
                     trials=trials,
@@ -265,6 +275,8 @@ class ExperimentEngine:
                 for chunk_result in pool.imap_unordered(_run_chunk, payloads):
                     _absorb(chunk_result)
 
+        self._verify_values(verify, values_by_index)
+
         if self.cache is not None and key is not None:
             self.cache.put(key, values_by_index)
 
@@ -282,6 +294,21 @@ class ExperimentEngine:
         if telemetry.enabled:
             self._record_manifest(experiment, config, params, seed, result)
         return result
+
+    def _verify_values(
+        self, verify: Callable[[int, Any], None] | None, values: list[Any]
+    ) -> None:
+        """Run the per-trial verification hook over values in index order.
+
+        A raising hook aborts the run *before* fresh values are written
+        to the result cache, so unverified results are never persisted.
+        """
+        if verify is None:
+            return
+        for index, value in enumerate(values):
+            verify(index, value)
+        if self.telemetry.enabled:
+            self.telemetry.metrics.counter("engine.verified_trials").inc(len(values))
 
     def _record_manifest(
         self,

@@ -38,13 +38,17 @@ this module only replaces how a cycle is computed.
 from __future__ import annotations
 
 from collections import deque
+from typing import TYPE_CHECKING, Iterable, Iterator
 
-from ..config import SystemConfig
+from ..config import Coord, SystemConfig
 from .dualnetwork import NetworkId
 from .faults import FaultMap
 from .routing import PORT_LOCAL, build_port_lut, dor_port_code
 from .simulator import NocSimulator
 from ..obs.telemetry import Telemetry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..verify.invariants import InvariantChecker
 
 #: Networks in engine index order; ``NetworkId.XY.value == 0`` so a
 #: network's enum value doubles as its index into the per-net arrays.
@@ -75,6 +79,7 @@ class FastNocSimulator(NocSimulator):
         response_delay: int = 2,
         telemetry: Telemetry | None = None,
         engine: str = "fast",
+        checkers: "Iterable[InvariantChecker] | None" = None,
     ):
         super().__init__(
             config,
@@ -83,6 +88,7 @@ class FastNocSimulator(NocSimulator):
             response_delay=response_delay,
             telemetry=telemetry,
             engine=engine,
+            checkers=checkers,
         )
 
     # ------------------------------------------------------------------
@@ -249,6 +255,17 @@ class FastNocSimulator(NocSimulator):
                 self._active[net_i].discard(idx)
             self._rr[net_i][idx][out] = (in_p + 1) % 5
             self._fwd[net_i][idx] += 1
+            if self._chk_grant is not None:
+                for fn in self._chk_grant:
+                    fn(
+                        self,
+                        NET_ORDER[net_i],
+                        divmod(idx, cols),
+                        out,
+                        in_p,
+                        packet,
+                        self._rr[net_i][idx][out],
+                    )
             if hop >= 0:
                 fifos[hop * 5 + (out ^ 1)].append(packet)
                 if occ[hop] == 0:
@@ -261,14 +278,34 @@ class FastNocSimulator(NocSimulator):
                 self.dropped_in_flight += 1
                 self._in_flight -= 1
                 self._net_occupancy[NET_ORDER[net_i]] -= 1
+                if self._chk_drop is not None:
+                    for fn in self._chk_drop:
+                        fn(self, packet, NET_ORDER[net_i])
 
         self.link_stalls += stalled
         if self._obs is not None:
             self._record_step(len(moves), stalled)
+        if self._chk_step is not None:
+            for fn in self._chk_step:
+                fn(self)
         self.cycle += 1
 
     # ------------------------------------------------------------------
-    # Telemetry over flat state
+    # Telemetry and checker walks over flat state
+
+    def _iter_fifo_lengths(self) -> Iterator[tuple[NetworkId, Coord, int, int]]:
+        """``(network, coord, port_code, occupancy)`` from the flat FIFOs."""
+        cols = self._cols
+        for net_i, net in enumerate(NET_ORDER):
+            fifos = self._fifos[net_i]
+            for idx in range(self._n):
+                if not self._healthy[idx]:
+                    continue
+                coord = divmod(idx, cols)
+                base = idx * 5
+                for port in range(5):
+                    fifo = fifos[base + port]
+                    yield net, coord, port, len(fifo) if fifo is not None else 0
 
     def _record_router_distributions(self) -> None:
         """Per-router load snapshot straight from the flat arrays."""

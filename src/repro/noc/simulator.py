@@ -31,6 +31,7 @@ un-instrumented model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 import numpy as np
 
@@ -43,6 +44,9 @@ from .packets import Packet, PacketKind
 from .router import Port, Router, port_toward
 from .routing import RoutingPolicy
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..verify.invariants import InvariantChecker
+
 #: Histogram buckets for packet latency in cycles.
 LATENCY_BUCKETS = tuple(float(2**i) for i in range(0, 14))
 
@@ -51,6 +55,10 @@ OCCUPANCY_BUCKETS = tuple(float(2**i) for i in range(0, 15))
 
 #: Valid values for :class:`NocSimulator`'s ``engine`` argument.
 ENGINES = ("reference", "fast")
+
+#: Port -> integer code in ``list(Port)`` order (N=0, S=1, W=2, E=3, LOCAL=4),
+#: the encoding checker hooks and the fast engine share.
+PORT_CODE = {port: code for code, port in enumerate(Port)}
 
 
 @dataclass(slots=True)
@@ -64,6 +72,12 @@ class SimulationReport:
     dropped_unreachable: int
     latencies: list[int] = field(default_factory=list)
     per_network_delivered: dict[NetworkId, int] = field(default_factory=dict)
+    # Conservation accounting: in-flight drops (faulty links) are the only
+    # ``dropped_unreachable`` entries that were ever injected, and
+    # ``in_flight`` is what is still buffered at report time.  Together
+    # they make flit conservation checkable from the report alone.
+    dropped_in_flight: int = 0
+    in_flight: int = 0
     # Lazily computed sorted view of ``latencies``; excluded from
     # equality/repr so reports stay comparable field-for-field.
     _sorted_latencies: list[int] | None = field(
@@ -122,6 +136,22 @@ class SimulationReport:
         """Delivered packets per simulated cycle."""
         return self.delivered / self.cycles if self.cycles else 0.0
 
+    @property
+    def packets_unaccounted(self) -> int:
+        """Injected packets not delivered, dropped in flight or buffered.
+
+        Zero on any correct run; after a full :meth:`NocSimulator.drain`
+        it reduces to ``injected - delivered - dropped_in_flight``.
+        """
+        return (
+            self.injected - self.delivered - self.dropped_in_flight - self.in_flight
+        )
+
+    @property
+    def flit_conservation_ok(self) -> bool:
+        """Exact flit conservation at report time."""
+        return self.packets_unaccounted == 0
+
 
 class NocSimulator:
     """Cycle-level dual-network mesh simulator.
@@ -151,6 +181,7 @@ class NocSimulator:
         response_delay: int = 2,
         telemetry: Telemetry | None = None,
         engine: str = "reference",
+        checkers: "Iterable[InvariantChecker] | None" = None,
     ):
         if cls is NocSimulator and engine == "fast":
             from .fastsim import FastNocSimulator
@@ -166,6 +197,7 @@ class NocSimulator:
         response_delay: int = 2,
         telemetry: Telemetry | None = None,
         engine: str = "reference",
+        checkers: "Iterable[InvariantChecker] | None" = None,
     ):
         if engine not in ENGINES:
             raise NetworkError(f"unknown engine {engine!r}; pick one of {ENGINES}")
@@ -193,7 +225,20 @@ class NocSimulator:
         self._net_occupancy = {n: 0 for n in NetworkId}
         self._last_report: SimulationReport | None = None
 
+        # Invariant-checker dispatch: one callback list per event, or
+        # None when no attached checker subscribes — so the unchecked
+        # hot path pays a single ``is None`` test per event site.
+        self.checkers: "list[InvariantChecker]" = list(checkers or ())
+        self._chk_step = self._subscribers("on_step")
+        self._chk_grant = self._subscribers("on_grant")
+        self._chk_deliver = self._subscribers("on_deliver")
+        self._chk_drop = self._subscribers("on_drop")
+
         self._build_state()
+        for checker in self.checkers:
+            attach = getattr(checker, "attach", None)
+            if attach is not None:
+                attach(self)
 
         tel = resolve_telemetry(telemetry)
         self.telemetry = tel
@@ -228,6 +273,15 @@ class NocSimulator:
             }
 
     # ------------------------------------------------------------------
+
+    def _subscribers(self, event: str) -> "list | None":
+        """Callbacks of attached checkers defining ``event`` (None if none)."""
+        fns = [
+            getattr(checker, event)
+            for checker in self.checkers
+            if hasattr(checker, event)
+        ]
+        return fns or None
 
     def _build_state(self) -> None:
         """Build the engine's mutable network state (reference: routers)."""
@@ -302,6 +356,9 @@ class NocSimulator:
         self._net_occupancy[network] -= 1
         if self._obs is not None:
             self._record_delivery(packet, network)
+        if self._chk_deliver is not None:
+            for fn in self._chk_deliver:
+                fn(self, packet, network)
         if packet.kind is PacketKind.REQUEST:
             response = Packet(
                 kind=PacketKind.RESPONSE,
@@ -367,22 +424,37 @@ class NocSimulator:
                         stalled += 1
 
         for net, router, out_port, in_port, downstream, entry in moves:
+            packet = router.grant(out_port, in_port)
+            if self._chk_grant is not None:
+                for fn in self._chk_grant:
+                    fn(
+                        self,
+                        net,
+                        router.coord,
+                        PORT_CODE[out_port],
+                        PORT_CODE[in_port],
+                        packet,
+                        router._rr_state[out_port],
+                    )
             if out_port is Port.LOCAL:
-                packet = router.grant(out_port, in_port)
                 self._deliver(packet, net)
             elif downstream is None:
-                packet = router.grant(out_port, in_port)
                 self.dropped_unreachable += 1
                 self.dropped_in_flight += 1
                 self._in_flight -= 1
                 self._net_occupancy[net] -= 1
+                if self._chk_drop is not None:
+                    for fn in self._chk_drop:
+                        fn(self, packet, net)
             else:
-                packet = router.grant(out_port, in_port)
                 downstream.accept(entry, packet)
 
         self.link_stalls += stalled
         if self._obs is not None:
             self._record_step(len(moves), stalled)
+        if self._chk_step is not None:
+            for fn in self._chk_step:
+                fn(self)
         self.cycle += 1
 
     def _record_step(self, moved: int, stalled: int) -> None:
@@ -447,7 +519,14 @@ class NocSimulator:
         return self._in_flight == 0
 
     def report(self) -> SimulationReport:
-        """Summarise the run so far."""
+        """Summarise the run so far.
+
+        Counters are frozen into the report *before* the telemetry
+        router-distribution snapshot runs, so drained packets (including
+        in-flight drops attributed during :meth:`drain`) are accounted in
+        the same instant the snapshot describes — the ordering exact flit
+        conservation (``report.flit_conservation_ok``) relies on.
+        """
         latencies = [
             p.latency for p in self.delivered_packets if p.latency is not None
         ]
@@ -456,8 +535,6 @@ class NocSimulator:
             for p in self.delivered_packets
             if p.kind is PacketKind.RESPONSE
         )
-        if self._obs is not None:
-            self._record_router_distributions()
         report = SimulationReport(
             cycles=self.cycle,
             injected=self.injected_count,
@@ -466,7 +543,11 @@ class NocSimulator:
             dropped_unreachable=self.dropped_unreachable,
             latencies=latencies,
             per_network_delivered=dict(self._per_network_delivered),
+            dropped_in_flight=self.dropped_in_flight,
+            in_flight=self._in_flight,
         )
+        if self._obs is not None:
+            self._record_router_distributions()
         # Reuse the previous report's sorted-latency cache when nothing
         # new was delivered, so report(); report.p99_latency in a loop
         # pays for one sort total, not one per call.
@@ -479,6 +560,18 @@ class NocSimulator:
             report._sorted_latencies = last._sorted_latencies
         self._last_report = report
         return report
+
+    def _iter_fifo_lengths(self) -> Iterator[tuple[NetworkId, Coord, int, int]]:
+        """Yield ``(network, coord, port_code, occupancy)`` for every FIFO.
+
+        The engine-neutral state walk :class:`~repro.verify.invariants.
+        FifoBoundChecker` scans; both engines implement it over their own
+        state layout.
+        """
+        for net in NetworkId:
+            for coord, router in self.routers[net].items():
+                for port, fifo in router.inputs.items():
+                    yield net, coord, PORT_CODE[port], len(fifo.queue)
 
     def _record_router_distributions(self) -> None:
         """Per-router load snapshot: one observation per router.

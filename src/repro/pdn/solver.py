@@ -151,6 +151,12 @@ class PdnSolver:
         (:func:`splu`) and reused by every linear solve this instance
         performs; False keeps the fresh-``spsolve``-per-call reference
         path used by the differential tests and benchmarks.
+    checkers:
+        Optional :class:`~repro.verify.invariants.InvariantChecker`
+        instances (e.g. ``KclResidualChecker``, ``DroopBoundChecker``);
+        each is run against every solution this solver produces —
+        including every :meth:`solve_many` column — and raises
+        :class:`~repro.verify.invariants.InvariantViolation` on failure.
     """
 
     def __init__(
@@ -159,6 +165,7 @@ class PdnSolver:
         stack: PlaneStack | None = None,
         edge_connector_ohm: float = DEFAULT_EDGE_CONNECTOR_OHM,
         factorize: bool = True,
+        checkers=None,
     ):
         self.config = config or SystemConfig()
         self.stack = stack or extract_plane_stack(self.config)
@@ -166,9 +173,16 @@ class PdnSolver:
             raise PdnError("edge connector resistance must be positive")
         self.edge_connector_ohm = edge_connector_ohm
         self.factorize = factorize
+        self.checkers = list(checkers or ())
         self._laplacian: csr_matrix | None = None
         self._edge_conductance: np.ndarray | None = None
         self._lu = None                 # cached splu factorization
+
+    def _checked(self, solution: PdnSolution) -> PdnSolution:
+        """Run every attached checker against one solution."""
+        for checker in self.checkers:
+            checker.check_solution(self, solution)
+        return solution
 
     # ------------------------------------------------------------------
     # mesh construction
@@ -316,14 +330,16 @@ class PdnSolver:
             load_current = flat_power / cfg.ff_corner_voltage
             voltages = self._linear_solve(injection - load_current)
             currents = load_current.reshape(cfg.rows, cfg.cols)
-            return PdnSolution(
-                config=cfg,
-                voltages=voltages.reshape(cfg.rows, cfg.cols),
-                currents=currents,
-                edge_voltage=v_edge,
-                iterations=1,
-                converged=True,
-                power_loads_w=power,
+            return self._checked(
+                PdnSolution(
+                    config=cfg,
+                    voltages=voltages.reshape(cfg.rows, cfg.cols),
+                    currents=currents,
+                    edge_voltage=v_edge,
+                    iterations=1,
+                    converged=True,
+                    power_loads_w=power,
+                )
             )
 
         voltages = np.full(cfg.tiles, v_edge)
@@ -348,14 +364,16 @@ class PdnSolver:
 
         load_v = np.maximum(voltages, min_load_voltage)
         currents = (flat_power / load_v).reshape(cfg.rows, cfg.cols)
-        return PdnSolution(
-            config=cfg,
-            voltages=voltages.reshape(cfg.rows, cfg.cols),
-            currents=currents,
-            edge_voltage=v_edge,
-            iterations=iterations,
-            converged=converged,
-            power_loads_w=power,
+        return self._checked(
+            PdnSolution(
+                config=cfg,
+                voltages=voltages.reshape(cfg.rows, cfg.cols),
+                currents=currents,
+                edge_voltage=v_edge,
+                iterations=iterations,
+                converged=converged,
+                power_loads_w=power,
+            )
         )
 
     def solve_many(
@@ -391,14 +409,16 @@ class PdnSolver:
             load_current = flat / cfg.ff_corner_voltage
             voltages = self._linear_solve(injection[:, None] - load_current)
             return [
-                PdnSolution(
-                    config=cfg,
-                    voltages=voltages[:, i].reshape(cfg.rows, cfg.cols),
-                    currents=load_current[:, i].reshape(cfg.rows, cfg.cols),
-                    edge_voltage=v_edge,
-                    iterations=1,
-                    converged=True,
-                    power_loads_w=powers[i],
+                self._checked(
+                    PdnSolution(
+                        config=cfg,
+                        voltages=voltages[:, i].reshape(cfg.rows, cfg.cols),
+                        currents=load_current[:, i].reshape(cfg.rows, cfg.cols),
+                        edge_voltage=v_edge,
+                        iterations=1,
+                        converged=True,
+                        power_loads_w=powers[i],
+                    )
                 )
                 for i in range(m)
             ]
@@ -429,14 +449,16 @@ class PdnSolver:
         for i in range(m):
             load_v = np.maximum(voltages[:, i], min_load_voltage)
             out.append(
-                PdnSolution(
-                    config=cfg,
-                    voltages=voltages[:, i].reshape(cfg.rows, cfg.cols),
-                    currents=(flat[:, i] / load_v).reshape(cfg.rows, cfg.cols),
-                    edge_voltage=v_edge,
-                    iterations=int(iterations[i]),
-                    converged=True,
-                    power_loads_w=powers[i],
+                self._checked(
+                    PdnSolution(
+                        config=cfg,
+                        voltages=voltages[:, i].reshape(cfg.rows, cfg.cols),
+                        currents=(flat[:, i] / load_v).reshape(cfg.rows, cfg.cols),
+                        edge_voltage=v_edge,
+                        iterations=int(iterations[i]),
+                        converged=True,
+                        power_loads_w=powers[i],
+                    )
                 )
             )
         return out

@@ -1,0 +1,456 @@
+"""Seeded randomized verification campaigns (the ``repro verify`` CLI).
+
+Each suite draws randomized trials — configurations, fault maps,
+traffic, power maps — and runs a fast engine, its reference engine and
+the corresponding :mod:`.golden` oracle side by side with
+:mod:`.invariants` checkers attached, so one trial fails on any of:
+
+* a structured :class:`~repro.verify.invariants.InvariantViolation`
+  raised mid-run by an attached checker;
+* a fast-vs-reference report mismatch (bit-identical fields required);
+* an engine-vs-oracle disagreement.
+
+Trials execute on the :class:`~repro.engine.core.ExperimentEngine` with
+its per-trial ``verify=`` hook validating every trial value (including
+cache-served ones), so the campaign also exercises the engine's verify
+mode end to end.  Randomness comes from the engine's deterministic
+per-trial seed streams — the verdict is a pure function of
+``(suite, trials, seed, rows, cols)``.
+
+Run it as ``repro verify --suite all --trials 25 --seed 0 --json``; the
+returned verdict is JSON-encodable.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+import numpy as np
+
+from ..arch.emulator import Emulator, clear_route_cache
+from ..arch.system import WaferscaleSystem
+from ..config import SystemConfig
+from ..dft.multichain import row_chains, single_chain
+from ..dft.unrolling import ChainTestSession, TileUnderTest, locate_faulty_tiles
+from ..engine.core import ExperimentEngine, TrialContext
+from ..errors import ReproError
+from ..noc.dualnetwork import NetworkId
+from ..noc.faults import random_fault_map
+from ..noc.remap import best_logical_grid, logical_system_config
+from ..noc.simulator import NocSimulator
+from ..pdn.solver import PdnSolver
+from ..workloads.bfs import DistributedBfs
+from ..workloads.graphs import random_graph
+from ..workloads.sssp import DistributedSssp
+from ..workloads.traffic import TrafficPattern, generate_traffic
+from .golden import (
+    GoldenNocModel,
+    golden_bfs,
+    golden_pdn_solve,
+    golden_sssp,
+)
+from .invariants import (
+    ChainIntegrityChecker,
+    DroopBoundChecker,
+    InvariantViolation,
+    KclResidualChecker,
+    RouteCoherenceChecker,
+    full_noc_checkers,
+)
+
+#: Campaign suites, in the order ``--suite all`` runs them.
+SUITES = ("noc", "pdn", "emu", "dft")
+
+#: Traffic patterns the NoC suite cycles through (HOTSPOT saturates tiny
+#: meshes too fast to stay comparable at fixed cycle counts).
+_NOC_PATTERNS = (
+    TrafficPattern.UNIFORM,
+    TrafficPattern.TRANSPOSE,
+    TrafficPattern.NEIGHBOR,
+    TrafficPattern.BIT_REVERSAL,
+)
+
+
+def _campaign_fault_map(cfg: SystemConfig, rng: np.random.Generator, max_faults: int):
+    """A random fault map leaving at least one healthy tile."""
+    limit = min(max_faults, cfg.tiles - 1)
+    return random_fault_map(cfg, int(rng.integers(0, limit + 1)), rng=rng)
+
+
+def _drive(sim, schedule, run_cycles: int) -> None:
+    """Feed an injection schedule into any NoC model and run it.
+
+    Works for both :class:`~repro.noc.simulator.NocSimulator` engines
+    and :class:`~repro.verify.golden.GoldenNocModel` — they share the
+    ``inject``/``step`` protocol.  Packets alternate networks by
+    schedule position so both get traffic deterministically.
+    """
+    position = 0
+    total = len(schedule)
+    for cycle in range(run_cycles):
+        while position < total and schedule[position][0] == cycle:
+            packet = schedule[position][1]
+            net = NetworkId.XY if position % 2 == 0 else NetworkId.YX
+            sim.inject(packet, net)
+            position += 1
+        sim.step()
+
+
+def _compare_reports(engine_report, golden_report, context: str) -> None:
+    """Field-for-field comparison of an engine report against the oracle."""
+    fields = (
+        "cycles",
+        "injected",
+        "delivered",
+        "responses_delivered",
+        "dropped_unreachable",
+        "dropped_in_flight",
+        "in_flight",
+        "latencies",
+        "per_network_delivered",
+    )
+    for name in fields:
+        engine_value = getattr(engine_report, name)
+        golden_value = getattr(golden_report, name)
+        if engine_value != golden_value:
+            raise InvariantViolation(
+                "noc",
+                "golden_differential",
+                f"engine disagrees with the golden model on {name}",
+                {
+                    "context": context,
+                    "field": name,
+                    "engine": engine_value,
+                    "golden": golden_value,
+                },
+            )
+
+
+# ---------------------------------------------------------------------------
+# suite trial functions (module-level: picklable for the engine)
+# ---------------------------------------------------------------------------
+
+
+def _noc_trial(ctx: TrialContext) -> dict[str, Any]:
+    """Fast vs reference vs golden mini-NoC on one randomized scenario."""
+    rng = ctx.rng
+    rows = ctx.params["rows"]
+    cols = ctx.params["cols"]
+    cfg = SystemConfig(rows=rows, cols=cols)
+    fmap = _campaign_fault_map(cfg, rng, max_faults=3)
+    pattern = _NOC_PATTERNS[ctx.index % len(_NOC_PATTERNS)]
+    rate = 0.004 + float(rng.random()) * 0.02
+    inject_cycles = int(rng.integers(30, 80))
+    traffic_seed = int(rng.integers(0, 2**31))
+    # Fixed total length (injection window + settling tail): unbounded
+    # drains can diverge on saturated maps, fixed windows cannot.
+    run_cycles = inject_cycles + 200
+
+    checkers = {
+        "fast": full_noc_checkers(),
+        "reference": full_noc_checkers(),
+    }
+    reports = {}
+    for engine in ("fast", "reference"):
+        sim = NocSimulator(
+            cfg, fmap, engine=engine, checkers=checkers[engine]
+        )
+        schedule = generate_traffic(
+            cfg, pattern, rate, inject_cycles, seed=traffic_seed
+        )
+        _drive(sim, schedule, run_cycles)
+        reports[engine] = sim.report()
+
+    golden = GoldenNocModel(cfg, fmap)
+    schedule = generate_traffic(cfg, pattern, rate, inject_cycles, seed=traffic_seed)
+    _drive(golden, schedule, run_cycles)
+
+    if reports["fast"] != reports["reference"]:
+        raise InvariantViolation(
+            "noc",
+            "engine_differential",
+            "fast and reference engines produced different reports",
+            {
+                "pattern": pattern.name,
+                "rate": rate,
+                "fast": reports["fast"],
+                "reference": reports["reference"],
+            },
+        )
+    _compare_reports(
+        reports["fast"], golden.report(), context=f"pattern={pattern.name}"
+    )
+    checks = sum(c.checks for cs in checkers.values() for c in cs)
+    return {
+        "checks": checks,
+        "injected": reports["fast"].injected,
+        "delivered": reports["fast"].delivered,
+        "conserved": reports["fast"].flit_conservation_ok,
+    }
+
+
+def _pdn_trial(ctx: TrialContext) -> dict[str, Any]:
+    """Cached-LU vs fresh-spsolve vs dense-numpy PDN on one power map."""
+    rng = ctx.rng
+    rows = int(rng.integers(4, 9))
+    cols = int(rng.integers(4, 9))
+    cfg = SystemConfig(rows=rows, cols=cols)
+    power = rng.random((rows, cols)) * cfg.tile_peak_power_w * 1.5
+    load_model = "ldo" if ctx.index % 2 == 0 else "constant_power"
+
+    fast_checkers = [KclResidualChecker(), DroopBoundChecker()]
+    ref_checkers = [KclResidualChecker(), DroopBoundChecker()]
+    fast = PdnSolver(cfg, factorize=True, checkers=fast_checkers)
+    ref = PdnSolver(cfg, factorize=False, checkers=ref_checkers)
+
+    fast_solution = fast.solve(power, load_model=load_model)
+    ref_solution = ref.solve(power, load_model=load_model)
+    golden_v, golden_i, golden_iters = golden_pdn_solve(
+        cfg, power, load_model=load_model
+    )
+
+    for label, other_v, other_i in (
+        ("reference", ref_solution.voltages, ref_solution.currents),
+        ("golden", golden_v, golden_i),
+    ):
+        if not np.allclose(
+            fast_solution.voltages, other_v, rtol=0.0, atol=1e-7
+        ) or not np.allclose(fast_solution.currents, other_i, rtol=0.0, atol=1e-6):
+            raise InvariantViolation(
+                "pdn",
+                "solver_differential",
+                f"factorized solver disagrees with the {label} solve",
+                {
+                    "load_model": load_model,
+                    "rows": rows,
+                    "cols": cols,
+                    "max_dv": float(
+                        np.abs(fast_solution.voltages - other_v).max()
+                    ),
+                },
+            )
+    if fast_solution.iterations != golden_iters:
+        raise InvariantViolation(
+            "pdn",
+            "solver_differential",
+            "fixed-point iteration counts diverged from the oracle",
+            {
+                "load_model": load_model,
+                "solver": fast_solution.iterations,
+                "golden": golden_iters,
+            },
+        )
+
+    # Batch path: solve_many columns must match individual solves and run
+    # through the same checkers.
+    batch = fast.solve_many([power, power * 0.5], load_model=load_model)
+    if not np.allclose(
+        batch[0].voltages, fast_solution.voltages, rtol=0.0, atol=1e-9
+    ):
+        raise InvariantViolation(
+            "pdn",
+            "solver_differential",
+            "solve_many column 0 diverged from the individual solve",
+            {"load_model": load_model},
+        )
+    checks = sum(c.checks for c in fast_checkers + ref_checkers)
+    return {
+        "checks": checks,
+        "min_voltage": fast_solution.min_voltage,
+        "iterations": fast_solution.iterations,
+    }
+
+
+def _emu_trial(ctx: TrialContext) -> dict[str, Any]:
+    """Route-cache coherence plus BFS/SSSP cached-vs-reference-vs-oracle."""
+    rng = ctx.rng
+    rows = ctx.params["rows"]
+    cols = ctx.params["cols"]
+    cfg = SystemConfig(rows=rows, cols=cols)
+    fmap = _campaign_fault_map(cfg, rng, max_faults=3)
+    clear_route_cache()
+    system = WaferscaleSystem(cfg, fmap)
+
+    # Phase 1: synthetic flows through a checked emulator.  The second
+    # round of sends replays every pair, so each flow hits the shared
+    # route cache and RouteCoherenceChecker(sample=1) re-derives it.
+    checker = RouteCoherenceChecker(sample=1)
+    emulator = Emulator(system, checkers=[checker])
+    healthy = system.healthy_coords()
+    pair_count = min(24, len(healthy) * (len(healthy) - 1))
+    pairs = []
+    for _ in range(pair_count):
+        src = healthy[int(rng.integers(len(healthy)))]
+        dst = healthy[int(rng.integers(len(healthy)))]
+        if src != dst:
+            pairs.append((src, dst))
+
+    def deliver_round() -> None:
+        for src, dst in pairs:
+            emulator.send(src, dst, payload=None)
+        emulator.superstep(lambda tile, inbox, em: 0)
+
+    deliver_round()
+    deliver_round()
+
+    # Phase 2: whole-workload differential — distributed BFS/SSSP with
+    # the route cache on and off, against the pure-python oracles.
+    graph = random_graph(
+        nodes=int(rng.integers(24, 49)),
+        seed=int(rng.integers(0, 2**31)),
+        weighted=True,
+    )
+    source = int(rng.integers(graph.number_of_nodes()))
+
+    bfs = DistributedBfs(system, graph)
+    cached = bfs.run(source, route_cache=True).distance
+    uncached = bfs.run(source, route_cache=False).distance
+    oracle = golden_bfs(graph, source)
+    if cached != uncached or cached != oracle:
+        raise InvariantViolation(
+            "emu",
+            "bfs_differential",
+            "distributed BFS distances diverged",
+            {"source": source, "cached": len(cached), "oracle": len(oracle)},
+        )
+
+    sssp = DistributedSssp(system, graph)
+    sssp_distance = sssp.run(source).distance
+    sssp_oracle = golden_sssp(graph, source)
+    if set(sssp_distance) != set(sssp_oracle) or any(
+        abs(sssp_distance[v] - sssp_oracle[v]) > 1e-9 for v in sssp_oracle
+    ):
+        raise InvariantViolation(
+            "emu",
+            "sssp_differential",
+            "distributed SSSP distances diverged from the oracle",
+            {"source": source},
+        )
+    return {
+        "checks": checker.checks,
+        "flows": len(pairs),
+        "bfs_reached": len(cached),
+    }
+
+
+def _dft_trial(ctx: TrialContext) -> dict[str, Any]:
+    """Chain-plan permutation integrity and unrolling-session legality."""
+    rng = ctx.rng
+    checker = ChainIntegrityChecker()
+
+    rows = int(rng.integers(4, 13))
+    cols = int(rng.integers(4, 13))
+    cfg = SystemConfig(rows=rows, cols=cols)
+    checker.check_plan(row_chains(cfg))
+    checker.check_plan(single_chain(cfg))
+
+    # Remapped logical configs keep the permutation property too.
+    base = SystemConfig(rows=8, cols=8)
+    fmap = _campaign_fault_map(base, rng, max_faults=10)
+    grid = best_logical_grid(fmap)
+    logical_cfg = logical_system_config(grid, base)
+    checker.check_plan(row_chains(logical_cfg))
+
+    # Random health vectors: the recorded unroll must be a strict prefix
+    # walk that stops at the first failure and matches ground truth.
+    chain_length = int(rng.integers(1, 33))
+    health = [bool(rng.random() < 0.9) for _ in range(chain_length)]
+    session = ChainTestSession(
+        tiles=[TileUnderTest(index=i, healthy=h) for i, h in enumerate(health)]
+    )
+    found = session.unroll()
+    checker.check_unroll(session.steps, health)
+    if found != locate_faulty_tiles(health):
+        raise InvariantViolation(
+            "dft",
+            "unroll_differential",
+            "unroll verdict differs from the convenience-wrapper reference",
+            {"found": found},
+        )
+    return {"checks": checker.checks, "chain_length": chain_length}
+
+
+_TRIALS = {
+    "noc": _noc_trial,
+    "pdn": _pdn_trial,
+    "emu": _emu_trial,
+    "dft": _dft_trial,
+}
+
+
+def _verify_trial_value(index: int, value: Any) -> None:
+    """Engine verify hook: every trial must report real checking work."""
+    if not isinstance(value, dict) or value.get("checks", 0) <= 0:
+        raise InvariantViolation(
+            "campaign",
+            "trial_value",
+            "trial reported no invariant checks",
+            {"trial": index, "value": value},
+        )
+
+
+# ---------------------------------------------------------------------------
+# campaign driver
+# ---------------------------------------------------------------------------
+
+
+def run_verify(
+    suite: str = "all",
+    trials: int = 25,
+    seed: int = 0,
+    rows: int = 8,
+    cols: int = 8,
+    workers: int = 1,
+) -> dict[str, Any]:
+    """Run one or all verification suites; returns a JSON-able verdict.
+
+    The verdict's ``passed`` flag is True only when every selected suite
+    completed all its trials without an invariant violation or a
+    differential mismatch.  Per-suite entries carry trial counts, total
+    invariant checks performed, and the first failure (message plus
+    structured context) when one occurred.
+    """
+    if suite != "all" and suite not in SUITES:
+        raise ReproError(
+            f"unknown suite {suite!r}; pick one of {SUITES + ('all',)}"
+        )
+    if trials < 1:
+        raise ReproError("campaign needs at least one trial")
+    names = SUITES if suite == "all" else (suite,)
+
+    engine = ExperimentEngine(workers=workers)
+    suite_results: dict[str, Any] = {}
+    for name in names:
+        start = time.perf_counter()
+        entry: dict[str, Any] = {"trials": trials}
+        try:
+            result = engine.run(
+                _TRIALS[name],
+                experiment=f"verify.{name}",
+                trials=trials,
+                seed=(seed, SUITES.index(name)),
+                params={"rows": rows, "cols": cols},
+                verify=_verify_trial_value,
+            )
+        except InvariantViolation as violation:
+            entry["passed"] = False
+            entry["failure"] = violation.to_dict()
+        except ReproError as exc:
+            entry["passed"] = False
+            entry["failure"] = {"message": str(exc)}
+        else:
+            entry["passed"] = True
+            entry["checks"] = int(sum(v["checks"] for v in result.values))
+        entry["elapsed_s"] = round(time.perf_counter() - start, 3)
+        suite_results[name] = entry
+
+    return {
+        "suite": suite,
+        "trials": trials,
+        "seed": seed,
+        "rows": rows,
+        "cols": cols,
+        "passed": all(entry["passed"] for entry in suite_results.values()),
+        "suites": suite_results,
+    }

@@ -1,0 +1,164 @@
+"""Shared Hypothesis strategies for the repo's property-based tests.
+
+Before this module existed, each property-based test file re-declared
+its own copies of the same strategies (coordinate tuples, seed ranges,
+fault counts, ...).  They live here once, named after the domain value
+they draw, so every ``@given`` in the suite and every future campaign
+reads the same distributions.
+
+Import this module only from tests and campaigns — it requires the
+``hypothesis`` package from the ``[test]`` extra, which production
+installs of :mod:`repro` do not pull in.  :mod:`repro.verify.campaign`
+deliberately uses :class:`numpy.random.Generator` instead so the
+``repro verify`` CLI works without it.
+"""
+
+from __future__ import annotations
+
+try:
+    from hypothesis import strategies as st
+except ImportError as exc:  # pragma: no cover - exercised only sans extra
+    raise ImportError(
+        "repro.verify.strategies requires the 'hypothesis' package; "
+        "install the [test] extra (pip install -e '.[test]')"
+    ) from exc
+
+from ..config import SystemConfig
+from ..dft.mbist import FaultKind
+from ..noc.faults import FaultMap
+
+# ---------------------------------------------------------------------------
+# scalars
+# ---------------------------------------------------------------------------
+
+
+def coords(rows: int = 8, cols: int = 8) -> st.SearchStrategy:
+    """Tile coordinates ``(row, col)`` on a ``rows x cols`` array."""
+    return st.tuples(st.integers(0, rows - 1), st.integers(0, cols - 1))
+
+
+#: Coordinates on the 8x8 array most NoC tests run on.
+coords8 = coords(8, 8)
+
+
+def seeds(max_seed: int = 500) -> st.SearchStrategy:
+    """RNG seeds for reproducible randomized constructions."""
+    return st.integers(0, max_seed)
+
+
+def fault_counts(max_faults: int = 15) -> st.SearchStrategy:
+    """How many tiles to knock out of an array."""
+    return st.integers(0, max_faults)
+
+
+def hop_counts(max_hops: int = 200) -> st.SearchStrategy:
+    """Forwarded-clock hop distances (0 = at the clock source)."""
+    return st.integers(0, max_hops)
+
+
+def word_offsets(words: int = 1024) -> st.SearchStrategy:
+    """Word offsets inside one memory bank."""
+    return st.integers(0, words - 1)
+
+
+def bit_positions(width: int = 32) -> st.SearchStrategy:
+    """Bit positions inside one memory word."""
+    return st.integers(0, width - 1)
+
+
+def mbist_fault_kinds() -> st.SearchStrategy:
+    """One of the injectable MBIST memory-fault models."""
+    return st.sampled_from(list(FaultKind))
+
+
+def pillar_yields() -> st.SearchStrategy:
+    """Per-pillar bond yields in the paper's plausible range."""
+    return st.floats(0.9, 0.999999)
+
+
+def io_counts(max_ios: int = 5000) -> st.SearchStrategy:
+    """I/O counts per chiplet."""
+    return st.integers(1, max_ios)
+
+
+def injection_rates(
+    min_rate: float = 0.001, max_rate: float = 0.05
+) -> st.SearchStrategy:
+    """Per-tile per-cycle packet injection rates (kept sub-saturation)."""
+    return st.floats(min_rate, max_rate)
+
+
+# ---------------------------------------------------------------------------
+# composites
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def system_configs(
+    draw,
+    min_side: int = 4,
+    max_side: int = 10,
+) -> SystemConfig:
+    """Small (possibly non-square) :class:`SystemConfig` arrays."""
+    rows = draw(st.integers(min_side, max_side))
+    cols = draw(st.integers(min_side, max_side))
+    return SystemConfig(rows=rows, cols=cols)
+
+
+@st.composite
+def fault_maps(
+    draw,
+    config: SystemConfig | None = None,
+    max_faults: int = 15,
+) -> FaultMap:
+    """A :class:`FaultMap` with a bounded number of random faulty tiles.
+
+    Never kills every tile: at least one healthy tile always survives.
+    """
+    cfg = config or SystemConfig(rows=8, cols=8)
+    limit = min(max_faults, cfg.tiles - 1)
+    n_faults = draw(st.integers(0, limit))
+    flat = draw(
+        st.lists(
+            st.integers(0, cfg.tiles - 1),
+            min_size=n_faults,
+            max_size=n_faults,
+            unique=True,
+        )
+    )
+    fmap = FaultMap(cfg)
+    for idx in flat:
+        fmap = fmap.with_fault((idx // cfg.cols, idx % cfg.cols))
+    return fmap
+
+
+@st.composite
+def power_maps(
+    draw,
+    config: SystemConfig | None = None,
+    max_tile_w: float = 0.5,
+) -> "np.ndarray":
+    """Non-uniform per-tile power maps for PDN property tests."""
+    import numpy as np
+
+    cfg = config or SystemConfig(rows=8, cols=8)
+    values = draw(
+        st.lists(
+            st.floats(0.0, max_tile_w, allow_nan=False),
+            min_size=cfg.tiles,
+            max_size=cfg.tiles,
+        )
+    )
+    return np.asarray(values).reshape(cfg.rows, cfg.cols)
+
+
+@st.composite
+def traffic_pairs(
+    draw,
+    rows: int = 8,
+    cols: int = 8,
+    max_pairs: int = 32,
+) -> list[tuple[tuple[int, int], tuple[int, int]]]:
+    """Source/destination coordinate pairs for NoC traffic."""
+    pair = st.tuples(coords(rows, cols), coords(rows, cols))
+    return draw(st.lists(pair, min_size=1, max_size=max_pairs))

@@ -4,7 +4,7 @@ import itertools
 import random
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
 
 from repro.config import SystemConfig
 from repro.errors import NetworkError
@@ -17,9 +17,8 @@ from repro.noc.faults import FaultMap, random_fault_map
 from repro.noc.oddeven import _turn_allowed
 from repro.noc.packets import Packet, PacketKind
 from repro.noc.router import Port
+from repro.verify.strategies import coords8
 from repro.workloads.traffic import TrafficPattern, generate_traffic
-
-coords8 = st.tuples(st.integers(0, 7), st.integers(0, 7))
 
 
 class TestChiuRoute:

@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
 
 from repro.config import SystemConfig
 from repro.dft.assembly import (
@@ -19,6 +19,7 @@ from repro.noc.remap import (
     logical_system_config,
     row_column_deletion,
 )
+from repro.verify.strategies import fault_counts, seeds
 from repro.yieldmodel.lots import (
     BinPolicy,
     pillar_redundancy_lot_comparison,
@@ -201,7 +202,7 @@ class TestRemap:
         result = DistributedStencil(system, field).run(iterations=8)
         np.testing.assert_allclose(result.field, reference_jacobi(field, 8))
 
-    @given(seed=st.integers(0, 500), faults=st.integers(0, 15))
+    @given(seed=seeds(), faults=fault_counts())
     @settings(max_examples=25, deadline=None)
     def test_remap_properties(self, seed, faults):
         cfg = SystemConfig(rows=8, cols=8)

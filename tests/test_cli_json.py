@@ -26,6 +26,7 @@ COMMANDS = {
     "remap": ["remap", "--rows", "4", "--cols", "4", "--faults", "2", "--seed", "1"],
     "lot": ["lot", "--rows", "4", "--cols", "4", "--wafers", "4", "--no-cache"],
     "noc": ["noc", "--rows", "4", "--cols", "4", "--cycles", "20"],
+    "verify": ["verify", "--suite", "dft", "--trials", "2"],
     # A missing file is still a structured (ok=False) result.
     "obs": ["obs", "validate", "does-not-exist.json"],
 }

@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
 
 from repro.arch.membank import MemoryBank
 from repro.clock.cdc import (
@@ -28,6 +28,12 @@ from repro.thermal.limits import (
     max_power_per_tile_w,
     system_power_budget_w,
     thermal_headroom_c,
+)
+from repro.verify.strategies import (
+    bit_positions,
+    hop_counts,
+    mbist_fault_kinds,
+    word_offsets,
 )
 
 
@@ -186,7 +192,7 @@ class TestCdc:
         assert analysis["synchronous_viable"] == 0.0
         assert analysis["fifo_depth"] <= 16
 
-    @given(hops=st.integers(0, 200))
+    @given(hops=hop_counts())
     @settings(max_examples=30)
     def test_fifo_depth_monotone(self, hops):
         d1 = required_fifo_depth(ForwardedClockQuality(hops=hops))
@@ -241,9 +247,9 @@ class TestMbist:
             InjectedFault(FaultKind.STUCK_AT_0, 3, 0)
 
     @given(
-        offset_words=st.integers(0, 1023),
-        bit=st.integers(0, 31),
-        kind=st.sampled_from(list(FaultKind)),
+        offset_words=word_offsets(),
+        bit=bit_positions(),
+        kind=mbist_fault_kinds(),
     )
     @settings(max_examples=25, deadline=None)
     def test_march_c_always_detects_property(self, offset_words, bit, kind):

@@ -1,7 +1,7 @@
 """Tests for repro.io (cells, ESD, bonding yield, budgets)."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
 
 from repro.config import SystemConfig
 from repro.errors import ConfigError
@@ -15,6 +15,7 @@ from repro.io.bonding import (
 from repro.io.budget import compute_io_budget, memory_io_budget, system_io_totals
 from repro.io.cell import IoCellModel
 from repro.io.esd import baredie_esd_spec, esd_area_saving_factor, packaged_esd_spec
+from repro.verify.strategies import io_counts, pillar_yields
 
 
 class TestBondingYieldSection5:
@@ -73,8 +74,8 @@ class TestBondingYieldSection5:
             BondingYieldModel(chiplet_count=0)
 
     @given(
-        pillar_yield=st.floats(0.9, 0.999999),
-        ios=st.integers(1, 5000),
+        pillar_yield=pillar_yields(),
+        ios=io_counts(),
     )
     @settings(max_examples=40)
     def test_redundancy_monotone_property(self, pillar_yield, ios):

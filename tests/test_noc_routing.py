@@ -1,7 +1,7 @@
 """Tests for repro.noc routing, topology, faults and dual networks."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given
 
 from repro.config import SystemConfig
 from repro.errors import FaultMapError, NetworkError, RoutingError
@@ -19,8 +19,7 @@ from repro.noc.routing import (
     yx_path,
 )
 from repro.noc.topology import MeshTopology
-
-coords8 = st.tuples(st.integers(0, 7), st.integers(0, 7))
+from repro.verify.strategies import coords8
 
 
 class TestDorPaths:

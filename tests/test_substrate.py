@@ -1,7 +1,6 @@
 """Tests for repro.substrate (stack, netlist, router, DRC, degraded, fanout)."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.config import SystemConfig
 from repro.errors import DrcError, RoutingError, SubstrateError
