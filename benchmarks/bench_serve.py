@@ -1,0 +1,269 @@
+"""Experiment-service load benchmark: 10k mixed requests, p99 + hit rate.
+
+Boots a real :class:`~repro.serve.http.ServeHttpServer` on an ephemeral
+port (background event-loop thread, isolated cache dir) and fires a
+mixed request stream at it from concurrent client threads — the same
+HTTP path ``repro submit`` uses:
+
+* **submits** drawn from a skewed pool of distinct job specs (``sleep``
+  dispatch-overhead jobs plus small ``fig6``/``shmoo`` compute jobs),
+  so identical requests coalesce and completed runs are reused;
+* **status polls** and **health probes** mixed in, as a monitoring
+  client would produce.
+
+Committed to ``BENCH_serve.json``: request p99 latency (client-side,
+all request kinds) and the submit cache-hit rate — the fraction of
+submit requests answered *without* a fresh engine execution (in-flight
+coalescing + completed-run reuse together).  Floors: hit rate >= 0.5
+and p99 <= 0.5 s; the run fails if either regresses.
+
+Runnable three ways::
+
+    python benchmarks/bench_serve.py                   # 10k, writes BENCH_serve.json
+    python benchmarks/bench_serve.py --requests 50 --smoke
+    pytest benchmarks/bench_serve.py -s                # under the bench harness
+"""
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+import tempfile
+import threading
+import time
+
+from repro.serve import ExperimentService, ServeClient, ServeHttpServer
+
+from conftest import print_series
+
+REQUESTS = 10_000
+CLIENT_THREADS = 8
+MIN_HIT_RATE = 0.5              # acceptance floor: coalesced+reused submits
+MAX_P99_S = 0.5                 # acceptance ceiling: request p99 latency
+
+#: Distinct job specs the submit stream draws from.  Deterministic
+#: skew: the first entries are hot (most requests repeat them), the
+#: tail is cold — a realistic mix of repeated sweeps and one-offs.
+def _spec_pool() -> list[dict]:
+    pool = [
+        {"experiment": "sleep", "config": {"rows": 4, "cols": 4},
+         "trials": 2, "seed": seed}
+        for seed in range(8)
+    ]
+    pool += [
+        {"experiment": "fig6", "config": {"rows": 4, "cols": 4},
+         "params": {"max_faults": 2}, "trials": 2, "seed": seed}
+        for seed in range(4)
+    ]
+    pool += [
+        {"experiment": "shmoo", "config": {"rows": 4, "cols": 4}, "seed": seed}
+        for seed in range(4)
+    ]
+    return pool
+
+
+class _Server:
+    """In-process server on an ephemeral port, loop in a thread."""
+
+    def __init__(self):
+        self.ready = threading.Event()
+        self.service = None
+        self.port = None
+        self.loop = None
+        self._stop = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        async def main():
+            self.service = ExperimentService(
+                serve_workers=4, queue_size=256, cache=True
+            )
+            server = ServeHttpServer(self.service, port=0)
+            await server.start()
+            self.port = server.port
+            self.loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            self.ready.set()
+            await self._stop.wait()
+            await server.close()
+
+        asyncio.run(main())
+
+    def __enter__(self):
+        self._thread.start()
+        if not self.ready.wait(15):
+            raise RuntimeError("bench server did not start")
+        return self
+
+    def __exit__(self, *exc):
+        self.loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(15)
+
+
+def _worker(port, pool, sequence, latencies, errors, run_ids, lock):
+    client = ServeClient(port=port, timeout=30.0)
+    for kind, index in sequence:
+        start = time.perf_counter()
+        try:
+            if kind == "submit":
+                result = client.submit(**pool[index])
+                with lock:
+                    run_ids.append(result["id"])
+            elif kind == "status":
+                with lock:
+                    run_id = run_ids[index % len(run_ids)] if run_ids else None
+                if run_id is None:
+                    continue
+                client.status(run_id)
+            else:
+                client.health()
+        except Exception as exc:  # noqa: BLE001 - tallied, not raised
+            with lock:
+                errors.append(f"{type(exc).__name__}: {exc}")
+        latencies.append(time.perf_counter() - start)
+
+
+def _sequence(requests: int, pool_size: int) -> list[tuple[str, int]]:
+    """Deterministic mixed request stream: ~80% submits, 15% status, 5% health.
+
+    Submit targets follow a skewed rotation — three hot specs absorb
+    half the submit traffic, the rest round-robin the full pool.
+    """
+    out = []
+    for i in range(requests):
+        slot = i % 20
+        if slot < 16:
+            target = (i // 2) % 3 if i % 2 == 0 else i % pool_size
+            out.append(("submit", target))
+        elif slot < 19:
+            out.append(("status", i))
+        else:
+            out.append(("health", 0))
+    return out
+
+
+def measure(requests: int = REQUESTS, threads: int = CLIENT_THREADS) -> dict:
+    pool = _spec_pool()
+    sequence = _sequence(requests, len(pool))
+    with tempfile.TemporaryDirectory(prefix="bench-serve-") as cache_dir:
+        os.environ["REPRO_CACHE_DIR"] = cache_dir
+        with _Server() as server:
+            latencies: list[float] = []
+            errors: list[str] = []
+            run_ids: list[str] = []
+            lock = threading.Lock()
+            chunks = [sequence[i::threads] for i in range(threads)]
+            workers = [
+                threading.Thread(
+                    target=_worker,
+                    args=(server.port, pool, chunk, latencies, errors,
+                          run_ids, lock),
+                )
+                for chunk in chunks
+            ]
+            start = time.perf_counter()
+            for w in workers:
+                w.start()
+            for w in workers:
+                w.join(600)
+            elapsed = time.perf_counter() - start
+            # Let in-flight jobs finish so the counters are settled.
+            ServeClient(port=server.port, timeout=120.0).drain(timeout=120)
+            stats = server.service.coalescing_stats()
+            health = server.service.health()
+
+    submits = stats["requests"]
+    executed = stats["executed"] + stats["failed"]
+    hit_rate = 1.0 - executed / submits if submits else 0.0
+    latencies.sort()
+    def pct(q):
+        return latencies[min(len(latencies) - 1, int(q * len(latencies)))]
+    p50, p99 = pct(0.50), pct(0.99)
+    ok = not errors and hit_rate >= MIN_HIT_RATE and p99 <= MAX_P99_S
+    return {
+        "bench": "serve",
+        "requests": requests,
+        "client_threads": threads,
+        "spec_pool": len(pool),
+        "elapsed_s": elapsed,
+        "requests_per_s": requests / elapsed if elapsed > 0 else 0.0,
+        "latency_p50_s": p50,
+        "latency_p99_s": p99,
+        "submits": submits,
+        "executed": executed,
+        "coalesced_inflight": stats["coalesced_inflight"],
+        "result_hits": stats["result_hits"],
+        "cache_hit_rate": hit_rate,
+        "errors": len(errors),
+        "error_samples": errors[:5],
+        "final_health": health["status"],
+        "thresholds": {"min_hit_rate": MIN_HIT_RATE, "max_p99_s": MAX_P99_S},
+        "ok": ok,
+    }
+
+
+def _rows(result: dict) -> list[tuple]:
+    return [
+        (f"{result['requests']} requests", f"{result['requests_per_s']:8.1f} req/s"),
+        (
+            "latency",
+            f"p50 {result['latency_p50_s'] * 1e3:7.2f} ms",
+            f"p99 {result['latency_p99_s'] * 1e3:7.2f} ms",
+        ),
+        (
+            "coalescing",
+            f"executed {result['executed']}",
+            f"hit rate {result['cache_hit_rate']:.1%}",
+        ),
+    ]
+
+
+def test_serve_throughput(benchmark):
+    result = benchmark.pedantic(measure, args=(500,), rounds=1, iterations=1)
+    print_series("experiment service, mixed load", _rows(result))
+    benchmark.extra_info["measured"] = {
+        "p99_s": result["latency_p99_s"],
+        "cache_hit_rate": result["cache_hit_rate"],
+    }
+    assert result["errors"] == 0, result["error_samples"]
+    assert result["ok"], (
+        f"hit rate {result['cache_hit_rate']:.2%} / p99 "
+        f"{result['latency_p99_s']:.3f}s outside floors {result['thresholds']}"
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_serve.json", help="result file path")
+    parser.add_argument("--requests", type=int, default=REQUESTS)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small CI run: also print the health/coalescing assertions",
+    )
+    args = parser.parse_args()
+    requests = 50 if args.smoke and args.requests == REQUESTS else args.requests
+    result = measure(requests)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+    for row in _rows(result):
+        print(*row)
+    print(f"wrote {args.out}")
+    if result["errors"]:
+        print("request errors:", result["error_samples"], file=sys.stderr)
+        return 1
+    if not result["ok"]:
+        print(
+            f"FLOOR VIOLATION: hit rate {result['cache_hit_rate']:.2%} "
+            f"(floor {MIN_HIT_RATE:.0%}), p99 {result['latency_p99_s']:.3f}s "
+            f"(ceiling {MAX_P99_S}s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

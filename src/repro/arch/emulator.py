@@ -22,6 +22,7 @@ from typing import Callable
 
 from ..config import Coord
 from ..errors import EmulatorError, NetworkError
+from ..fastpath import resolve_engine_kind
 from ..noc.faults import FaultMap
 from ..noc.routing import dor_path
 from ..obs.telemetry import Telemetry, resolve_telemetry
@@ -109,10 +110,18 @@ class Emulator:
         self,
         system: WaferscaleSystem,
         telemetry: Telemetry | None = None,
-        route_cache: bool = True,
+        engine: str | None = None,
+        route_cache: bool | None = None,
         checkers=None,
     ):
         self.system = system
+        self.engine = resolve_engine_kind(
+            engine,
+            entry_point="Emulator",
+            deprecated_name="route_cache",
+            deprecated_value=route_cache,
+            deprecated_map={True: "fast", False: "reference"},
+        )
         self.stats = EmulationStats()
         # Route checkers (``on_route``) fire on shared-route-cache hits —
         # e.g. RouteCoherenceChecker re-deriving sampled cached entries.
@@ -123,7 +132,9 @@ class Emulator:
             coord: [] for coord in system.healthy_coords()
         }
         self._outbox: list[Message] = []
-        self._routes = _shared_routes(system.fault_map) if route_cache else None
+        self._routes = (
+            _shared_routes(system.fault_map) if self.engine == "fast" else None
+        )
 
         tel = resolve_telemetry(telemetry)
         self.telemetry = tel
@@ -160,7 +171,7 @@ class Emulator:
         the two-leg Manhattan sum — and every later flow is a dict hit.
         Non-detour hop counts use the closed form directly: DoR paths are
         minimal, so their hop count *is* the Manhattan distance.  The
-        reference path (``route_cache=False``) keeps the explicit
+        reference path (``engine="reference"``) keeps the explicit
         per-flow assignment and `dor_path` walk for differential testing.
         """
         routes = self._routes

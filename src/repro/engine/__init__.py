@@ -22,6 +22,7 @@ See ``docs/engine.md`` for the execution model.
 
 from .cache import ResultCache, cache_key, canonicalize, resolve_cache
 from .core import ExperimentEngine, RunResult, TrialContext, default_workers
+from .jobs import EXPERIMENTS, ExperimentAdapter, JobSpec, get_experiment, job_key, run_job
 from .observe import (
     EngineObserver,
     ProgressCallback,
@@ -33,6 +34,12 @@ from .seeding import as_seed_sequence, rng_from, seed_fingerprint, spawn_trial_s
 
 __all__ = [
     "ExperimentEngine",
+    "EXPERIMENTS",
+    "ExperimentAdapter",
+    "JobSpec",
+    "get_experiment",
+    "job_key",
+    "run_job",
     "RunResult",
     "TrialContext",
     "default_workers",

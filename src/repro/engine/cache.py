@@ -17,11 +17,13 @@ variable.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import json
 import os
 import pickle
+import tempfile
 from pathlib import Path
 from typing import Any
 
@@ -119,22 +121,45 @@ class ResultCache:
         return True, values
 
     def put(self, key: str, values: Any) -> None:
-        """Record a run's values; atomic via rename within the cache dir."""
+        """Record a run's values; atomic via :func:`os.replace`.
+
+        The entry is first pickled to a uniquely named temp file in the
+        destination directory and then renamed into place, so a reader —
+        another process *or* another thread of a multi-worker server
+        sharing the cache dir — can never observe a torn/partial pickle.
+        (A pid-suffixed temp name is not enough: two server threads share
+        a pid and would interleave writes into one temp file.)
+        """
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        with tmp.open("wb") as fh:
-            pickle.dump(values, fh, protocol=pickle.HIGHEST_PROTOCOL)
-        tmp.replace(path)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f"{key}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(values, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_name)
+            raise
 
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every entry; returns the number removed.
+
+        Stray temp files from interrupted :meth:`put` calls are swept
+        too (they do not count toward the total).
+        """
         removed = 0
         if not self.root.is_dir():
             return removed
         for path in self.root.glob("*/*.pkl"):
             path.unlink(missing_ok=True)
             removed += 1
+        for path in self.root.glob("*/*.tmp"):
+            path.unlink(missing_ok=True)
         return removed
 
     def __len__(self) -> int:

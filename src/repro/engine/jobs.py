@@ -1,0 +1,420 @@
+"""Named experiment jobs: the adapter between a request and the engine.
+
+The serve layer (:mod:`repro.serve`) — and anything else that wants to
+run experiments by *name* rather than by importing trial functions —
+goes through this registry.  A :class:`JobSpec` is the declarative
+identity of one experiment run: the experiment name, the
+:class:`~repro.config.SystemConfig`, experiment parameters, the seed,
+the trial count and the unified fast-path ``engine`` kind
+(:mod:`repro.fastpath`).  :func:`job_key` digests that identity with the
+same content-keyed :func:`~repro.engine.cache.cache_key` machinery the
+on-disk :class:`~repro.engine.cache.ResultCache` uses, which is what
+lets the serve coalescer treat "identical request" and "identical engine
+run" as the same question.
+
+:func:`run_job` executes a spec on a caller-supplied
+:class:`~repro.engine.core.ExperimentEngine` and returns the same
+structured dict the CLI's ``run_<experiment>`` core produces, so a
+served result is field-for-field comparable with a direct CLI/library
+run.  ``verify=True`` reuses the engine's per-trial verification hook
+(``ExperimentEngine.run(verify=...)``): each experiment registers a
+structural invariant over its trial values, and a violating value —
+cached *or* fresh — aborts the job before anything is persisted.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..config import SystemConfig
+from ..errors import ReproError, ServeError
+from .cache import cache_key
+
+ProgressFn = Callable[[int, int], None]
+VerifyFn = Callable[[int, Any], None]
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Declarative identity of one named experiment run."""
+
+    experiment: str
+    config: SystemConfig
+    params: dict[str, Any] = field(default_factory=dict)
+    seed: int = 0
+    trials: int = 10
+    engine: str = "fast"        # unified fast-path kind (repro.fastpath)
+    verify: bool = False
+
+
+def job_key(spec: JobSpec) -> str:
+    """Content digest identifying ``spec``'s result.
+
+    Built with the engine's :func:`~repro.engine.cache.cache_key` so two
+    requests that would produce the same engine runs share one digest.
+    ``verify`` is deliberately excluded: verification never changes the
+    values a run produces, so a verified and an unverified request for
+    the same experiment coalesce onto the same result.
+    """
+    adapter = get_experiment(spec.experiment)
+    params = dict(adapter.normalize(spec.params))
+    params["engine"] = spec.engine
+    return cache_key(
+        f"serve.{spec.experiment}", spec.config, params, spec.seed, spec.trials
+    )
+
+
+class _JobEngine:
+    """Engine facade injecting a job's verify/progress hooks.
+
+    Experiment wrappers (``monte_carlo_disconnection``, ``characterize``,
+    ...) accept an ``engine=`` executor and call its ``run``; this proxy
+    forwards to the shared engine while filling in the per-job hooks the
+    wrappers do not thread through themselves.
+    """
+
+    def __init__(
+        self,
+        engine,
+        verify: VerifyFn | None = None,
+        progress: ProgressFn | None = None,
+    ) -> None:
+        self._engine = engine
+        self._verify = verify
+        self._progress = progress
+
+    def run(self, fn, **kwargs):
+        if self._verify is not None and kwargs.get("verify") is None:
+            kwargs["verify"] = self._verify
+        if self._progress is not None and kwargs.get("progress") is None:
+            kwargs["progress"] = self._progress
+        return self._engine.run(fn, **kwargs)
+
+
+@dataclass(frozen=True)
+class ExperimentAdapter:
+    """One runnable-by-name experiment.
+
+    ``defaults`` double as the parameter schema: a request may only
+    supply keys present here, and values are coerced to the default's
+    type.  ``runner`` produces the structured result dict; ``verifier``
+    (optional) is the per-trial value invariant installed as the
+    engine's ``verify=`` hook when the job asks for verification.
+    """
+
+    name: str
+    defaults: dict[str, Any]
+    runner: Callable[[JobSpec, _JobEngine], dict]
+    verifier: VerifyFn | None = None
+    engine_backed: bool = True
+
+    def normalize(self, params: dict[str, Any]) -> dict[str, Any]:
+        """Validated, defaulted, type-coerced experiment parameters."""
+        out = dict(self.defaults)
+        for key, value in (params or {}).items():
+            if key not in self.defaults:
+                raise ServeError(
+                    f"experiment {self.name!r} has no parameter {key!r}; "
+                    f"accepted: {sorted(self.defaults)}"
+                )
+            want = type(self.defaults[key])
+            try:
+                out[key] = want(value)
+            except (TypeError, ValueError) as exc:
+                raise ServeError(
+                    f"experiment {self.name!r} parameter {key!r}: "
+                    f"cannot convert {value!r} to {want.__name__}"
+                ) from exc
+        return out
+
+
+def _kernel_method(spec: JobSpec) -> str:
+    """The connectivity-kernel name for a spec's unified engine kind."""
+    return "reference" if spec.engine == "reference" else "vectorized"
+
+
+# ---------------------------------------------------------------------------
+# Per-experiment value invariants (the engine verify-hook reuse).
+# ---------------------------------------------------------------------------
+
+
+def _verify_fig6_value(index: int, value: Any) -> None:
+    single, dual = value
+    if not (0.0 <= dual <= single <= 100.0):
+        raise ReproError(
+            f"fig6 trial {index}: disconnection pair ({single}, {dual}) "
+            "violates 0 <= dual <= single <= 100"
+        )
+
+
+def _verify_resiliency_value(index: int, value: Any) -> None:
+    if value is None:               # pathological map: no healthy edge tile
+        return
+    coverage = value[0]
+    if not (0.0 <= coverage <= 1.0):
+        raise ReproError(
+            f"resiliency trial {index}: coverage {coverage} outside [0, 1]"
+        )
+
+
+def _verify_shmoo_value(index: int, value: Any) -> None:
+    regulated, fmax = value
+    if any(v <= 0 for v in regulated) or any(f <= 0 for f in fmax):
+        raise ReproError(
+            f"shmoo trial {index}: non-positive voltage/frequency in row"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Runners: each returns the CLI's run_<experiment> dict shape.
+# ---------------------------------------------------------------------------
+
+
+def _run_fig6(spec: JobSpec, engine: _JobEngine) -> dict:
+    from ..noc.connectivity import monte_carlo_disconnection
+
+    params = get_experiment("fig6").normalize(spec.params)
+    stats = monte_carlo_disconnection(
+        spec.config,
+        fault_counts=list(range(1, params["max_faults"] + 1)),
+        trials=spec.trials,
+        seed=spec.seed,
+        engine=engine,
+        method=_kernel_method(spec),
+    )
+    return {
+        "command": "fig6",
+        "ok": True,
+        "trials": spec.trials,
+        "seed": spec.seed,
+        "stats": [
+            {
+                "fault_count": s.fault_count,
+                "mean_single_pct": s.mean_single_pct,
+                "mean_dual_pct": s.mean_dual_pct,
+                "std_single_pct": s.std_single_pct,
+                "std_dual_pct": s.std_dual_pct,
+                "improvement": s.improvement,
+            }
+            for s in stats
+        ],
+    }
+
+
+def _run_resiliency(spec: JobSpec, engine: _JobEngine) -> dict:
+    from ..clock.resiliency import monte_carlo_clock_coverage
+
+    params = get_experiment("resiliency").normalize(spec.params)
+    stats = monte_carlo_clock_coverage(
+        spec.config,
+        fault_counts=list(range(1, params["max_faults"] + 1)),
+        trials=spec.trials,
+        seed=spec.seed,
+        engine=engine,
+    )
+    return {
+        "command": "resiliency",
+        "ok": True,
+        "trials": spec.trials,
+        "seed": spec.seed,
+        "stats": [
+            {
+                "fault_count": s.fault_count,
+                "trials": s.trials,
+                "mean_coverage": s.mean_coverage,
+                "min_coverage": s.min_coverage,
+                "mean_unreachable": s.mean_unreachable,
+            }
+            for s in stats
+        ],
+    }
+
+
+def _run_shmoo(spec: JobSpec, engine: _JobEngine) -> dict:
+    from ..flow.characterize import characterize
+
+    result = characterize(spec.config, seed=spec.seed, engine=engine)
+    return {
+        "command": "shmoo",
+        "ok": True,
+        "tiles": result.config.tiles,
+        "regulated_v_min": float(result.regulated_v.min()),
+        "regulated_v_max": float(result.regulated_v.max()),
+        "fmax_min_hz": float(result.fmax_hz.min()),
+        "fmax_max_hz": float(result.fmax_hz.max()),
+        "fmax_mean_hz": result.mean_fmax_hz,
+        "system_fmax_hz": result.system_fmax_hz,
+        "pass_rate_300mhz": result.passing_fraction(300e6),
+        "pass_rate_350mhz": result.passing_fraction(350e6),
+    }
+
+
+def _run_lot(spec: JobSpec, engine: _JobEngine) -> dict:
+    from ..yieldmodel.lots import pillar_redundancy_lot_comparison
+
+    params = get_experiment("lot").normalize(spec.params)
+    lots = pillar_redundancy_lot_comparison(
+        spec.config, wafers=params["wafers"], seed=spec.seed, engine=engine
+    )
+    return {
+        "command": "lot",
+        "ok": True,
+        "wafers": params["wafers"],
+        "variants": [
+            {
+                "pillars_per_pad": pillars,
+                "bins": dict(report.bins),
+                "mean_faults": report.mean_faults,
+                "sellable_fraction": report.sellable_fraction,
+            }
+            for pillars, report in lots.items()
+        ],
+    }
+
+
+def _run_noc(spec: JobSpec, engine: _JobEngine) -> dict:
+    from ..cli import run_noc
+
+    params = get_experiment("noc").normalize(spec.params)
+    return run_noc(
+        spec.config,
+        cycles=params["cycles"],
+        rate=params["rate"],
+        pattern=params["pattern"],
+        seed=spec.seed,
+        faults=params["faults"],
+        engine=spec.engine,
+        check=spec.verify,
+    )
+
+
+def _run_droop(spec: JobSpec, engine: _JobEngine) -> dict:
+    from ..pdn.solver import PdnSolver
+
+    checkers = ()
+    if spec.verify:
+        from ..verify import KclResidualChecker
+
+        checkers = (KclResidualChecker(),)
+    solver = PdnSolver(spec.config, engine=spec.engine, checkers=checkers)
+    solution = solver.solve()
+    return {
+        "command": "droop",
+        "ok": True,
+        "max_voltage": solution.max_voltage,
+        "min_voltage": solution.min_voltage,
+        "total_current_a": solution.total_current_a,
+        "supply_power_w": solution.supply_power_w,
+        "voltages": solution.voltages.tolist(),
+    }
+
+
+def _sleep_trial(ctx) -> int:
+    """One diagnostic trial: sleep, then return the trial index."""
+    time.sleep(float(ctx.params["seconds"]))
+    return ctx.index
+
+
+def _run_sleep(spec: JobSpec, engine: _JobEngine) -> dict:
+    params = get_experiment("sleep").normalize(spec.params)
+    run = engine.run(
+        _sleep_trial,
+        experiment="serve.sleep",
+        trials=spec.trials,
+        seed=spec.seed,
+        config=spec.config,
+        params={"seconds": params["seconds"]},
+    )
+    return {
+        "command": "sleep",
+        "ok": True,
+        "trials": spec.trials,
+        "values": list(run.values),
+        "from_cache": run.from_cache,
+    }
+
+
+def _verify_sleep_value(index: int, value: Any) -> None:
+    if value != index:
+        raise ReproError(f"sleep trial {index}: value {value!r} != index")
+
+
+#: Every experiment runnable by name.  ``sleep`` is a diagnostic no-op
+#: workload (pure dispatch overhead) used by the serve load bench and
+#: the streaming-progress tests.
+EXPERIMENTS: dict[str, ExperimentAdapter] = {
+    "fig6": ExperimentAdapter(
+        name="fig6",
+        defaults={"max_faults": 10},
+        runner=_run_fig6,
+        verifier=_verify_fig6_value,
+    ),
+    "resiliency": ExperimentAdapter(
+        name="resiliency",
+        defaults={"max_faults": 10},
+        runner=_run_resiliency,
+        verifier=_verify_resiliency_value,
+    ),
+    "shmoo": ExperimentAdapter(
+        name="shmoo",
+        defaults={},
+        runner=_run_shmoo,
+        verifier=_verify_shmoo_value,
+    ),
+    "lot": ExperimentAdapter(
+        name="lot",
+        defaults={"wafers": 50},
+        runner=_run_lot,
+    ),
+    "noc": ExperimentAdapter(
+        name="noc",
+        defaults={"cycles": 200, "rate": 0.05, "pattern": "uniform", "faults": 0},
+        runner=_run_noc,
+        engine_backed=False,
+    ),
+    "droop": ExperimentAdapter(
+        name="droop",
+        defaults={},
+        runner=_run_droop,
+        engine_backed=False,
+    ),
+    "sleep": ExperimentAdapter(
+        name="sleep",
+        defaults={"seconds": 0.0},
+        runner=_run_sleep,
+        verifier=_verify_sleep_value,
+    ),
+}
+
+
+def get_experiment(name: str) -> ExperimentAdapter:
+    """The registered adapter for ``name`` (:class:`ServeError` if absent)."""
+    try:
+        return EXPERIMENTS[name]
+    except KeyError:
+        raise ServeError(
+            f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
+        ) from None
+
+
+def run_job(
+    spec: JobSpec,
+    engine,
+    progress: ProgressFn | None = None,
+) -> dict:
+    """Execute ``spec`` on ``engine``; returns the structured result dict.
+
+    ``engine`` is a shared :class:`~repro.engine.core.ExperimentEngine`
+    (its cache and telemetry are reused across jobs).  ``progress``
+    receives ``(done, total)`` engine-trial callbacks in the executing
+    thread.  With ``spec.verify`` the experiment's per-trial invariant
+    runs through the engine's ``verify=`` hook — on cached values too.
+    """
+    adapter = get_experiment(spec.experiment)
+    if spec.trials < 1:
+        raise ServeError("a job needs at least one trial")
+    verifier = adapter.verifier if spec.verify else None
+    proxy = _JobEngine(engine, verify=verifier, progress=progress)
+    return adapter.runner(spec, proxy)

@@ -12,16 +12,20 @@ pairs versus fault count for
 The paper's headline point: at five faulty chiplets out of 2048, a single
 network loses >12% of pairs while the dual network loses <2%.
 
-Two computation kernels produce the exact same fractions:
+Two computation kernels produce the exact same fractions, selected by
+the library-wide ``engine`` keyword (see :mod:`repro.fastpath`):
 
-* ``method="vectorized"`` (default) — per wafer geometry, the coordinate
+* ``engine="fast"`` (default) — per wafer geometry, the coordinate
   grids, the pair-segment gather indices and the same-row/column mask
   are precomputed once (:func:`_coord_grid`); per fault map, segment
   fault counts come from two cumulative-sum tables so the full ordered
   pair matrix is a handful of whole-array operations with **no loop
   over faults**.
-* ``method="reference"`` — the retained per-fault broadcast loop, the
+* ``engine="reference"`` — the retained per-fault broadcast loop, the
   golden model the differential tests compare against bit for bit.
+
+The historical ``method="vectorized"|"reference"`` keyword still works
+on every entry point below but emits ``DeprecationWarning``.
 
 A fault at ``(fr, fc)`` blocks the X-Y pair ``(r1,c1)->(r2,c2)`` iff it
 lies on the source-row segment or the destination-column segment; the
@@ -38,10 +42,26 @@ import numpy as np
 
 from ..config import SystemConfig
 from ..errors import NetworkError
+from ..fastpath import resolve_engine_kind
 from .faults import FaultMap, random_fault_map
 
-#: Kernel names accepted by the ``method`` parameters below.
+#: Legacy kernel names accepted by the deprecated ``method`` parameters.
 METHODS = ("vectorized", "reference")
+
+#: Deprecated ``method`` value -> unified engine kind.
+_METHOD_TO_ENGINE = {"vectorized": "fast", "reference": "reference"}
+
+
+def _kernel(engine, method, entry_point: str):
+    """The kernel selected by ``engine=`` (or the deprecated ``method=``)."""
+    kind = resolve_engine_kind(
+        engine,
+        entry_point=entry_point,
+        deprecated_name="method",
+        deprecated_value=method,
+        deprecated_map=_METHOD_TO_ENGINE,
+    )
+    return _KERNELS["vectorized" if kind == "fast" else "reference"]
 
 
 @dataclass(frozen=True)
@@ -226,16 +246,16 @@ _KERNELS = {"vectorized": _pair_blockage, "reference": _pair_blockage_reference}
 
 
 def disconnected_fraction(
-    fault_map: FaultMap, method: str = "vectorized"
+    fault_map: FaultMap, engine: str | None = None, method: str | None = None
 ) -> PairDisconnection:
     """Exact disconnection fractions for one fault map."""
-    if method not in _KERNELS:
-        raise NetworkError(f"unknown connectivity method {method!r}")
-    return _KERNELS[method](fault_map)
+    return _kernel(engine, method, "disconnected_fraction")(fault_map)
 
 
 def disconnected_fractions(
-    fault_maps: list[FaultMap], method: str = "vectorized"
+    fault_maps: list[FaultMap],
+    engine: str | None = None,
+    method: str | None = None,
 ) -> list[PairDisconnection]:
     """Batched exact disconnection fractions for many fault maps.
 
@@ -243,9 +263,7 @@ def disconnected_fractions(
     shared across the batch, so per map only the cumulative fault tables
     and the pair matrices are rebuilt.
     """
-    if method not in _KERNELS:
-        raise NetworkError(f"unknown connectivity method {method!r}")
-    kernel = _KERNELS[method]
+    kernel = _kernel(engine, method, "disconnected_fractions")
     return [kernel(fmap) for fmap in fault_maps]
 
 
@@ -277,9 +295,9 @@ def _disconnection_trial(ctx) -> tuple[float, float]:
     """
     fault_count = ctx.params["fault_count"]
     fmap = random_fault_map(ctx.config, fault_count, ctx.rng)
-    method = ctx.params.get("method", "vectorized")
+    kernel = _KERNELS[ctx.params.get("method", "vectorized")]
     try:
-        result = disconnected_fraction(fmap, method=method)
+        result = kernel(fmap)
     except NetworkError as err:
         raise NetworkError(
             f"degenerate fault map in Fig. 6 Monte Carlo "
@@ -299,12 +317,12 @@ def _disconnection_batch_trial(ctx) -> list[tuple[float, float]]:
     batch = ctx.params["batch"]
     total = ctx.params["trials_total"]
     n_maps = min(batch, total - ctx.index * batch)
-    method = ctx.params.get("method", "vectorized")
+    kernel = _KERNELS[ctx.params.get("method", "vectorized")]
     out: list[tuple[float, float]] = []
     for offset in range(n_maps):
         fmap = random_fault_map(ctx.config, fault_count, ctx.rng)
         try:
-            result = disconnected_fraction(fmap, method=method)
+            result = kernel(fmap)
         except NetworkError as err:
             raise NetworkError(
                 f"degenerate fault map in Fig. 6 Monte Carlo (trial "
@@ -341,7 +359,10 @@ def monte_carlo_disconnection(
     but batched runs consume each trial rng stream ``batch`` times, so
     their statistics match other runs of the same ``batch`` — not the
     per-map (``batch=1``) stream.  ``method`` selects the connectivity
-    kernel (``"vectorized"`` or the retained ``"reference"`` loop).
+    kernel and accepts the unified engine names (``"fast"`` — the
+    default ``"vectorized"`` kernel — or ``"reference"``, the retained
+    loop); ``engine`` here is an :class:`~repro.engine.ExperimentEngine`
+    *executor*, not the kernel kind.
 
     A degenerate draw (< 2 healthy tiles) raises :class:`NetworkError`
     naming the trial index, fault count and run seed that produced it.
@@ -350,6 +371,8 @@ def monte_carlo_disconnection(
 
     if batch < 1:
         raise NetworkError("batch must be >= 1")
+    if method == "fast":
+        method = "vectorized"
     if method not in _KERNELS:
         raise NetworkError(f"unknown connectivity method {method!r}")
     eng = engine or ExperimentEngine(workers=workers, cache=cache)
@@ -398,19 +421,26 @@ def monte_carlo_disconnection(
     return out
 
 
-def same_row_col_share(fault_map: FaultMap, method: str = "vectorized") -> float:
+def same_row_col_share(
+    fault_map: FaultMap, engine: str | None = None, method: str | None = None
+) -> float:
     """Among dual-network-disconnected pairs, the share in a common row/column.
 
     The paper notes the residual disconnections under two networks "mostly
     connect those pairs of chiplets that are in the same row/column" —
     those pairs have no second disjoint path to begin with.  Built on the
-    vectorized blockage matrices; ``method="reference"`` walks every
+    vectorized blockage matrices; ``engine="reference"`` walks every
     pair's two DoR paths explicitly (the differential golden model).
     """
-    if method == "reference":
+    kind = resolve_engine_kind(
+        engine,
+        entry_point="same_row_col_share",
+        deprecated_name="method",
+        deprecated_value=method,
+        deprecated_map=_METHOD_TO_ENGINE,
+    )
+    if kind == "reference":
         return _same_row_col_share_reference(fault_map)
-    if method != "vectorized":
-        raise NetworkError(f"unknown connectivity method {method!r}")
     cfg = fault_map.config
     xy_blocked, healthy = _blockage_matrix(fault_map)
     valid = healthy[:, None] & healthy[None, :]

@@ -53,6 +53,9 @@ from .metrics import (
     NULL_HISTOGRAM,
 )
 from .schema import (
+    ENVELOPE_SCHEMA,
+    make_envelope,
+    validate_envelope_document,
     validate_file,
     validate_manifest_document,
     validate_metrics_document,
@@ -102,6 +105,9 @@ __all__ = [
     "set_telemetry",
     "use_telemetry",
     "resolve_telemetry",
+    "ENVELOPE_SCHEMA",
+    "make_envelope",
+    "validate_envelope_document",
     "validate_file",
     "validate_trace_events",
     "validate_metrics_document",

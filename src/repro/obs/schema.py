@@ -8,7 +8,10 @@ the three document kinds the telemetry layer emits:
 * **metrics** — the counters/gauges/histograms document, optionally
   with embedded manifests (see :mod:`repro.obs.metrics`);
 * **manifest** — a run-provenance sidecar (see
-  :mod:`repro.obs.manifest`).
+  :mod:`repro.obs.manifest`);
+* **envelope** — the versioned ``repro/v1`` result envelope every CLI
+  ``--json`` document and every serve response is wrapped in
+  (:func:`make_envelope`), so programmatic clients parse one shape.
 
 Each ``validate_*`` function returns a list of human-readable problems
 (empty = valid); :func:`validate_file` sniffs the kind from the content.
@@ -26,6 +29,59 @@ from ..errors import ObsError
 from .manifest import MANIFEST_SCHEMA, RunManifest
 from .metrics import METRICS_SCHEMA
 from .trace import KNOWN_PHASES, read_trace
+
+#: Schema tag of the versioned result envelope shared by the CLI's
+#: ``--json`` output and every :mod:`repro.serve` response body.
+ENVELOPE_SCHEMA = "repro/v1"
+
+
+def make_envelope(
+    result: dict, *, command: str | None = None, manifest: dict | None = None
+) -> dict:
+    """Wrap one structured command result in the ``repro/v1`` envelope.
+
+    ``result`` is a ``run_*``-style dict; its ``command`` and ``ok``
+    entries are lifted into the envelope and the remaining payload goes
+    under ``"result"``.  ``manifest`` carries the run's provenance
+    record (:class:`~repro.obs.manifest.RunManifest` as a dict) when
+    telemetry recorded one, else ``None``.
+    """
+    body = {k: v for k, v in result.items() if k not in ("command", "ok")}
+    return {
+        "schema": ENVELOPE_SCHEMA,
+        "command": command if command is not None else result.get("command", ""),
+        "ok": bool(result.get("ok", True)),
+        "manifest": manifest,
+        "result": body,
+    }
+
+
+def validate_envelope_document(doc: object) -> list[str]:
+    """Structural problems in one ``repro/v1`` result envelope."""
+    if not isinstance(doc, dict):
+        return ["envelope must be a JSON object"]
+    problems: list[str] = []
+    if doc.get("schema") != ENVELOPE_SCHEMA:
+        problems.append(
+            f"schema is {doc.get('schema')!r}, expected {ENVELOPE_SCHEMA!r}"
+        )
+    command = doc.get("command")
+    if not isinstance(command, str) or not command:
+        problems.append("'command' must be a non-empty string")
+    if not isinstance(doc.get("ok"), bool):
+        problems.append("'ok' must be a boolean")
+    if "result" not in doc:
+        problems.append("missing field 'result'")
+    elif not isinstance(doc["result"], dict):
+        problems.append("'result' must be an object")
+    if "manifest" not in doc:
+        problems.append("missing field 'manifest'")
+    else:
+        manifest = doc["manifest"]
+        if manifest is not None:
+            for problem in validate_manifest_document(manifest):
+                problems.append(f"manifest: {problem}")
+    return problems
 
 
 def validate_trace_events(events: list) -> list[str]:
@@ -152,8 +208,8 @@ def validate_file(path: str) -> tuple[str, list[str]]:
     """Sniff and validate one telemetry file.
 
     Returns ``(kind, problems)`` where ``kind`` is ``"trace"``,
-    ``"metrics"`` or ``"manifest"``.  Raises :class:`ObsError` when the
-    file is not recognisably any of the three.
+    ``"metrics"``, ``"manifest"`` or ``"envelope"``.  Raises
+    :class:`ObsError` when the file is not recognisably any of them.
     """
     try:
         with open(path, "r", encoding="utf-8") as handle:
@@ -167,6 +223,8 @@ def validate_file(path: str) -> tuple[str, list[str]]:
         if "traceEvents" in doc:
             return "trace", validate_trace_events(doc["traceEvents"])
         schema = doc.get("schema")
+        if schema == ENVELOPE_SCHEMA:
+            return "envelope", validate_envelope_document(doc)
         if schema == METRICS_SCHEMA or "histograms" in doc:
             return "metrics", validate_metrics_document(doc)
         if schema == MANIFEST_SCHEMA or "config_hash" in doc:

@@ -150,4 +150,12 @@ def summarize_file(path: str) -> tuple[str, str]:
         doc = json.load(handle)
     if kind == "metrics":
         return kind, f"{path} (metrics)\n" + summarize_metrics_document(doc)
+    if kind == "envelope":
+        keys = ", ".join(sorted(doc["result"])) or "(empty)"
+        return kind, (
+            f"{path} (envelope)\n"
+            f"  command: {doc['command']}  ok: {doc['ok']}\n"
+            f"  manifest: {'yes' if doc.get('manifest') else 'none'}\n"
+            f"  result keys: {keys}"
+        )
     return kind, f"{path} (manifest)\n" + summarize_manifest_document(doc)

@@ -24,8 +24,10 @@ the solver caches one sparse LU factorization (:func:`splu`) and every
 subsequent solve — each fixed-point iteration, every new power map, all
 columns of a :meth:`PdnSolver.solve_many` batch — costs a pair of
 triangular solves instead of a fresh factorization.  Pass
-``factorize=False`` to keep the historical fresh-``spsolve``-per-call
-path (the reference the differential tests compare against).
+``engine="reference"`` to keep the historical fresh-``spsolve``-per-call
+path (the reference the differential tests compare against); the legacy
+``factorize=`` knob still works but emits ``DeprecationWarning`` (see
+:mod:`repro.fastpath`).
 """
 
 from __future__ import annotations
@@ -38,6 +40,7 @@ from scipy.sparse.linalg import splu, spsolve
 
 from ..config import Coord, SystemConfig
 from ..errors import ConvergenceError, PdnError
+from ..fastpath import resolve_engine_kind
 from ..obs.telemetry import resolve_telemetry
 from .plane import PlaneStack, extract_plane_stack
 
@@ -146,11 +149,15 @@ class PdnSolver:
         Power-plane stack; default is the paper's two slotted 2um planes.
     edge_connector_ohm:
         Lumped supply-to-boundary-node resistance.
+    engine:
+        ``"fast"`` (default) LU-factorizes the mesh Laplacian once
+        (:func:`splu`) and reuses it for every linear solve this
+        instance performs; ``"reference"`` keeps the historical
+        fresh-``spsolve``-per-call path used by the differential tests
+        and benchmarks.
     factorize:
-        When True (default) the mesh Laplacian is LU-factorized once
-        (:func:`splu`) and reused by every linear solve this instance
-        performs; False keeps the fresh-``spsolve``-per-call reference
-        path used by the differential tests and benchmarks.
+        Deprecated alias for ``engine``: ``True`` = ``"fast"``,
+        ``False`` = ``"reference"``.  Emits ``DeprecationWarning``.
     checkers:
         Optional :class:`~repro.verify.invariants.InvariantChecker`
         instances (e.g. ``KclResidualChecker``, ``DroopBoundChecker``);
@@ -164,7 +171,8 @@ class PdnSolver:
         config: SystemConfig | None = None,
         stack: PlaneStack | None = None,
         edge_connector_ohm: float = DEFAULT_EDGE_CONNECTOR_OHM,
-        factorize: bool = True,
+        engine: str | None = None,
+        factorize: bool | None = None,
         checkers=None,
     ):
         self.config = config or SystemConfig()
@@ -172,7 +180,14 @@ class PdnSolver:
         if edge_connector_ohm <= 0:
             raise PdnError("edge connector resistance must be positive")
         self.edge_connector_ohm = edge_connector_ohm
-        self.factorize = factorize
+        self.engine = resolve_engine_kind(
+            engine,
+            entry_point="PdnSolver",
+            deprecated_name="factorize",
+            deprecated_value=factorize,
+            deprecated_map={True: "fast", False: "reference"},
+        )
+        self.factorize = self.engine == "fast"
         self.checkers = list(checkers or ())
         self._laplacian: csr_matrix | None = None
         self._edge_conductance: np.ndarray | None = None

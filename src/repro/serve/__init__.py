@@ -1,0 +1,40 @@
+"""The experiment service: ``repro serve`` / ``repro submit``.
+
+Everything below turns the one-shot CLI into a persistent async daemon
+with a stable HTTP/JSON API over the :mod:`repro.engine` subsystem —
+stdlib only (``asyncio`` + a hand-rolled HTTP/1.1 layer), no new
+runtime dependencies:
+
+* :class:`ExperimentService` — the job queue, worker pool, request
+  coalescer and rate limiter over one shared
+  :class:`~repro.engine.core.ExperimentEngine`;
+* :class:`ServeHttpServer` / :func:`serve_forever` — the
+  ``asyncio.start_server`` HTTP front end (``POST /v1/runs``,
+  ``GET /v1/runs/{id}``, ``GET /v1/runs/{id}/events``, ``/v1/health``,
+  ``/v1/metrics``, ``POST /v1/drain``) with graceful SIGTERM drain;
+* :class:`ServeClient` — the stdlib client the ``repro submit`` command
+  and the load bench use;
+* :class:`TokenBucket` — the per-client rate limiter.
+
+Identical in-flight requests coalesce onto one engine run via the
+engine's content-keyed :func:`~repro.engine.jobs.job_key`; completed
+runs are answered from the in-memory job table and, across restarts,
+from the on-disk :class:`~repro.engine.cache.ResultCache`.  See
+``docs/serving.md`` for the API reference and coalescing semantics.
+"""
+
+from .client import ServeClient
+from .http import ServeHttpServer, serve_forever
+from .ratelimit import TokenBucket
+from .schemas import parse_submit_body
+from .service import ExperimentService, Job
+
+__all__ = [
+    "ExperimentService",
+    "Job",
+    "ServeClient",
+    "ServeHttpServer",
+    "TokenBucket",
+    "parse_submit_body",
+    "serve_forever",
+]

@@ -1,0 +1,194 @@
+"""Stdlib client for the experiment service.
+
+:class:`ServeClient` is what ``repro submit`` and the load bench use —
+plain :mod:`http.client`, one connection per request (the server closes
+every connection anyway), envelopes unwrapped into ``(status, doc)``
+pairs or raised as :class:`~repro.errors.ServeError` carrying the HTTP
+status, so callers handle exactly one error shape.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Iterator
+
+from ..errors import ServeError
+
+
+class ServeClient:
+    """Talk to one ``repro serve`` daemon."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8787,
+        timeout: float = 60.0,
+        client_id: str | None = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.client_id = client_id
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _connect(self, timeout: float | None = None) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout or self.timeout
+        )
+
+    def _headers(self) -> dict[str, str]:
+        headers = {"Content-Type": "application/json"}
+        if self.client_id:
+            headers["X-Repro-Client"] = self.client_id
+        return headers
+
+    def _request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> dict:
+        """One request; returns the envelope, raises ServeError on !ok."""
+        conn = self._connect()
+        try:
+            payload = json.dumps(body).encode("utf-8") if body is not None else None
+            try:
+                conn.request(method, path, body=payload, headers=self._headers())
+                response = conn.getresponse()
+                raw = response.read()
+            except (ConnectionError, OSError) as exc:
+                raise ServeError(
+                    f"cannot reach serve daemon at {self.host}:{self.port}: {exc}",
+                    status=503,
+                ) from exc
+            try:
+                doc = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise ServeError(
+                    f"non-JSON response (HTTP {response.status})", status=502
+                ) from exc
+            if not doc.get("ok", False):
+                result = doc.get("result", {})
+                raise ServeError(
+                    result.get("error", f"HTTP {response.status}"),
+                    status=response.status,
+                )
+            doc["http_status"] = response.status
+            return doc
+        finally:
+            conn.close()
+
+    # -- API ---------------------------------------------------------------
+
+    def submit(
+        self,
+        experiment: str,
+        *,
+        config: dict | None = None,
+        params: dict | None = None,
+        seed: int = 0,
+        trials: int = 10,
+        engine: str = "fast",
+        verify: bool = False,
+    ) -> dict:
+        """Submit one job; returns the submit envelope's result.
+
+        The result carries ``id`` (poll handle), ``outcome`` (``queued``
+        / ``coalesced`` / ``completed``) and the job status fields.
+        """
+        body: dict[str, Any] = {
+            "experiment": experiment,
+            "seed": seed,
+            "trials": trials,
+            "engine": engine,
+            "verify": verify,
+        }
+        if config:
+            body["config"] = config
+        if params:
+            body["params"] = params
+        doc = self._request("POST", "/v1/runs", body)
+        result = doc["result"]
+        result["http_status"] = doc["http_status"]
+        return result
+
+    def status(self, run_id: str) -> dict:
+        """The job status document for ``run_id``."""
+        return self._request("GET", f"/v1/runs/{run_id}")["result"]
+
+    def wait(
+        self, run_id: str, timeout: float = 300.0, poll: float = 0.05
+    ) -> dict:
+        """Poll until the run finishes; returns its final status doc.
+
+        Raises :class:`ServeError` 504 on timeout and 500 when the job
+        itself failed (the job error message is included).
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            doc = self.status(run_id)
+            if doc["state"] == "done":
+                return doc
+            if doc["state"] == "failed":
+                raise ServeError(
+                    f"run {run_id} failed: {doc.get('error')}", status=500
+                )
+            if time.monotonic() > deadline:
+                raise ServeError(
+                    f"run {run_id} did not finish within {timeout}s", status=504
+                )
+            time.sleep(poll)
+
+    def run(self, experiment: str, **kwargs: Any) -> dict:
+        """Submit and wait; returns the experiment's result dict."""
+        timeout = kwargs.pop("timeout", 300.0)
+        submitted = self.submit(experiment, **kwargs)
+        final = self.wait(submitted["id"], timeout=timeout)
+        return final["result"]
+
+    def events(self, run_id: str) -> Iterator[dict]:
+        """Stream the run's progress events as they happen.
+
+        Yields each event dict (``queued`` / ``started`` / ``progress``
+        / ``done`` / ``failed``); returns when the stream ends.
+        """
+        conn = self._connect(timeout=max(self.timeout, 300.0))
+        try:
+            try:
+                conn.request(
+                    "GET", f"/v1/runs/{run_id}/events", headers=self._headers()
+                )
+                response = conn.getresponse()
+            except (ConnectionError, OSError) as exc:
+                raise ServeError(
+                    f"cannot reach serve daemon: {exc}", status=503
+                ) from exc
+            if response.status != 200:
+                raw = response.read()
+                try:
+                    doc = json.loads(raw)
+                    message = doc.get("result", {}).get("error", "stream error")
+                except json.JSONDecodeError:
+                    message = f"HTTP {response.status}"
+                raise ServeError(message, status=response.status)
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                if line.strip():
+                    yield json.loads(line)["result"]
+        finally:
+            conn.close()
+
+    def health(self) -> dict:
+        """The daemon's health document."""
+        return self._request("GET", "/v1/health")["result"]
+
+    def metrics(self) -> dict:
+        """The daemon's metrics + coalescing-counter document."""
+        return self._request("GET", "/v1/metrics")["result"]
+
+    def drain(self, timeout: float | None = None) -> dict:
+        """Ask the daemon to stop admission and wait for in-flight jobs."""
+        body = {"timeout": timeout} if timeout is not None else {}
+        return self._request("POST", "/v1/drain", body)["result"]

@@ -1,0 +1,360 @@
+"""The asyncio HTTP/1.1 front end of the experiment service.
+
+Hand-rolled on ``asyncio.start_server`` — the whole serving stack is
+stdlib-only by design (see ISSUE/ROADMAP), so there is no web framework
+here: one coroutine per connection parses a single request, dispatches
+it, writes a ``Connection: close`` response and hangs up.  That trade
+(no keep-alive, no pipelining) keeps the parser ~100 lines and is fine
+for an experiment service whose requests cost milliseconds to minutes.
+
+Routes (all bodies are ``repro/v1`` envelopes, one JSON document per
+response; the events route streams one envelope per line):
+
+========  =======================  =======================================
+method    path                     meaning
+========  =======================  =======================================
+POST      /v1/runs                 submit a job (202 queued, 200 reused)
+GET       /v1/runs/{id}            job status / result
+GET       /v1/runs/{id}/events     JSONL progress stream (tails the job)
+GET       /v1/health               liveness + queue/worker occupancy
+GET       /v1/metrics              the telemetry metrics document
+POST      /v1/drain                stop admission, wait for in-flight
+========  =======================  =======================================
+
+Errors map :class:`~repro.errors.ServeError.status` straight onto the
+HTTP status (400 bad request, 404 unknown run, 429 rate-limited, 503
+queue-full/draining).  :func:`serve_forever` adds SIGTERM/SIGINT
+handlers that drain gracefully before exiting — in-flight jobs finish,
+new submits get 503.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+from typing import Any
+
+from ..errors import ServeError
+from ..obs.schema import make_envelope
+from .schemas import parse_submit_body
+from .service import ExperimentService
+
+#: Hard caps on one request (the service is not a general web server).
+MAX_HEADER_BYTES = 16_384
+MAX_BODY_BYTES = 1_048_576
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def _envelope_bytes(
+    status: int, result: dict, *, command: str, manifest: dict | None = None
+) -> bytes:
+    doc = make_envelope(result, command=command, manifest=manifest)
+    body = json.dumps(doc).encode("utf-8") + b"\n"
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    ).encode("ascii")
+    return head + body
+
+
+def _error_bytes(status: int, command: str, message: str) -> bytes:
+    return _envelope_bytes(
+        status, {"ok": False, "error": message, "status": status}, command=command
+    )
+
+
+class _Request:
+    """One parsed HTTP request."""
+
+    __slots__ = ("method", "path", "headers", "body", "peer")
+
+    def __init__(
+        self, method: str, path: str, headers: dict[str, str], body: bytes, peer: str
+    ) -> None:
+        self.method = method
+        self.path = path
+        self.headers = headers
+        self.body = body
+        self.peer = peer
+
+    def json(self) -> Any:
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body)
+        except json.JSONDecodeError as exc:
+            raise ServeError(f"request body is not valid JSON: {exc}") from exc
+
+    @property
+    def client(self) -> str:
+        """The rate-limit lane for this request."""
+        return self.headers.get("x-repro-client", "") or self.peer
+
+
+async def _read_request(
+    reader: asyncio.StreamReader, peer: str
+) -> _Request | None:
+    """Parse one request; ``None`` when the peer closed without sending."""
+    try:
+        line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    if not line.strip():
+        return None
+    parts = line.decode("latin-1").split()
+    if len(parts) < 2:
+        raise ServeError("malformed request line")
+    method, path = parts[0].upper(), parts[1]
+
+    headers: dict[str, str] = {}
+    total = 0
+    while True:
+        line = await reader.readline()
+        total += len(line)
+        if total > MAX_HEADER_BYTES:
+            raise ServeError("request headers too large", status=413)
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            n = int(length)
+        except ValueError:
+            raise ServeError("bad Content-Length") from None
+        if n > MAX_BODY_BYTES:
+            raise ServeError("request body too large", status=413)
+        body = await reader.readexactly(n)
+    return _Request(method, path, headers, body, peer)
+
+
+class ServeHttpServer:
+    """The HTTP layer over one :class:`ExperimentService`."""
+
+    def __init__(
+        self,
+        service: ExperimentService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self._want_port = port
+        self._server: asyncio.base_events.Server | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0`` in tests)."""
+        if self._server is None:
+            return self._want_port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Start the service workers and bind the listening socket."""
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self._want_port
+        )
+
+    async def close(self) -> None:
+        """Stop accepting, then stop the service workers."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.close()
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peername = writer.get_extra_info("peername")
+        peer = peername[0] if peername else "unknown"
+        command = "serve"
+        try:
+            try:
+                request = await _read_request(reader, peer)
+            except ServeError as exc:
+                writer.write(_error_bytes(exc.status, command, str(exc)))
+                return
+            except asyncio.IncompleteReadError:
+                return
+            if request is None:
+                return
+            await self._dispatch(request, writer)
+        except (ConnectionError, BrokenPipeError):
+            pass
+        except Exception as exc:  # noqa: BLE001 - connection isolation
+            try:
+                writer.write(
+                    _error_bytes(500, command, f"{type(exc).__name__}: {exc}")
+                )
+            except Exception:  # noqa: BLE001
+                pass
+        finally:
+            try:
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    async def _dispatch(
+        self, request: _Request, writer: asyncio.StreamWriter
+    ) -> None:
+        service = self.service
+        tracer = service.telemetry.tracer
+        method, path = request.method, request.path.rstrip("/") or "/"
+
+        if method == "POST" and path == "/v1/runs":
+            with tracer.span("serve.submit", cat="serve", client=request.client):
+                writer.write(self._submit(request))
+            return
+        if method == "GET" and path == "/v1/health":
+            writer.write(
+                _envelope_bytes(
+                    200,
+                    {"ok": True, **service.health()},
+                    command="serve.health",
+                )
+            )
+            return
+        if method == "GET" and path == "/v1/metrics":
+            writer.write(
+                _envelope_bytes(
+                    200,
+                    {
+                        "ok": True,
+                        "metrics": service.telemetry.metrics_document(),
+                        "coalescing": service.coalescing_stats(),
+                    },
+                    command="serve.metrics",
+                )
+            )
+            return
+        if method == "POST" and path == "/v1/drain":
+            with tracer.span("serve.drain", cat="serve"):
+                doc = request.json()
+                timeout = doc.get("timeout") if isinstance(doc, dict) else None
+                drained = await service.drain(timeout)
+            writer.write(
+                _envelope_bytes(
+                    200,
+                    {"ok": True, "drained": drained, **service.health()},
+                    command="serve.drain",
+                )
+            )
+            return
+        if method == "GET" and path.startswith("/v1/runs/"):
+            rest = path[len("/v1/runs/"):]
+            if rest.endswith("/events"):
+                await self._stream_events(rest[: -len("/events")], writer)
+                return
+            writer.write(self._status(rest))
+            return
+        writer.write(
+            _error_bytes(
+                405 if path.startswith("/v1/") else 404,
+                "serve",
+                f"no route for {method} {request.path}",
+            )
+        )
+
+    def _submit(self, request: _Request) -> bytes:
+        try:
+            spec, client = parse_submit_body(request.json())
+            job, outcome = self.service.submit(spec, client or request.client)
+        except ServeError as exc:
+            return _error_bytes(exc.status, "serve.submit", str(exc))
+        status = 202 if outcome == "queued" else 200
+        return _envelope_bytes(
+            status,
+            {"ok": True, "outcome": outcome, **job.describe()},
+            command="serve.submit",
+        )
+
+    def _status(self, job_id: str) -> bytes:
+        try:
+            job = self.service.get(job_id)
+        except ServeError as exc:
+            return _error_bytes(exc.status, "serve.status", str(exc))
+        return _envelope_bytes(
+            200, {"ok": True, **job.describe()}, command="serve.status"
+        )
+
+    async def _stream_events(
+        self, job_id: str, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            self.service.get(job_id)
+        except ServeError as exc:
+            writer.write(_error_bytes(exc.status, "serve.events", str(exc)))
+            return
+        writer.write(
+            (
+                "HTTP/1.1 200 OK\r\n"
+                "Content-Type: application/jsonl\r\n"
+                "Connection: close\r\n"
+                "\r\n"
+            ).encode("ascii")
+        )
+        # One repro/v1 envelope per line; the stream ends (EOF) once the
+        # job reaches a terminal state and its log is fully replayed.
+        async for event in self.service.stream_events(job_id):
+            doc = make_envelope({"ok": True, **event}, command="serve.event")
+            writer.write(json.dumps(doc).encode("utf-8") + b"\n")
+            await writer.drain()
+
+
+async def serve_forever(
+    service: ExperimentService,
+    host: str = "127.0.0.1",
+    port: int = 8787,
+    *,
+    ready: Any | None = None,
+    drain_timeout: float | None = 30.0,
+) -> None:
+    """Run the HTTP server until SIGTERM/SIGINT, then drain gracefully.
+
+    ``ready`` (optional) is an object with a ``set()`` method (e.g.
+    ``threading.Event``) signalled once the socket is bound — the tests
+    and the load bench use it to wait for startup.  On shutdown the
+    service stops admitting (503) and waits up to ``drain_timeout``
+    seconds for in-flight jobs before closing.
+    """
+    server = ServeHttpServer(service, host=host, port=port)
+    await server.start()
+    if ready is not None:
+        ready.set()
+
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+        except (NotImplementedError, RuntimeError):
+            pass  # non-main thread or platform without signal support
+    try:
+        await stop.wait()
+    finally:
+        await service.drain(drain_timeout)
+        await server.close()

@@ -1,0 +1,67 @@
+"""Per-client token-bucket rate limiting for the experiment service.
+
+Each client (the ``X-Repro-Client`` header, falling back to the peer
+address) owns one bucket of ``burst`` tokens refilled at ``rate``
+tokens/second; a submit spends one token and an empty bucket maps to
+HTTP 429.  The clock is injectable so tests are deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+#: Idle-client state is evicted once the table grows past this.
+MAX_TRACKED_CLIENTS = 4096
+
+
+class TokenBucket:
+    """Classic token bucket, one lane per client id.
+
+    ``rate <= 0`` disables limiting entirely (every request allowed) —
+    the default for tests and local benches; ``repro serve --rate``
+    turns it on.
+    """
+
+    def __init__(
+        self,
+        rate: float = 0.0,
+        burst: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate > 0 and burst < 1:
+            raise ValueError("burst must allow at least one request")
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._lanes: dict[str, tuple[float, float]] = {}  # client -> (tokens, at)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any limiting is applied."""
+        return self.rate > 0
+
+    def allow(self, client: str) -> bool:
+        """Spend one token for ``client``; False = rate-limited."""
+        if not self.enabled:
+            return True
+        now = self._clock()
+        tokens, at = self._lanes.get(client, (self.burst, now))
+        tokens = min(self.burst, tokens + (now - at) * self.rate)
+        if tokens < 1.0:
+            self._lanes[client] = (tokens, now)
+            return False
+        self._lanes[client] = (tokens - 1.0, now)
+        if len(self._lanes) > MAX_TRACKED_CLIENTS:
+            self._evict(now)
+        return True
+
+    def _evict(self, now: float) -> None:
+        """Drop lanes already refilled to a full bucket (idle clients)."""
+        full = [
+            client
+            for client, (tokens, at) in self._lanes.items()
+            if tokens + (now - at) * self.rate >= self.burst
+        ]
+        for client in full:
+            del self._lanes[client]

@@ -1,0 +1,106 @@
+"""Request parsing/validation for the serve HTTP API.
+
+``POST /v1/runs`` bodies are plain JSON documents::
+
+    {
+      "experiment": "fig6",           # required, a repro.engine.jobs name
+      "config": {"rows": 8, "cols": 8},  # optional SystemConfig overrides
+      "params": {"max_faults": 5},    # optional, schema = adapter defaults
+      "seed": 0,                      # optional
+      "trials": 10,                   # optional
+      "engine": "fast",               # optional, "fast" | "reference"
+      "verify": false,                # optional, engine verify-hook
+      "client": "loadgen-3"           # optional rate-limit lane override
+    }
+
+:func:`parse_submit_body` turns one such document into a validated
+:class:`~repro.engine.jobs.JobSpec` plus the client id, raising
+:class:`~repro.errors.ServeError` (HTTP 400) on anything malformed —
+unknown experiments and parameters are rejected by the adapter registry,
+so a typo never silently falls back to a default.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..config import SystemConfig
+from ..engine.jobs import JobSpec, get_experiment
+from ..errors import ConfigError, ReproError, ServeError
+from ..fastpath import ENGINE_KINDS
+
+#: Request trial counts are capped: the service exists to run *bounded*
+#: experiments, and one pathological request must not wedge a worker.
+MAX_TRIALS = 100_000
+
+
+def _require_int(doc: dict, key: str, default: int, minimum: int) -> int:
+    value = doc.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ServeError(f"{key!r} must be an integer, got {value!r}")
+    if value < minimum:
+        raise ServeError(f"{key!r} must be >= {minimum}, got {value}")
+    return value
+
+
+def parse_submit_body(doc: Any) -> tuple[JobSpec, str]:
+    """A validated ``(JobSpec, client_id)`` from one submit document."""
+    if not isinstance(doc, dict):
+        raise ServeError("request body must be a JSON object")
+    unknown = set(doc) - {
+        "experiment", "config", "params", "seed", "trials",
+        "engine", "verify", "client",
+    }
+    if unknown:
+        raise ServeError(f"unknown request fields: {sorted(unknown)}")
+
+    experiment = doc.get("experiment")
+    if not isinstance(experiment, str) or not experiment:
+        raise ServeError("'experiment' is required and must be a string")
+    adapter = get_experiment(experiment)      # 400s on unknown names
+
+    config_doc = doc.get("config", {})
+    if not isinstance(config_doc, dict):
+        raise ServeError("'config' must be a JSON object")
+    try:
+        config = SystemConfig.from_dict(config_doc)
+    except (ConfigError, TypeError) as exc:
+        raise ServeError(f"bad config: {exc}") from exc
+
+    params = doc.get("params", {})
+    if not isinstance(params, dict):
+        raise ServeError("'params' must be a JSON object")
+    params = adapter.normalize(params)        # 400s on unknown/bad params
+
+    engine = doc.get("engine", "fast")
+    if engine not in ENGINE_KINDS:
+        raise ServeError(
+            f"'engine' must be one of {list(ENGINE_KINDS)}, got {engine!r}"
+        )
+
+    verify = doc.get("verify", False)
+    if not isinstance(verify, bool):
+        raise ServeError(f"'verify' must be a boolean, got {verify!r}")
+
+    client = doc.get("client", "")
+    if not isinstance(client, str):
+        raise ServeError(f"'client' must be a string, got {client!r}")
+
+    trials = _require_int(doc, "trials", 10, 1)
+    if trials > MAX_TRIALS:
+        raise ServeError(f"'trials' must be <= {MAX_TRIALS}, got {trials}")
+    seed = _require_int(doc, "seed", 0, 0)
+
+    try:
+        spec = JobSpec(
+            experiment=experiment,
+            config=config,
+            params=params,
+            seed=seed,
+            trials=trials,
+            engine=engine,
+            verify=verify,
+        )
+    except ReproError as exc:
+        raise ServeError(str(exc)) from exc
+    return spec, client

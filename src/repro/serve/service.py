@@ -1,0 +1,375 @@
+"""The experiment service core: queue, workers, coalescer, job table.
+
+:class:`ExperimentService` is transport-agnostic — the HTTP layer
+(:mod:`repro.serve.http`) and the tests drive the same async API:
+
+* :meth:`ExperimentService.submit` — admit one :class:`~repro.engine.
+  jobs.JobSpec` onto the bounded job queue, coalescing onto an existing
+  job when an identical spec (same :func:`~repro.engine.jobs.job_key`)
+  is queued, running, or already completed;
+* worker tasks pull jobs and execute them on one shared
+  :class:`~repro.engine.core.ExperimentEngine` in a thread pool (the
+  engine's on-disk :class:`~repro.engine.cache.ResultCache` makes
+  recomputation of previously seen specs a cache hit even after the
+  in-memory job table evicted them);
+* every job carries an append-only event log — queued / started /
+  progress / done — fed by the engine's observer hooks, which the
+  ``GET /v1/runs/{id}/events`` stream tails;
+* :meth:`ExperimentService.drain` stops admission (503) and waits for
+  in-flight jobs, the graceful-SIGTERM path.
+
+Telemetry: the service owns an enabled
+:class:`~repro.obs.telemetry.Telemetry`; request/queue/coalescing
+counters and queue-depth gauges live in its metrics registry (exposed
+at ``GET /v1/metrics``) and each executed job runs inside a tracer
+span.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, AsyncIterator
+
+from ..engine.cache import ResultCache
+from ..engine.core import ExperimentEngine
+from ..engine.jobs import JobSpec, job_key, run_job
+from ..errors import ServeError
+from ..obs.telemetry import Telemetry
+from .ratelimit import TokenBucket
+
+#: Completed/failed jobs kept in the in-memory table for result reuse.
+DEFAULT_KEEP_JOBS = 1024
+
+#: Run manifests retained by the long-running service telemetry.
+KEEP_MANIFESTS = 50
+
+#: Event-stream poll period (seconds) while tailing a live job.
+EVENT_POLL_S = 0.02
+
+
+@dataclass
+class Job:
+    """One admitted experiment job and its lifecycle record."""
+
+    id: str
+    key: str
+    spec: JobSpec
+    state: str = "queued"               # queued | running | done | failed
+    result: dict | None = None
+    error: str | None = None
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    waiters: int = 1                    # requests answered by this job
+    events: list[dict] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    @property
+    def finished(self) -> bool:
+        """Whether the job reached a terminal state."""
+        return self.state in ("done", "failed")
+
+    def add_event(self, kind: str, **fields: Any) -> None:
+        """Append one event (thread-safe: observers run in workers)."""
+        with self._lock:
+            event = {"seq": len(self.events), "event": kind, "ts": time.time()}
+            event.update(fields)
+            self.events.append(event)
+
+    def events_since(self, seq: int) -> list[dict]:
+        """Events with ``seq >= seq`` (a consistent snapshot)."""
+        with self._lock:
+            return list(self.events[seq:])
+
+    def describe(self, include_result: bool = True) -> dict:
+        """The job's status document (the ``GET /v1/runs/{id}`` body)."""
+        doc: dict[str, Any] = {
+            "id": self.id,
+            "key": self.key,
+            "experiment": self.spec.experiment,
+            "engine": self.spec.engine,
+            "state": self.state,
+            "trials": self.spec.trials,
+            "seed": self.spec.seed,
+            "waiters": self.waiters,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "events": len(self.events),
+        }
+        if self.error is not None:
+            doc["error"] = self.error
+        if include_result and self.state == "done":
+            doc["result"] = self.result
+        return doc
+
+
+class ExperimentService:
+    """Coalescing job service over one shared experiment engine."""
+
+    def __init__(
+        self,
+        *,
+        engine_workers: int = 1,
+        serve_workers: int = 2,
+        queue_size: int = 64,
+        cache: ResultCache | bool | None = True,
+        rate: float = 0.0,
+        burst: float = 1.0,
+        keep_jobs: int = DEFAULT_KEEP_JOBS,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        if serve_workers < 1:
+            raise ServeError("the service needs at least one worker")
+        if queue_size < 1:
+            raise ServeError("the job queue must hold at least one job")
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.engine = ExperimentEngine(
+            workers=engine_workers, cache=cache, telemetry=self.telemetry
+        )
+        self.serve_workers = serve_workers
+        self.keep_jobs = keep_jobs
+        self.limiter = TokenBucket(rate=rate, burst=burst)
+        self.started_at = time.time()
+        self.draining = False
+
+        self._queue: asyncio.Queue[Job] = asyncio.Queue(maxsize=queue_size)
+        self._jobs: dict[str, Job] = {}
+        self._by_key: dict[str, Job] = {}
+        self._order: list[str] = []     # completed-job eviction order
+        self._seq = itertools.count(1)
+        self._workers: list[asyncio.Task] = []
+        self._pool = ThreadPoolExecutor(
+            max_workers=serve_workers, thread_name_prefix="repro-serve"
+        )
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._running = 0
+
+        metrics = self.telemetry.metrics
+        self._c_requests = metrics.counter("serve.requests")
+        self._c_executed = metrics.counter("serve.jobs_executed")
+        self._c_failed = metrics.counter("serve.jobs_failed")
+        self._c_coalesced = metrics.counter("serve.coalesced_inflight")
+        self._c_result_hits = metrics.counter("serve.result_hits")
+        self._c_rate_limited = metrics.counter("serve.rejected_rate_limited")
+        self._c_queue_full = metrics.counter("serve.rejected_queue_full")
+        self._c_draining = metrics.counter("serve.rejected_draining")
+        self._g_depth = metrics.gauge("serve.queue_depth")
+        self._g_running = metrics.gauge("serve.jobs_running")
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn the worker tasks (idempotent)."""
+        if self._workers:
+            return
+        self._workers = [
+            asyncio.create_task(self._worker(), name=f"serve-worker-{i}")
+            for i in range(self.serve_workers)
+        ]
+
+    async def drain(self, timeout: float | None = None) -> bool:
+        """Stop admission and wait for in-flight jobs.
+
+        Returns True when the queue fully drained within ``timeout``
+        (None = wait forever).  New submits are rejected with 503 from
+        the moment this is called — the graceful-SIGTERM path.
+        """
+        self.draining = True
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout)
+            return True
+        except asyncio.TimeoutError:
+            return False
+
+    async def close(self) -> None:
+        """Cancel workers and release the thread pool."""
+        for task in self._workers:
+            task.cancel()
+        for task in self._workers:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._workers = []
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+    # -- admission ---------------------------------------------------------
+
+    def submit(self, spec: JobSpec, client: str = "local") -> tuple[Job, str]:
+        """Admit one spec; returns ``(job, outcome)``.
+
+        ``outcome`` is how this request was satisfied:
+
+        * ``"queued"`` — a fresh job was created and enqueued;
+        * ``"coalesced"`` — an identical job is already queued/running,
+          the request joins it as a waiter;
+        * ``"completed"`` — an identical job already finished, the
+          recorded result is reused.
+
+        Raises :class:`ServeError` with an HTTP-ish status: 429 when the
+        client is rate-limited, 503 when draining or the queue is full.
+        """
+        self._c_requests.inc()
+        if not self.limiter.allow(client):
+            self._c_rate_limited.inc()
+            raise ServeError(f"client {client!r} is rate-limited", status=429)
+        key = job_key(spec)
+        existing = self._by_key.get(key)
+        if existing is not None and existing.state != "failed":
+            existing.waiters += 1
+            if existing.finished:
+                self._c_result_hits.inc()
+                return existing, "completed"
+            self._c_coalesced.inc()
+            return existing, "coalesced"
+        if self.draining:
+            self._c_draining.inc()
+            raise ServeError("service is draining", status=503)
+        job = Job(id=f"run-{next(self._seq):06d}", key=key, spec=spec)
+        try:
+            self._queue.put_nowait(job)
+        except asyncio.QueueFull:
+            self._c_queue_full.inc()
+            raise ServeError("job queue is full", status=503) from None
+        self._jobs[job.id] = job
+        self._by_key[key] = job
+        self._idle.clear()
+        self._g_depth.set(self._queue.qsize())
+        job.add_event("queued", experiment=spec.experiment, key=key)
+        return job, "queued"
+
+    def get(self, job_id: str) -> Job:
+        """The job for ``job_id`` (:class:`ServeError` 404 if unknown)."""
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise ServeError(f"unknown run {job_id!r}", status=404)
+        return job
+
+    # -- event streaming ---------------------------------------------------
+
+    async def stream_events(
+        self, job_id: str, from_seq: int = 0
+    ) -> AsyncIterator[dict]:
+        """Yield a job's events in order, tailing until it finishes."""
+        job = self.get(job_id)
+        seq = from_seq
+        while True:
+            batch = job.events_since(seq)
+            for event in batch:
+                yield event
+            seq += len(batch)
+            if job.finished and not job.events_since(seq):
+                return
+            await asyncio.sleep(EVENT_POLL_S)
+
+    # -- execution ---------------------------------------------------------
+
+    async def _worker(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            job = await self._queue.get()
+            self._running += 1
+            self._g_depth.set(self._queue.qsize())
+            self._g_running.set(self._running)
+            try:
+                await loop.run_in_executor(self._pool, self._execute, job)
+            finally:
+                self._running -= 1
+                self._g_running.set(self._running)
+                self._queue.task_done()
+                self._evict()
+                if self._queue.empty() and self._running == 0:
+                    self._idle.set()
+
+    def _execute(self, job: Job) -> None:
+        """Run one job on the shared engine (worker-thread context)."""
+        job.state = "running"
+        job.started_at = time.time()
+        job.add_event("started")
+        total_holder = [0]
+        step_holder = [1]
+
+        def progress(done: int, total: int) -> None:
+            # Sample the engine's per-trial callback down to ~10 events
+            # per run so long sweeps do not flood the event log.
+            if total != total_holder[0]:
+                total_holder[0] = total
+                step_holder[0] = max(1, total // 10)
+            if done == total or done % step_holder[0] == 0:
+                job.add_event("progress", done=done, total=total)
+
+        tracer = self.telemetry.tracer
+        try:
+            with tracer.span(
+                "serve.job", cat="serve", id=job.id, experiment=job.spec.experiment
+            ):
+                result = run_job(job.spec, self.engine, progress=progress)
+        except Exception as exc:  # noqa: BLE001 - job isolation boundary
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.state = "failed"
+            job.finished_at = time.time()
+            job.add_event("failed", error=job.error)
+            self._c_failed.inc()
+            return
+        job.result = result
+        job.state = "done"
+        job.finished_at = time.time()
+        job.add_event(
+            "done", elapsed_s=job.finished_at - job.started_at, ok=True
+        )
+        self._c_executed.inc()
+        # A long-running daemon must not accumulate manifests forever.
+        manifests = self.telemetry.manifests
+        if len(manifests) > KEEP_MANIFESTS:
+            del manifests[: len(manifests) - KEEP_MANIFESTS]
+
+    def _evict(self) -> None:
+        """Bound the in-memory job table to ``keep_jobs`` finished jobs."""
+        finished = [j for j in self._jobs.values() if j.finished]
+        excess = len(finished) - self.keep_jobs
+        if excess <= 0:
+            return
+        finished.sort(key=lambda j: j.finished_at or 0.0)
+        for job in finished[:excess]:
+            self._jobs.pop(job.id, None)
+            if self._by_key.get(job.key) is job:
+                self._by_key.pop(job.key, None)
+
+    # -- status ------------------------------------------------------------
+
+    def health(self) -> dict:
+        """The ``GET /v1/health`` body."""
+        states: dict[str, int] = {}
+        for job in self._jobs.values():
+            states[job.state] = states.get(job.state, 0) + 1
+        return {
+            "status": "draining" if self.draining else "ok",
+            "uptime_s": time.time() - self.started_at,
+            "queue_depth": self._queue.qsize(),
+            "running": self._running,
+            "jobs": states,
+            "workers": self.serve_workers,
+            "engine_workers": self.engine.workers,
+            "cache": self.engine.cache is not None,
+            "rate_limited": self.limiter.enabled,
+        }
+
+    def coalescing_stats(self) -> dict:
+        """Executed/coalesced/reused counters (for benches and tests)."""
+        return {
+            "requests": self._c_requests.snapshot(),
+            "executed": self._c_executed.snapshot(),
+            "failed": self._c_failed.snapshot(),
+            "coalesced_inflight": self._c_coalesced.snapshot(),
+            "result_hits": self._c_result_hits.snapshot(),
+            "rejected_rate_limited": self._c_rate_limited.snapshot(),
+            "rejected_queue_full": self._c_queue_full.snapshot(),
+            "rejected_draining": self._c_draining.snapshot(),
+        }

@@ -201,8 +201,8 @@ def _pdn_trial(ctx: TrialContext) -> dict[str, Any]:
 
     fast_checkers = [KclResidualChecker(), DroopBoundChecker()]
     ref_checkers = [KclResidualChecker(), DroopBoundChecker()]
-    fast = PdnSolver(cfg, factorize=True, checkers=fast_checkers)
-    ref = PdnSolver(cfg, factorize=False, checkers=ref_checkers)
+    fast = PdnSolver(cfg, engine="fast", checkers=fast_checkers)
+    ref = PdnSolver(cfg, engine="reference", checkers=ref_checkers)
 
     fast_solution = fast.solve(power, load_model=load_model)
     ref_solution = ref.solve(power, load_model=load_model)
@@ -304,8 +304,8 @@ def _emu_trial(ctx: TrialContext) -> dict[str, Any]:
     source = int(rng.integers(graph.number_of_nodes()))
 
     bfs = DistributedBfs(system, graph)
-    cached = bfs.run(source, route_cache=True).distance
-    uncached = bfs.run(source, route_cache=False).distance
+    cached = bfs.run(source, engine="fast").distance
+    uncached = bfs.run(source, engine="reference").distance
     oracle = golden_bfs(graph, source)
     if cached != uncached or cached != oracle:
         raise InvariantViolation(

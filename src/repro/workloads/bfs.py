@@ -64,17 +64,22 @@ class DistributedBfs:
         self,
         source: int,
         max_supersteps: int = 10_000,
-        route_cache: bool = True,
+        engine: str | None = None,
+        route_cache: bool | None = None,
     ) -> BfsResult:
         """Run BFS from ``source``; returns distances and stats.
 
-        ``route_cache=False`` selects the emulator's reference routing
-        path (per-flow assignment) for differential testing.
+        ``engine="reference"`` selects the emulator's reference routing
+        path (per-flow assignment) for differential testing; the legacy
+        ``route_cache=`` knob still works but emits
+        ``DeprecationWarning``.
         """
         if source not in self.graph:
             raise WorkloadError(f"source {source} not in graph")
 
-        emulator = Emulator(self.system, route_cache=route_cache)
+        emulator = Emulator(
+            self.system, engine=engine, route_cache=route_cache
+        )
         distance: dict[int, int] = {}
         owner = self.partition.owner_of
 

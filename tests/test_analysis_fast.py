@@ -14,7 +14,7 @@ import pytest
 from repro.arch.emulator import Emulator, clear_route_cache
 from repro.arch.system import WaferscaleSystem
 from repro.config import SystemConfig
-from repro.errors import NetworkError, PdnError
+from repro.errors import NetworkError, PdnError, ReproError
 from repro.flow.characterize import characterize_activity_sweep
 from repro.noc.connectivity import (
     _pair_blockage,
@@ -83,7 +83,7 @@ class TestConnectivityDifferential:
                 disconnected_fraction(fmap, method=method)
 
     def test_unknown_method_rejected(self, clean_map):
-        with pytest.raises(NetworkError, match="unknown connectivity method"):
+        with pytest.raises(ReproError, match="unknown method"):
             disconnected_fraction(clean_map, method="nope")
 
     def test_batched_fractions_match_single(self, small_cfg):

@@ -1,10 +1,16 @@
-"""Tests for the CLI's structured-result API: --json, --workers, --no-cache."""
+"""Tests for the CLI's structured-result API: --json, --workers, --no-cache.
+
+Every ``--json`` document is a versioned ``repro/v1`` envelope:
+``command``/``ok`` at the top level, the command payload under
+``result``, and a ``manifest`` field (populated when telemetry ran).
+"""
 
 import json
 
 import pytest
 
 from repro.cli import _RENDERERS, _RUNNERS, build_parser, main
+from repro.obs import ENVELOPE_SCHEMA, validate_envelope_document
 
 # Smallest cheap invocation of every command.
 COMMANDS = {
@@ -29,6 +35,8 @@ COMMANDS = {
     "verify": ["verify", "--suite", "dft", "--trials", "2"],
     # A missing file is still a structured (ok=False) result.
     "obs": ["obs", "validate", "does-not-exist.json"],
+    # An unreachable daemon is still a structured (ok=False) result.
+    "submit": ["submit", "sleep", "--port", "1", "--timeout", "1"],
 }
 
 
@@ -40,11 +48,14 @@ def _isolated_cache(tmp_path, monkeypatch):
 
 class TestJsonOutput:
     @pytest.mark.parametrize("command", sorted(COMMANDS))
-    def test_json_is_parseable_and_structured(self, command, capsys):
+    def test_json_is_valid_envelope(self, command, capsys):
         main(COMMANDS[command] + ["--json"])
         payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == ENVELOPE_SCHEMA
         assert payload["command"] == command
         assert isinstance(payload["ok"], bool)
+        assert isinstance(payload["result"], dict)
+        assert validate_envelope_document(payload) == []
 
     def test_global_json_flag_before_subcommand(self, capsys):
         assert main(["--json", "loadtime"]) == 0
@@ -60,6 +71,22 @@ class TestJsonOutput:
 
     def test_every_command_has_runner_and_renderer(self):
         assert set(_RUNNERS) == set(_RENDERERS) == set(COMMANDS)
+
+    def test_manifest_populated_with_metrics_flag(self, tmp_path, capsys):
+        sink = tmp_path / "metrics.json"
+        main(COMMANDS["fig6"] + ["--json", "--metrics", str(sink)])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["manifest"] is not None
+        assert payload["manifest"]["experiment"].startswith("noc.")
+        assert validate_envelope_document(payload) == []
+
+    def test_envelope_validates_via_obs_command(self, tmp_path, capsys):
+        doc = tmp_path / "envelope.json"
+        main(COMMANDS["loadtime"] + ["--json"])
+        doc.write_text(capsys.readouterr().out)
+        assert main(["obs", "validate", str(doc)]) == 0
+        out = capsys.readouterr().out
+        assert "valid envelope file" in out
 
 
 class TestTextRendering:
@@ -98,7 +125,7 @@ class TestEngineFlags:
         one = json.loads(capsys.readouterr().out)
         main(base + ["--workers", "4"])
         four = json.loads(capsys.readouterr().out)
-        assert one["stats"] == four["stats"]
+        assert one["result"]["stats"] == four["result"]["stats"]
 
     def test_cache_populated_unless_disabled(self, tmp_path, monkeypatch):
         cache_dir = tmp_path / "cli-cache"
@@ -116,4 +143,4 @@ class TestEngineFlags:
         first = json.loads(capsys.readouterr().out)
         main(cmd)
         second = json.loads(capsys.readouterr().out)
-        assert first["variants"] == second["variants"]
+        assert first["result"]["variants"] == second["result"]["variants"]

@@ -1,0 +1,458 @@
+"""End-to-end tests for the experiment service (``repro serve``).
+
+The fixture boots a real :class:`~repro.serve.http.ServeHttpServer` on
+an ephemeral port inside a background event-loop thread and drives it
+with the stdlib :class:`~repro.serve.client.ServeClient` — the same
+stack ``repro submit`` and the load bench use.  Covered here:
+
+* submit → poll → result identical to a direct :func:`~repro.engine.
+  jobs.run_job` execution;
+* **coalescing proof**: N identical concurrent submissions dispatch
+  exactly one fresh :class:`~repro.engine.core.ExperimentEngine` run
+  (counted by an engine observer, not by the service's own counters);
+* completed-run reuse, rate limiting (429), bounded-queue rejection
+  and drain semantics (503), the JSONL event stream, and the
+  ``repro/v1`` envelope on every response;
+* :class:`~repro.serve.ratelimit.TokenBucket` and request-schema units;
+* :class:`~repro.engine.cache.ResultCache` atomic-write behaviour under
+  concurrent writers (the torn-pickle bugfix).
+"""
+
+import asyncio
+import http.client
+import json
+import pickle
+import threading
+
+import pytest
+
+from repro.cli import _jsonify
+from repro.config import SystemConfig
+from repro.engine import ExperimentEngine, JobSpec, job_key, run_job
+from repro.engine.cache import ResultCache
+from repro.engine.observe import EngineObserver
+from repro.errors import ServeError
+from repro.obs import validate_envelope_document
+from repro.serve import (
+    ExperimentService,
+    ServeClient,
+    ServeHttpServer,
+    TokenBucket,
+    parse_submit_body,
+)
+
+CFG = {"rows": 6, "cols": 6}
+
+
+class FreshRunCounter(EngineObserver):
+    """Counts engine runs that actually computed (not cache hits)."""
+
+    def __init__(self):
+        self.fresh = 0
+        self.cached = 0
+        self._lock = threading.Lock()
+
+    def on_run_end(self, result):
+        with self._lock:
+            if result.from_cache:
+                self.cached += 1
+            else:
+                self.fresh += 1
+
+
+class ServerHarness:
+    """One live server + service, owned by a background loop thread."""
+
+    def __init__(self, **service_kwargs):
+        self.service_kwargs = service_kwargs
+        self.ready = threading.Event()
+        self.service = None
+        self.port = None
+        self.loop = None
+        self.counter = FreshRunCounter()
+        self._stop = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        async def main():
+            self.service = ExperimentService(**self.service_kwargs)
+            self.service.engine.add_observer(self.counter)
+            server = ServeHttpServer(self.service, port=0)
+            await server.start()
+            self.port = server.port
+            self.loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            self.ready.set()
+            await self._stop.wait()
+            await server.close()
+
+        asyncio.run(main())
+
+    def start(self):
+        self._thread.start()
+        assert self.ready.wait(10), "server did not start"
+        return self
+
+    def stop(self):
+        if self.loop is not None:
+            self.loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(10)
+
+    def client(self, **kwargs):
+        return ServeClient(port=self.port, **kwargs)
+
+
+@pytest.fixture()
+def harness(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "serve-cache"))
+    h = ServerHarness(serve_workers=2, queue_size=16, cache=True).start()
+    yield h
+    h.stop()
+
+
+class TestServeEndToEnd:
+    def test_served_result_equals_direct_run(self, harness):
+        client = harness.client()
+        served = client.run(
+            "fig6", config=CFG, params={"max_faults": 3}, trials=4, seed=7
+        )
+        direct = run_job(
+            JobSpec(
+                experiment="fig6",
+                config=SystemConfig.from_dict(CFG),
+                params={"max_faults": 3},
+                seed=7,
+                trials=4,
+            ),
+            ExperimentEngine(cache=None),
+        )
+        assert served == _jsonify(direct)
+
+    def test_completed_run_reused_not_recomputed(self, harness):
+        client = harness.client()
+        first = client.submit("shmoo", config=CFG, seed=3)
+        client.wait(first["id"])
+        fresh_before = harness.counter.fresh
+        second = client.submit("shmoo", config=CFG, seed=3)
+        assert second["outcome"] == "completed"
+        assert second["id"] == first["id"]
+        assert second["state"] == "done"
+        assert harness.counter.fresh == fresh_before
+
+    def test_verify_flag_does_not_split_coalescing(self, harness):
+        client = harness.client()
+        spec_a = JobSpec("sleep", SystemConfig.from_dict(CFG), seed=11)
+        spec_b = JobSpec("sleep", SystemConfig.from_dict(CFG), seed=11, verify=True)
+        assert job_key(spec_a) == job_key(spec_b)
+        first = client.submit("sleep", config=CFG, seed=11)
+        client.wait(first["id"])
+        again = client.submit("sleep", config=CFG, seed=11, verify=True)
+        assert again["outcome"] == "completed"
+
+    def test_unknown_experiment_is_400(self, harness):
+        with pytest.raises(ServeError) as err:
+            harness.client().submit("nope", config=CFG)
+        assert err.value.status == 400
+
+    def test_unknown_run_is_404(self, harness):
+        with pytest.raises(ServeError) as err:
+            harness.client().status("run-999999")
+        assert err.value.status == 404
+
+    def test_failed_job_reports_error(self, harness):
+        client = harness.client()
+        # rate=-1.0 makes the NoC traffic generator reject the run.
+        sub = client.submit("noc", config=CFG, params={"rate": -1.0}, trials=1)
+        with pytest.raises(ServeError) as err:
+            client.wait(sub["id"])
+        assert err.value.status == 500
+        assert client.status(sub["id"])["state"] == "failed"
+
+    def test_health_and_metrics_documents(self, harness):
+        client = harness.client()
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["workers"] == 2
+        metrics = client.metrics()
+        assert metrics["metrics"]["schema"] == "repro.metrics/1"
+        assert "executed" in metrics["coalescing"]
+
+
+class TestCoalescing:
+    def test_identical_concurrent_submits_run_engine_once(self, harness):
+        """The acceptance-criterion test: N submits -> one engine run."""
+        n = 8
+        client = harness.client()
+        barrier = threading.Barrier(n)
+        results, errors = [], []
+
+        def fire():
+            barrier.wait()
+            try:
+                results.append(
+                    client.submit(
+                        "sleep", config=CFG, params={"seconds": 0.1},
+                        trials=6, seed=42,
+                    )
+                )
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=fire) for _ in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+        assert not errors
+        assert len(results) == n
+        ids = {r["id"] for r in results}
+        assert len(ids) == 1, f"coalescing split into {ids}"
+        final = client.wait(ids.pop())
+        assert final["state"] == "done"
+        assert final["waiters"] == n
+        # Exactly one fresh engine run serviced all n requests.
+        assert harness.counter.fresh == 1
+        stats = harness.service.coalescing_stats()
+        assert stats["executed"] == 1
+        assert stats["coalesced_inflight"] + stats["result_hits"] == n - 1
+
+    def test_distinct_specs_do_not_coalesce(self, harness):
+        client = harness.client()
+        a = client.submit("sleep", config=CFG, seed=1)
+        b = client.submit("sleep", config=CFG, seed=2)
+        assert a["id"] != b["id"]
+        client.wait(a["id"])
+        client.wait(b["id"])
+        assert harness.counter.fresh == 2
+
+
+class TestAdmissionControl:
+    def test_rate_limit_429(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "rl-cache"))
+        h = ServerHarness(
+            serve_workers=1, queue_size=16, cache=False, rate=0.001, burst=2.0
+        ).start()
+        try:
+            client = h.client(client_id="hammer")
+            client.submit("sleep", config=CFG, seed=1)
+            client.submit("sleep", config=CFG, seed=2)
+            with pytest.raises(ServeError) as err:
+                client.submit("sleep", config=CFG, seed=3)
+            assert err.value.status == 429
+            # Another client lane is unaffected.
+            other = h.client(client_id="polite")
+            other.submit("sleep", config=CFG, seed=4)
+        finally:
+            h.stop()
+
+    def test_queue_full_503(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "qf-cache"))
+        h = ServerHarness(serve_workers=1, queue_size=1, cache=False).start()
+        try:
+            client = h.client()
+            statuses = []
+            for seed in range(6):
+                try:
+                    client.submit(
+                        "sleep", config=CFG, params={"seconds": 0.3},
+                        trials=2, seed=seed,
+                    )
+                    statuses.append(202)
+                except ServeError as exc:
+                    statuses.append(exc.status)
+            assert 503 in statuses, statuses
+        finally:
+            h.stop()
+
+    def test_drain_rejects_new_and_finishes_inflight(self, harness):
+        client = harness.client()
+        running = client.submit(
+            "sleep", config=CFG, params={"seconds": 0.2}, trials=4, seed=77
+        )
+        drain = client.drain(timeout=30)
+        assert drain["drained"] is True
+        assert drain["status"] == "draining"
+        # The in-flight job completed during the drain.
+        assert client.status(running["id"])["state"] == "done"
+        with pytest.raises(ServeError) as err:
+            client.submit("sleep", config=CFG, seed=78)
+        assert err.value.status == 503
+        # Already-completed results are still served while draining.
+        again = client.submit(
+            "sleep", config=CFG, params={"seconds": 0.2}, trials=4, seed=77
+        )
+        assert again["outcome"] == "completed"
+
+
+class TestEventStream:
+    def test_stream_is_ordered_and_terminal(self, harness):
+        client = harness.client()
+        sub = client.submit(
+            "sleep", config=CFG, params={"seconds": 0.02}, trials=5, seed=5
+        )
+        events = list(client.events(sub["id"]))
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "queued"
+        assert "started" in kinds
+        assert kinds[-1] == "done"
+        assert [e["seq"] for e in events] == list(range(len(events)))
+        progress = [e for e in events if e["event"] == "progress"]
+        assert progress, "no progress events streamed"
+        assert all(0 < e["done"] <= e["total"] == 5 for e in progress)
+
+    def test_stream_replays_after_completion(self, harness):
+        client = harness.client()
+        sub = client.submit("sleep", config=CFG, trials=2, seed=6)
+        client.wait(sub["id"])
+        kinds = [e["event"] for e in client.events(sub["id"])]
+        assert kinds[0] == "queued" and kinds[-1] == "done"
+
+    def test_stream_unknown_run_404(self, harness):
+        with pytest.raises(ServeError) as err:
+            list(harness.client().events("run-424242"))
+        assert err.value.status == 404
+
+
+class TestEnvelopes:
+    @pytest.mark.parametrize(
+        "method,path",
+        [
+            ("GET", "/v1/health"),
+            ("GET", "/v1/metrics"),
+            ("GET", "/v1/runs/run-000000"),   # 404 body is an envelope too
+            ("POST", "/v1/runs"),             # 400 body (empty submit)
+        ],
+    )
+    def test_every_response_is_an_envelope(self, harness, method, path):
+        conn = http.client.HTTPConnection("127.0.0.1", harness.port)
+        try:
+            conn.request(method, path, body=b"{}" if method == "POST" else None)
+            doc = json.loads(conn.getresponse().read())
+        finally:
+            conn.close()
+        assert validate_envelope_document(doc) == []
+
+    def test_event_stream_lines_are_envelopes(self, harness):
+        client = harness.client()
+        sub = client.submit("sleep", config=CFG, trials=2, seed=8)
+        client.wait(sub["id"])
+        conn = http.client.HTTPConnection("127.0.0.1", harness.port)
+        try:
+            conn.request("GET", f"/v1/runs/{sub['id']}/events")
+            response = conn.getresponse()
+            lines = [line for line in response.read().splitlines() if line.strip()]
+        finally:
+            conn.close()
+        assert lines
+        for line in lines:
+            assert validate_envelope_document(json.loads(line)) == []
+
+
+class TestSubmitSchema:
+    def _spec(self, **overrides):
+        doc = {"experiment": "sleep", "config": CFG}
+        doc.update(overrides)
+        return parse_submit_body(doc)
+
+    def test_defaults(self):
+        spec, client = self._spec()
+        assert spec.trials == 10 and spec.seed == 0
+        assert spec.engine == "fast" and spec.verify is False
+        assert client == ""
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ServeError, match="unknown request fields"):
+            self._spec(bogus=1)
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ServeError, match="no parameter"):
+            self._spec(params={"bogus": 1})
+
+    def test_param_type_coerced(self):
+        spec, _ = self._spec(params={"seconds": "0.5"})
+        assert spec.params["seconds"] == 0.5
+
+    def test_bad_engine_rejected(self):
+        with pytest.raises(ServeError, match="'engine'"):
+            self._spec(engine="warp")
+
+    def test_bad_trials_rejected(self):
+        with pytest.raises(ServeError, match="'trials'"):
+            self._spec(trials=0)
+        with pytest.raises(ServeError, match="'trials'"):
+            self._spec(trials="ten")
+
+    def test_non_object_body_rejected(self):
+        with pytest.raises(ServeError, match="JSON object"):
+            parse_submit_body([1, 2, 3])
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        now = [0.0]
+        bucket = TokenBucket(rate=1.0, burst=2.0, clock=lambda: now[0])
+        assert bucket.allow("c") and bucket.allow("c")
+        assert not bucket.allow("c")
+        now[0] = 1.0
+        assert bucket.allow("c")
+        assert not bucket.allow("c")
+
+    def test_lanes_are_independent(self):
+        bucket = TokenBucket(rate=1.0, burst=1.0, clock=lambda: 0.0)
+        assert bucket.allow("a")
+        assert not bucket.allow("a")
+        assert bucket.allow("b")
+
+    def test_zero_rate_disables(self):
+        bucket = TokenBucket(rate=0.0, burst=1.0)
+        assert not bucket.enabled
+        assert all(bucket.allow("c") for _ in range(100))
+
+
+class TestAtomicCache:
+    def test_put_leaves_no_temp_files(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put("ab" + "0" * 62, [1, 2, 3])
+        assert not list((tmp_path / "cache").rglob("*.tmp"))
+
+    def test_concurrent_writers_never_tear(self, tmp_path):
+        """Readers always see a complete pickle, never a partial write."""
+        cache = ResultCache(tmp_path / "cache")
+        key = "cd" + "1" * 62
+        payloads = [[i] * 2048 for i in range(8)]
+        stop = threading.Event()
+        failures = []
+
+        def writer(payload):
+            while not stop.is_set():
+                cache.put(key, payload)
+
+        def reader():
+            while not stop.is_set():
+                hit, values = cache.get(key)
+                if hit and values not in payloads:
+                    failures.append(values)
+
+        threads = [threading.Thread(target=writer, args=(p,)) for p in payloads]
+        threads += [threading.Thread(target=reader) for _ in range(2)]
+        for t in threads:
+            t.start()
+        import time
+
+        time.sleep(0.5)
+        stop.set()
+        for t in threads:
+            t.join(10)
+        assert not failures
+        hit, values = cache.get(key)
+        assert hit and values in payloads
+
+    def test_clear_sweeps_orphaned_temp_files(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = "ef" + "2" * 62
+        cache.put(key, [1])
+        orphan = cache._path(key).parent / f"{key}.orphan.tmp"
+        orphan.write_bytes(pickle.dumps([2]))
+        cache.clear()
+        assert not orphan.exists()
+        assert not cache.get(key)[0]
