@@ -16,18 +16,31 @@ absolute floor so sub-millisecond jitter on tiny runs cannot flake the
 build).  The enabled path is reported for information; it pays for real
 recording and has no cap.
 
-Runnable two ways::
+A second case prices the *worker capture/merge* path: the experiment
+engine runs a pure-compute trial function across a process pool twice —
+telemetry disabled, then enabled (each worker captures a fresh
+:class:`~repro.obs.snapshot.TelemetrySnapshot`, the parent merges) —
+and asserts the merged run stays within 10% of the disabled run.  That
+budget is the committed floor in ``BENCH_obs.json``.
 
-    python benchmarks/bench_obs_overhead.py      # standalone summary
-    pytest benchmarks/bench_obs_overhead.py -s   # under the bench harness
+Runnable three ways::
+
+    python benchmarks/bench_obs_overhead.py                 # summary
+    python benchmarks/bench_obs_overhead.py --out B.json    # + document
+    pytest benchmarks/bench_obs_overhead.py -s              # bench harness
 """
 
+import argparse
+import json
 import time
 
+import numpy as np
+
 from repro.config import SystemConfig
+from repro.engine import ExperimentEngine
 from repro.noc.dualnetwork import NetworkId
 from repro.noc.simulator import NocSimulator
-from repro.obs import Telemetry
+from repro.obs import Telemetry, resolve_telemetry
 from repro.workloads.traffic import TrafficPattern, generate_traffic
 
 from conftest import print_series
@@ -39,6 +52,12 @@ SEED = 2
 REPEATS = 5                     # best-of-N to shed scheduler noise
 MAX_OVERHEAD = 0.05             # disabled path within 5% of baseline
 JITTER_FLOOR_S = 0.010          # absolute slack for sub-ms timing noise
+
+MERGE_TRIALS = 64               # engine trials per capture/merge run
+MERGE_WORKERS = 2               # pool size (modest: CI runners are small)
+MERGE_REPEATS = 3               # best-of-N engine runs per mode
+MERGE_MAX_OVERHEAD = 0.10       # merged run within 10% of disabled run
+MERGE_JITTER_FLOOR_S = 0.050    # absolute slack for pool start-up jitter
 
 
 def _drive(telemetry: Telemetry | None) -> float:
@@ -57,15 +76,25 @@ def _drive(telemetry: Telemetry | None) -> float:
     return time.perf_counter() - start
 
 
-def _best(telemetry_factory) -> float:
-    return min(_drive(telemetry_factory()) for _ in range(REPEATS))
-
-
 def measure() -> dict:
-    """Best-of-N wall time for baseline/disabled/enabled telemetry."""
-    baseline_s = _best(lambda: None)
-    disabled_s = _best(Telemetry.disabled)
-    enabled_s = _best(Telemetry)
+    """Best-of-N wall time for baseline/disabled/enabled telemetry.
+
+    The three modes are interleaved round-robin within each repeat so
+    machine-load drift over the bench's lifetime biases every mode
+    equally instead of whichever happened to run last.
+    """
+    factories = {
+        "baseline": lambda: None,
+        "disabled": Telemetry.disabled,
+        "enabled": Telemetry,
+    }
+    best = {name: float("inf") for name in factories}
+    for _ in range(REPEATS):
+        for name, factory in factories.items():
+            best[name] = min(best[name], _drive(factory()))
+    baseline_s, disabled_s, enabled_s = (
+        best["baseline"], best["disabled"], best["enabled"],
+    )
     overhead = (disabled_s - baseline_s) / baseline_s if baseline_s > 0 else 0.0
     return {
         "baseline_s": baseline_s,
@@ -74,6 +103,60 @@ def measure() -> dict:
         "disabled_overhead": overhead,
         "within_budget": (
             disabled_s <= baseline_s * (1 + MAX_OVERHEAD) + JITTER_FLOOR_S
+        ),
+    }
+
+
+def _merge_trial(ctx) -> float:
+    """Pure-compute trial that records a little telemetry when enabled.
+
+    The work is deliberately *not* a NoC simulation: the point is to
+    price the capture/merge plumbing itself (fresh per-worker telemetry,
+    snapshot pickling, parent-side merge), so the trial body must be
+    cheap-but-real compute with only a few recording calls riding on it.
+    """
+    data = ctx.rng.random(16384)
+    acc = 0.0
+    for _ in range(24):
+        acc += float(np.sqrt(data * data + 1.0).sum())
+    telemetry = resolve_telemetry()
+    telemetry.metrics.counter("bench.merge_trials").inc()
+    telemetry.metrics.histogram("bench.merge_value").observe(acc)
+    return acc
+
+
+def _engine_run_seconds(telemetry: Telemetry) -> float:
+    """One pooled engine run of the merge trial; returns wall seconds."""
+    engine = ExperimentEngine(
+        workers=MERGE_WORKERS, cache=None, telemetry=telemetry
+    )
+    start = time.perf_counter()
+    engine.run(
+        _merge_trial,
+        experiment="bench.obs_merge",
+        trials=MERGE_TRIALS,
+        seed=7,
+    )
+    return time.perf_counter() - start
+
+
+def measure_merge() -> dict:
+    """Best-of-N pooled run time: telemetry disabled vs captured+merged.
+
+    Modes are interleaved per repeat (same rationale as :func:`measure`).
+    """
+    disabled_s = merged_s = float("inf")
+    for _ in range(MERGE_REPEATS):
+        disabled_s = min(disabled_s, _engine_run_seconds(Telemetry.disabled()))
+        merged_s = min(merged_s, _engine_run_seconds(Telemetry()))
+    overhead = (merged_s - disabled_s) / disabled_s if disabled_s > 0 else 0.0
+    return {
+        "merge_disabled_s": disabled_s,
+        "merge_merged_s": merged_s,
+        "merge_overhead": overhead,
+        "merge_within_budget": (
+            merged_s <= disabled_s * (1 + MERGE_MAX_OVERHEAD)
+            + MERGE_JITTER_FLOOR_S
         ),
     }
 
@@ -100,7 +183,67 @@ def test_disabled_telemetry_overhead(benchmark):
     )
 
 
-def main() -> int:
+def test_worker_merge_overhead(benchmark):
+    result = benchmark.pedantic(measure_merge, rounds=1, iterations=1)
+
+    print_series(
+        f"engine x{MERGE_WORKERS} workers, {MERGE_TRIALS} trials: "
+        "capture/merge overhead",
+        [
+            ("telemetry disabled", f"{result['merge_disabled_s'] * 1e3:.1f}ms"),
+            ("captured + merged", f"{result['merge_merged_s'] * 1e3:.1f}ms"),
+            ("merge overhead", f"{result['merge_overhead']:+.1%}"),
+        ],
+    )
+    benchmark.extra_info["measured"] = {
+        k: result[k] for k in ("merge_disabled_s", "merge_merged_s")
+    }
+
+    assert result["merge_within_budget"], (
+        f"worker capture/merge cost {result['merge_overhead']:+.1%} "
+        f"(budget {MERGE_MAX_OVERHEAD:.0%})"
+    )
+
+
+def build_document(disabled: dict, merge: dict) -> dict:
+    """The committable ``BENCH_obs.json`` document for both cases."""
+    return {
+        "bench": "obs",
+        "config": {
+            "noc_rows": ROWS,
+            "noc_cols": COLS,
+            "noc_cycles": CYCLES,
+            "noc_rate": RATE,
+            "merge_trials": MERGE_TRIALS,
+            "merge_workers": MERGE_WORKERS,
+        },
+        "thresholds": {
+            "disabled_max_overhead": MAX_OVERHEAD,
+            "merge_max_overhead": MERGE_MAX_OVERHEAD,
+        },
+        "measured": {
+            "baseline_s": disabled["baseline_s"],
+            "disabled_s": disabled["disabled_s"],
+            "enabled_s": disabled["enabled_s"],
+            "disabled_overhead": disabled["disabled_overhead"],
+            "merge_disabled_s": merge["merge_disabled_s"],
+            "merge_merged_s": merge["merge_merged_s"],
+            "merge_overhead": merge["merge_overhead"],
+        },
+        "ok": disabled["within_budget"] and merge["merge_within_budget"],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="also write the results as a BENCH_obs.json document",
+    )
+    args = parser.parse_args(argv)
+
     result = measure()
     print(f"NoC sim {ROWS}x{COLS}, {CYCLES} cycles + drain, best of {REPEATS}")
     print(f"  baseline (no telemetry):   {result['baseline_s'] * 1e3:.1f}ms")
@@ -109,7 +252,24 @@ def main() -> int:
     print(f"  instrumented, enabled:     {result['enabled_s'] * 1e3:.1f}ms")
     print(f"  disabled-path budget:      {MAX_OVERHEAD:.0%} -> "
           f"{'OK' if result['within_budget'] else 'EXCEEDED'}")
-    return 0 if result["within_budget"] else 1
+
+    merge = measure_merge()
+    print(f"engine, {MERGE_WORKERS} workers, {MERGE_TRIALS} trials, "
+          f"best of {MERGE_REPEATS}")
+    print(f"  telemetry disabled:        {merge['merge_disabled_s'] * 1e3:.1f}ms")
+    print(f"  captured + merged:         {merge['merge_merged_s'] * 1e3:.1f}ms "
+          f"({merge['merge_overhead']:+.1%})")
+    print(f"  capture/merge budget:      {MERGE_MAX_OVERHEAD:.0%} -> "
+          f"{'OK' if merge['merge_within_budget'] else 'EXCEEDED'}")
+
+    if args.out:
+        document = build_document(result, merge)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+
+    return 0 if result["within_budget"] and merge["merge_within_budget"] else 1
 
 
 if __name__ == "__main__":

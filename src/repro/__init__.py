@@ -27,7 +27,7 @@ from .flow.designer import DesignFlowResult, run_design_flow
 from .flow.report import SystemReport, table1_report
 from .obs import MetricsRegistry, Telemetry, Tracer, use_telemetry
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "SystemConfig",

@@ -553,10 +553,36 @@ def run_submit(
     return {"command": "submit", "ok": True, "host": host, "port": port, **body}
 
 
-def run_obs(action: str, paths: list[str]) -> dict:
-    """Validate or summarize telemetry sink files (trace/metrics/manifest)."""
+def run_obs(
+    action: str,
+    paths: list[str],
+    threshold: float = 0.1,
+    ignore: str | None = None,
+) -> dict:
+    """Validate, summarize or diff telemetry sink files."""
     from .errors import ObsError
-    from .obs import summarize_file, validate_file
+    from .obs import diff_files, summarize_file, validate_file
+
+    if action == "diff":
+        if len(paths) != 2:
+            raise SystemExit("obs diff takes exactly two paths: A.json B.json")
+        try:
+            report = diff_files(
+                paths[0], paths[1], threshold=threshold, ignore=ignore
+            )
+        except ObsError as exc:
+            return {
+                "command": "obs", "ok": False, "action": action,
+                "error": str(exc), "files": [],
+            }
+        return {
+            "command": "obs",
+            "ok": report.ok,
+            "action": action,
+            "diff": report.to_dict(),
+            "rendered": report.render(),
+            "files": [],
+        }
 
     files = []
     ok = True
@@ -789,6 +815,10 @@ def render_submit(result: dict) -> str:
 
 
 def render_obs(result: dict) -> str:
+    if result.get("action") == "diff":
+        if result.get("error"):
+            return f"obs diff: ERROR {result['error']}"
+        return result["rendered"]
     lines = []
     for entry in result["files"]:
         if "summary" in entry:
@@ -855,7 +885,11 @@ _RUNNERS: dict[str, Callable[[argparse.Namespace], dict]] = {
         pattern=a.pattern, seed=a.seed, faults=a.faults,
         engine=a.engine, check=a.check,
     ),
-    "obs": lambda a: run_obs(a.action, a.paths),
+    "obs": lambda a: run_obs(
+        a.action, a.paths,
+        threshold=getattr(a, "threshold", 0.1),
+        ignore=getattr(a, "ignore", None) or None,
+    ),
     "submit": lambda a: run_submit(
         a.experiment, _config(a), params=_parse_params(a.param),
         seed=a.seed, trials=a.trials, engine=a.engine, verify=a.verify,
@@ -957,6 +991,8 @@ def _serve_handler(args: argparse.Namespace) -> int:
         rate=args.rate,
         burst=args.burst,
         telemetry=telemetry,
+        sample_interval_s=getattr(args, "sample_interval", 1.0),
+        metrics_log=getattr(args, "metrics_log", "") or None,
     )
     print(
         f"repro serve listening on http://{args.host}:{args.port} "
@@ -969,6 +1005,27 @@ def _serve_handler(args: argparse.Namespace) -> int:
     with use_telemetry(telemetry):
         asyncio.run(serve_forever(service, host=args.host, port=args.port))
     return 0
+
+
+def _top_handler(args: argparse.Namespace) -> int:
+    """Run the ``repro top`` cockpit against a daemon or a sample log."""
+    from .errors import ObsError
+    from .obs.top import DaemonSource, FileSource, run_top
+
+    if args.file:
+        source = FileSource(args.file)
+    else:
+        source = DaemonSource(host=args.host, port=args.port)
+    try:
+        return run_top(
+            source,
+            interval_s=args.interval,
+            frames=args.frames or None,
+            once=args.once,
+        )
+    except ObsError as exc:
+        print(f"repro top: {exc}", file=sys.stderr)
+        return 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1101,10 +1158,19 @@ def build_parser() -> argparse.ArgumentParser:
     obs = sub.add_parser("obs", help="inspect telemetry sink files")
     obs.add_argument(
         "action",
-        choices=("summarize", "validate"),
-        help="render a human summary or check the file against its schema",
+        choices=("summarize", "validate", "diff"),
+        help="render a human summary, check the file against its schema, "
+        "or compare two metrics/bench documents for regressions",
     )
     obs.add_argument("paths", nargs="+", metavar="PATH")
+    obs.add_argument(
+        "--threshold", type=float, default=0.1,
+        help="relative change flagged by obs diff (default 0.1 = 10%%)",
+    )
+    obs.add_argument(
+        "--ignore", type=str, default="",
+        help="extra regex of key paths obs diff skips (e.g. timing jitter)",
+    )
     obs.add_argument(
         "--json",
         action="store_true",
@@ -1146,7 +1212,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", dest="no_cache", action="store_true",
         help="bypass the on-disk result cache",
     )
+    serve.add_argument(
+        "--sample-interval", dest="sample_interval", type=float, default=1.0,
+        help="metrics sampling period in seconds for /v1/metrics/history "
+        "(0 disables the sampler)",
+    )
+    serve.add_argument(
+        "--metrics-log", dest="metrics_log", type=str, default="",
+        metavar="PATH",
+        help="append every metrics sample as a JSONL line "
+        "(tail it live with: repro top --file PATH)",
+    )
     serve.set_defaults(handler=_serve_handler)
+
+    # `top` is a live cockpit over a running daemon (or a sample log).
+    top = sub.add_parser(
+        "top", help="live cockpit for a repro serve daemon (curses)"
+    )
+    top.add_argument("--host", type=str, default="127.0.0.1")
+    top.add_argument("--port", type=int, default=8787)
+    top.add_argument(
+        "--file", type=str, default="",
+        help="tail a sampler JSONL log instead of polling a daemon",
+    )
+    top.add_argument(
+        "--interval", type=float, default=1.0,
+        help="refresh period in seconds",
+    )
+    top.add_argument(
+        "--frames", type=int, default=0,
+        help="stop after N redraws (0 = run until q/Ctrl-C)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="print one plain-text frame and exit (no curses; CI-friendly)",
+    )
+    top.set_defaults(handler=_top_handler)
 
     # `submit` is a thin client for a running daemon.
     submit = sub.add_parser(

@@ -35,7 +35,13 @@ import numpy as np
 from ..config import SystemConfig
 from ..errors import ReproError
 from ..obs.manifest import build_manifest
-from ..obs.telemetry import Telemetry, resolve_telemetry
+from ..obs.snapshot import (
+    TelemetrySnapshot,
+    capture_snapshot,
+    merge_snapshot,
+    worker_telemetry,
+)
+from ..obs.telemetry import Telemetry, resolve_telemetry, scoped_telemetry
 from .cache import ResultCache, cache_key, resolve_cache
 from .observe import EngineObserver, ProgressCallback, TelemetryObserver
 from .seeding import SeedLike, spawn_trial_seeds
@@ -103,16 +109,36 @@ def _run_chunk(
         Callable[[TrialContext], Any],
         dict[str, Any],
         list[tuple[int, np.random.SeedSequence]],
+        bool,
     ],
-) -> list[tuple[int, Any, float]]:
-    """Execute one chunk of trials; runs inside a worker process."""
-    fn, params, items = payload
-    out: list[tuple[int, Any, float]] = []
-    for index, seed in items:
-        start = time.perf_counter()
-        value = fn(TrialContext(index=index, seed=seed, params=params))
-        out.append((index, value, time.perf_counter() - start))
-    return out
+) -> tuple[list[tuple[int, Any, float]], TelemetrySnapshot | None]:
+    """Execute one chunk of trials; runs inside a worker process.
+
+    With ``capture`` set, the chunk runs under a *fresh* ambient
+    telemetry — never the one inherited across ``fork``, whose registry
+    already holds the driver's accumulated state and would be
+    double-counted on merge — and ships everything the trials recorded
+    back as a picklable :class:`TelemetrySnapshot`.  The inline
+    (``workers=1``) path uses the very same flow, so merged totals are
+    identical by construction regardless of worker count.
+    """
+    fn, params, items, capture = payload
+
+    def _execute() -> list[tuple[int, Any, float]]:
+        out: list[tuple[int, Any, float]] = []
+        for index, seed in items:
+            start = time.perf_counter()
+            value = fn(TrialContext(index=index, seed=seed, params=params))
+            out.append((index, value, time.perf_counter() - start))
+        return out
+
+    if not capture:
+        return _execute(), None
+    # Thread-local scope: inline chunks may run concurrently in serve
+    # worker threads, so the capture must never touch the global ambient.
+    with scoped_telemetry(worker_telemetry()) as tel:
+        out = _execute()
+        return out, capture_snapshot(tel)
 
 
 def default_workers() -> int:
@@ -225,7 +251,8 @@ class ExperimentEngine:
             hit, values = self.cache.get(key)
             if telemetry.enabled:
                 telemetry.metrics.counter(
-                    "engine.cache_hits" if hit else "engine.cache_misses"
+                    "engine.cache_hits" if hit else "engine.cache_misses",
+                    experiment=experiment,
                 ).inc()
             if hit:
                 start = time.perf_counter()
@@ -256,8 +283,17 @@ class ExperimentEngine:
         values_by_index: list[Any] = [None] * trials
         times_by_index: list[float] = [0.0] * trials
 
-        def _absorb(chunk_result: list[tuple[int, Any, float]]) -> None:
-            for index, value, elapsed in chunk_result:
+        capture = telemetry.enabled
+
+        def _absorb(
+            chunk_result: tuple[
+                list[tuple[int, Any, float]], TelemetrySnapshot | None
+            ],
+        ) -> None:
+            trial_results, snapshot = chunk_result
+            if snapshot is not None:
+                merge_snapshot(telemetry, snapshot)
+            for index, value, elapsed in trial_results:
                 values_by_index[index] = value
                 times_by_index[index] = elapsed
                 for observer in observers:
@@ -265,9 +301,11 @@ class ExperimentEngine:
 
         if self.workers == 1 or trials == 1:
             for chunk in self._chunks(items):
-                _absorb(_run_chunk((fn, run_params, chunk)))
+                _absorb(_run_chunk((fn, run_params, chunk, capture)))
         else:
-            payloads = [(fn, run_params, chunk) for chunk in self._chunks(items)]
+            payloads = [
+                (fn, run_params, chunk, capture) for chunk in self._chunks(items)
+            ]
             ctx = multiprocessing.get_context(
                 "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
             )

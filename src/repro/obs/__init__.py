@@ -52,6 +52,21 @@ from .metrics import (
     NULL_GAUGE,
     NULL_HISTOGRAM,
 )
+from .diff import (
+    DiffEntry,
+    DiffReport,
+    diff_documents,
+    diff_files,
+    flatten_numeric,
+)
+from .prom import PROM_CONTENT_TYPE, render_prometheus
+from .sampler import (
+    DEFAULT_CAPACITY,
+    SAMPLE_SCHEMA,
+    MetricsSampler,
+    SeriesRing,
+    read_sample_log,
+)
 from .schema import (
     ENVELOPE_SCHEMA,
     make_envelope,
@@ -60,6 +75,12 @@ from .schema import (
     validate_manifest_document,
     validate_metrics_document,
     validate_trace_events,
+)
+from .snapshot import (
+    TelemetrySnapshot,
+    capture_snapshot,
+    merge_snapshot,
+    worker_telemetry,
 )
 from .summary import (
     summarize_file,
@@ -71,11 +92,20 @@ from .telemetry import (
     NULL_TELEMETRY,
     Telemetry,
     current_telemetry,
+    scoped_telemetry,
     resolve_telemetry,
     set_telemetry,
     use_telemetry,
 )
-from .trace import NULL_TRACER, TRACE_SCHEMA, NullTracer, Tracer, read_trace
+from .top import Frame, render_frame, run_top, sparkline
+from .trace import (
+    NULL_TRACER,
+    TRACE_SCHEMA,
+    NullTracer,
+    Tracer,
+    read_trace,
+    read_trace_with_warnings,
+)
 
 __all__ = [
     "Counter",
@@ -93,6 +123,27 @@ __all__ = [
     "NULL_TRACER",
     "TRACE_SCHEMA",
     "read_trace",
+    "read_trace_with_warnings",
+    "TelemetrySnapshot",
+    "capture_snapshot",
+    "merge_snapshot",
+    "worker_telemetry",
+    "MetricsSampler",
+    "SeriesRing",
+    "SAMPLE_SCHEMA",
+    "DEFAULT_CAPACITY",
+    "read_sample_log",
+    "PROM_CONTENT_TYPE",
+    "render_prometheus",
+    "DiffEntry",
+    "DiffReport",
+    "diff_documents",
+    "diff_files",
+    "flatten_numeric",
+    "Frame",
+    "render_frame",
+    "run_top",
+    "sparkline",
     "RunManifest",
     "MANIFEST_SCHEMA",
     "build_manifest",
@@ -102,6 +153,7 @@ __all__ = [
     "Telemetry",
     "NULL_TELEMETRY",
     "current_telemetry",
+    "scoped_telemetry",
     "set_telemetry",
     "use_telemetry",
     "resolve_telemetry",

@@ -72,6 +72,10 @@ class Counter:
         """The current value, JSON-ready."""
         return self.value
 
+    def dump(self) -> dict:
+        """Full-fidelity picklable state (see :meth:`MetricsRegistry.merge`)."""
+        return {"kind": self.kind, "key": self.name, "value": self.value}
+
 
 class Gauge:
     """A value that goes up and down (occupancy, load, progress)."""
@@ -95,6 +99,10 @@ class Gauge:
     def snapshot(self) -> float:
         """The current value, JSON-ready."""
         return self.value
+
+    def dump(self) -> dict:
+        """Full-fidelity picklable state (see :meth:`MetricsRegistry.merge`)."""
+        return {"kind": self.kind, "key": self.name, "value": self.value}
 
 
 class Histogram:
@@ -175,6 +183,39 @@ class Histogram:
                 return min(max(estimate, self.min), self.max)
             cumulative += bucket_count
         return self.max           # pragma: no cover - rank always found
+
+    def dump(self) -> dict:
+        """Full-fidelity picklable state (see :meth:`MetricsRegistry.merge`)."""
+        return {
+            "kind": self.kind,
+            "key": self.name,
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+    def merge_dump(self, dump: Mapping) -> None:
+        """Fold another histogram's :meth:`dump` into this one.
+
+        Bucket bounds must match exactly — merged histograms come from
+        the *same* instrument recorded in different processes, so a
+        bound mismatch means two incompatible definitions share a name.
+        """
+        if tuple(float(b) for b in dump["bounds"]) != self.bounds:
+            raise ObsError(
+                f"histogram {self.name!r}: cannot merge mismatched buckets"
+            )
+        for i, count in enumerate(dump["counts"]):
+            self.counts[i] += count
+        self.count += dump["count"]
+        self.total += dump["sum"]
+        if dump["min"] is not None and dump["min"] < self.min:
+            self.min = dump["min"]
+        if dump["max"] is not None and dump["max"] > self.max:
+            self.max = dump["max"]
 
     def snapshot(self) -> dict:
         """JSON-ready summary including the raw bucket counts."""
@@ -284,6 +325,10 @@ class MetricsRegistry:
         """Look up an existing metric (None when absent)."""
         return self._metrics.get(_label_key(name, labels))
 
+    def lookup(self, key: str):
+        """Look up a metric by its canonical ``name{k=v,...}`` key."""
+        return self._metrics.get(key)
+
     def __len__(self) -> int:
         return len(self._metrics)
 
@@ -293,6 +338,57 @@ class MetricsRegistry:
     def clear(self) -> None:
         """Drop every registered metric."""
         self._metrics.clear()
+
+    def dump(self) -> list[dict]:
+        """Full-fidelity state of every instrument, in key order.
+
+        Unlike :meth:`to_dict` (a human/JSON summary with estimated
+        percentiles) this is lossless and mergeable: feeding the dumps
+        of N registries into :meth:`merge` produces exactly the registry
+        that would have recorded all their observations directly.
+        """
+        return [self._metrics[key].dump() for key in sorted(self._metrics)]
+
+    def merge(self, dumps: Iterable[Mapping]) -> None:
+        """Fold instrument dumps (from :meth:`dump`) into this registry.
+
+        Counters sum, histogram bucket counts add (bounds must match),
+        gauges take the incoming value (last write wins).  Keys carry
+        their labels verbatim, so labelled series stay distinct.  A
+        disabled registry ignores the merge entirely.
+        """
+        if not self.enabled:
+            return
+        for dump in dumps:
+            kind, key = dump["kind"], dump["key"]
+            metric = self._metrics.get(key)
+            if kind == "counter":
+                if metric is None:
+                    metric = self._metrics.setdefault(key, Counter(key))
+                self._check_kind(metric, kind, key)
+                metric.value += dump["value"]
+            elif kind == "gauge":
+                if metric is None:
+                    metric = self._metrics.setdefault(key, Gauge(key))
+                self._check_kind(metric, kind, key)
+                metric.value = dump["value"]
+            elif kind == "histogram":
+                if metric is None:
+                    metric = self._metrics.setdefault(
+                        key, Histogram(key, buckets=dump["bounds"])
+                    )
+                self._check_kind(metric, kind, key)
+                metric.merge_dump(dump)
+            else:
+                raise ObsError(f"cannot merge unknown instrument kind {kind!r}")
+
+    @staticmethod
+    def _check_kind(metric, kind: str, key: str) -> None:
+        if metric.kind != kind:
+            raise ObsError(
+                f"metric {key!r} already registered as {metric.kind}, "
+                f"cannot merge a {kind}"
+            )
 
     def to_dict(self) -> dict:
         """Snapshot every instrument into a JSON-ready document."""
@@ -313,7 +409,7 @@ class MetricsRegistry:
             "histograms": histograms,
         }
 
-    def dump(self, path: str) -> None:
+    def write(self, path: str) -> None:
         """Write the snapshot as indented JSON."""
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(self.to_dict(), handle, indent=2)

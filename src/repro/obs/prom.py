@@ -1,0 +1,159 @@
+"""Prometheus text exposition of a metrics document.
+
+Renders the registry's JSON snapshot (:meth:`~repro.obs.metrics.
+MetricsRegistry.to_dict` / :meth:`~repro.obs.telemetry.Telemetry.
+metrics_document`) into the Prometheus text exposition format,
+``text/plain; version=0.0.4`` — the format every Prometheus-compatible
+scraper (Prometheus itself, VictoriaMetrics, Grafana Agent, ...)
+understands.  Working from the *document* rather than live instruments
+means the same renderer serves a running daemon's ``/v1/metrics`` and a
+metrics file saved by ``--metrics``.
+
+Mapping conventions:
+
+* metric names are sanitised to ``[a-zA-Z_:][a-zA-Z0-9_:]*`` (our
+  dotted names become underscored: ``noc.injected`` →
+  ``noc_injected``);
+* counters get the ``_total`` suffix;
+* histograms expand to cumulative ``_bucket{le="..."}`` series ending
+  with ``le="+Inf"`` (equal to ``_count``), plus ``_sum`` and
+  ``_count``;
+* labels survive verbatim (keys sanitised, values escaped per the
+  exposition spec).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Mapping
+
+#: The exposition content type negotiated on ``GET /v1/metrics``.
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Coerce a dotted repro metric name into a legal Prometheus name."""
+    out = _NAME_BAD_CHARS.sub("_", name)
+    if not out or not _NAME_OK.match(out):
+        out = "_" + out
+    return out
+
+
+def sanitize_label_name(name: str) -> str:
+    """Coerce a label key into ``[a-zA-Z_][a-zA-Z0-9_]*``."""
+    out = _LABEL_BAD_CHARS.sub("_", name)
+    if not out or out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the text exposition spec."""
+    return (
+        value.replace("\\", r"\\").replace("\n", r"\n").replace('"', r"\"")
+    )
+
+
+def parse_metric_key(key: str) -> tuple[str, dict[str, str]]:
+    """Split a canonical ``name{k=v,...}`` registry key into parts.
+
+    The inverse of :func:`repro.obs.metrics._label_key` for the label
+    syntax the registry produces (values are not escaped there, so a
+    value containing ``,`` or ``}`` is not representable — registry
+    labels are short identifiers in practice).
+    """
+    if "{" not in key:
+        return key, {}
+    name, _, rest = key.partition("{")
+    inner = rest.rstrip("}")
+    labels: dict[str, str] = {}
+    for part in inner.split(","):
+        if not part:
+            continue
+        label, _, value = part.partition("=")
+        labels[label] = value
+    return name, labels
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    as_float = float(value)
+    if as_float != as_float:                       # NaN
+        return "NaN"
+    if as_float in (float("inf"), float("-inf")):
+        return "+Inf" if as_float > 0 else "-Inf"
+    if as_float.is_integer():
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _labels_text(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{sanitize_label_name(k)}="{escape_label_value(str(v))}"'
+        for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def render_prometheus(doc: Mapping) -> str:
+    """Render one metrics document as Prometheus exposition text.
+
+    ``doc`` is the JSON-ready dict from ``metrics_document()`` /
+    ``to_dict()`` (``counters`` / ``gauges`` / ``histograms`` maps keyed
+    by canonical labelled names).  Series sharing a metric name emit one
+    ``# TYPE`` header, as the format requires.
+    """
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def _header(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for key in sorted(doc.get("counters", {})):
+        raw_name, labels = parse_metric_key(key)
+        name = sanitize_metric_name(raw_name)
+        if not name.endswith("_total"):
+            name += "_total"
+        _header(name, "counter")
+        lines.append(
+            f"{name}{_labels_text(labels)} "
+            f"{_format_value(doc['counters'][key])}"
+        )
+
+    for key in sorted(doc.get("gauges", {})):
+        raw_name, labels = parse_metric_key(key)
+        name = sanitize_metric_name(raw_name)
+        _header(name, "gauge")
+        lines.append(
+            f"{name}{_labels_text(labels)} "
+            f"{_format_value(doc['gauges'][key])}"
+        )
+
+    for key in sorted(doc.get("histograms", {})):
+        raw_name, labels = parse_metric_key(key)
+        name = sanitize_metric_name(raw_name)
+        snap = doc["histograms"][key]
+        _header(name, "histogram")
+        cumulative = 0
+        for bound, count in snap.get("buckets", []):
+            cumulative += count
+            le = "+Inf" if bound in ("inf", "+Inf") else _format_value(bound)
+            bucket_labels = dict(labels)
+            bucket_labels["le"] = le
+            lines.append(
+                f"{name}_bucket{_labels_text(bucket_labels)} {cumulative}"
+            )
+        labels_text = _labels_text(labels)
+        lines.append(f"{name}_sum{labels_text} {_format_value(snap['sum'])}")
+        lines.append(f"{name}_count{labels_text} {snap['count']}")
+
+    return "\n".join(lines) + "\n" if lines else ""

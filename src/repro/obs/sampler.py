@@ -1,0 +1,243 @@
+"""Time-series sampling of metrics into bounded ring buffers.
+
+A point-in-time metrics snapshot answers "how many so far"; operating a
+long-running daemon needs "how is it *moving*" — queue depth over the
+last minute, RSS growth across a sweep, throughput during a drain.
+:class:`MetricsSampler` closes that gap without any external time-series
+store: at a fixed interval it reads a small set of sources (registry
+instruments by canonical key, plus process RSS/CPU from ``/proc``) and
+appends ``(timestamp, value)`` points into per-series
+:class:`SeriesRing` buffers of bounded capacity, so memory stays O(
+series × capacity) no matter how long the daemon runs.
+
+The sampler is transport-agnostic: :class:`~repro.serve.service.
+ExperimentService` owns one and exposes :meth:`MetricsSampler.history`
+via ``GET /v1/metrics/history``; with ``log_path`` set every sample is
+also appended as a JSONL line that ``repro top --file`` can tail
+offline.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from typing import Callable
+
+from .metrics import MetricsRegistry
+
+#: Schema tag stamped on history documents and JSONL sample lines.
+SAMPLE_SCHEMA = "repro.samples/1"
+
+#: Default points retained per series.
+DEFAULT_CAPACITY = 600
+
+
+class SeriesRing:
+    """A bounded ring of ``(timestamp, value)`` points for one series."""
+
+    __slots__ = ("name", "capacity", "_points", "_start")
+
+    def __init__(self, name: str, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("a series ring needs capacity >= 1")
+        self.name = name
+        self.capacity = capacity
+        self._points: list[tuple[float, float]] = []
+        self._start = 0
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def append(self, ts: float, value: float) -> None:
+        """Record one point, evicting the oldest when full."""
+        if len(self._points) < self.capacity:
+            self._points.append((ts, value))
+        else:
+            self._points[self._start] = (ts, value)
+            self._start = (self._start + 1) % self.capacity
+
+    def points(self) -> list[tuple[float, float]]:
+        """The retained points, oldest first."""
+        return self._points[self._start :] + self._points[: self._start]
+
+    def values(self) -> list[float]:
+        """Just the values, oldest first (for sparklines)."""
+        return [value for _, value in self.points()]
+
+    def last(self) -> float | None:
+        """The most recent value (None when empty)."""
+        pts = self.points()
+        return pts[-1][1] if pts else None
+
+
+def _read_proc_rss_bytes() -> float | None:
+    """Resident set size in bytes from ``/proc/self/statm`` (Linux only)."""
+    try:
+        with open("/proc/self/statm", "r", encoding="ascii") as handle:
+            resident_pages = int(handle.read().split()[1])
+        return float(resident_pages * os.sysconf("SC_PAGE_SIZE"))
+    except (OSError, ValueError, IndexError):
+        return None
+
+
+def _read_proc_cpu_seconds() -> float | None:
+    """Cumulative user+system CPU seconds from ``/proc/self/stat``."""
+    try:
+        with open("/proc/self/stat", "r", encoding="ascii") as handle:
+            stat = handle.read()
+        # The comm field may contain spaces; fields start after the
+        # closing paren.
+        fields = stat[stat.rindex(")") + 2 :].split()
+        utime, stime = int(fields[11]), int(fields[12])
+        return (utime + stime) / os.sysconf("SC_CLK_TCK")
+    except (OSError, ValueError, IndexError):
+        return None
+
+
+class MetricsSampler:
+    """Periodic sampler of registry instruments and process stats.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`~repro.obs.metrics.MetricsRegistry` to read.
+    instruments:
+        Canonical instrument keys (``name`` or ``name{k=v}``) to sample.
+        Counters and gauges contribute their current value; histograms
+        their observation count.  Keys that do not exist yet are simply
+        skipped until the instrument appears — a daemon can list
+        engine metrics before the first job runs.
+    interval_s / capacity:
+        Sampling period and per-series ring size.
+    log_path:
+        Optional JSONL sink: one ``{"schema", "ts", "values"}`` line per
+        sample, append-mode, consumable by ``repro top --file``.
+    clock:
+        Timestamp source (``time.time`` by default; injectable in tests).
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        instruments: list[str] | tuple[str, ...] = (),
+        *,
+        interval_s: float = 1.0,
+        capacity: int = DEFAULT_CAPACITY,
+        log_path: str | None = None,
+        proc_stats: bool = True,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.registry = registry
+        self.interval_s = float(interval_s)
+        self.capacity = int(capacity)
+        self.log_path = log_path
+        self.clock = clock
+        self.samples_taken = 0
+        self._instruments = list(instruments)
+        self._sources: dict[str, Callable[[], float | None]] = {}
+        self._rings: dict[str, SeriesRing] = {}
+        if proc_stats:
+            self.add_source("proc.rss_bytes", _read_proc_rss_bytes)
+            self.add_source("proc.cpu_seconds", _read_proc_cpu_seconds)
+
+    # -- configuration -----------------------------------------------------
+
+    def add_instrument(self, key: str) -> None:
+        """Sample a registry instrument by canonical key."""
+        if key not in self._instruments:
+            self._instruments.append(key)
+
+    def add_source(self, name: str, fn: Callable[[], float | None]) -> None:
+        """Sample an arbitrary callable (return None to skip a tick)."""
+        self._sources[name] = fn
+
+    def _ring(self, name: str) -> SeriesRing:
+        ring = self._rings.get(name)
+        if ring is None:
+            ring = self._rings[name] = SeriesRing(name, self.capacity)
+        return ring
+
+    # -- sampling ----------------------------------------------------------
+
+    def _instrument_value(self, key: str) -> float | None:
+        metric = self.registry.lookup(key)
+        if metric is None:
+            return None
+        if metric.kind == "histogram":
+            return float(metric.count)
+        return float(metric.value)
+
+    def sample_once(self, ts: float | None = None) -> dict[str, float]:
+        """Take one sample of every source; returns the values recorded."""
+        if ts is None:
+            ts = self.clock()
+        values: dict[str, float] = {}
+        for key in self._instruments:
+            value = self._instrument_value(key)
+            if value is not None:
+                values[key] = value
+        for name, fn in self._sources.items():
+            value = fn()
+            if value is not None:
+                values[name] = float(value)
+        for name, value in values.items():
+            self._ring(name).append(ts, value)
+        self.samples_taken += 1
+        if self.log_path is not None:
+            line = json.dumps(
+                {"schema": SAMPLE_SCHEMA, "ts": ts, "values": values}
+            )
+            with open(self.log_path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+        return values
+
+    async def run(self) -> None:
+        """Sample forever at ``interval_s`` (first sample immediately).
+
+        Designed to run as an asyncio task owned by the service; cancel
+        the task to stop.  Sampling up front means history is non-empty
+        the moment the daemon has booted.
+        """
+        while True:
+            self.sample_once()
+            await asyncio.sleep(self.interval_s)
+
+    # -- export ------------------------------------------------------------
+
+    def history(self) -> dict:
+        """All retained series as a JSON-ready document."""
+        return {
+            "schema": SAMPLE_SCHEMA,
+            "interval_s": self.interval_s,
+            "capacity": self.capacity,
+            "samples_taken": self.samples_taken,
+            "series": {
+                name: [[ts, value] for ts, value in ring.points()]
+                for name, ring in sorted(self._rings.items())
+            },
+        }
+
+
+def read_sample_log(path: str, limit: int | None = None) -> list[dict]:
+    """Load sample lines from a JSONL log (most recent ``limit``).
+
+    Tolerates a truncated trailing line (a live writer mid-append) by
+    dropping it, mirroring :func:`repro.obs.trace.read_trace`.
+    """
+    samples: list[dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = [line for line in handle.read().splitlines() if line.strip()]
+    for position, line in enumerate(lines):
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError:
+            if position == len(lines) - 1:
+                break
+            raise
+        if isinstance(doc, dict) and "values" in doc:
+            samples.append(doc)
+    if limit is not None:
+        samples = samples[-limit:]
+    return samples

@@ -1,0 +1,98 @@
+"""Cross-process telemetry capture: snapshot in a worker, merge in the driver.
+
+The experiment engine runs trials inside :mod:`multiprocessing` workers,
+where the driver's :class:`~repro.obs.telemetry.Telemetry` is out of
+reach — anything a simulator records there dies with the worker.  This
+module is the bridge:
+
+* each worker installs a **fresh** ambient telemetry around its trial
+  chunk (so inherited parent state is never double-counted), runs the
+  trials, and ships a :class:`TelemetrySnapshot` — a plain-data, fully
+  picklable dump of its metrics registry, trace events and manifests —
+  back through the existing chunk-result plumbing;
+* the driver folds each snapshot into its own telemetry with
+  :func:`merge_snapshot`: counters sum, histogram buckets add, gauges
+  take the last write (labels preserved throughout), trace events
+  concatenate onto per-worker process tracks, manifests append.
+
+Because counter addition and bucket merging are associative and
+commutative, the merged totals are **independent of worker count,
+chunking and completion order**: an N-worker run reports exactly the
+in-simulator metrics of the single-worker run (the property
+``tests/test_obs_pipeline.py`` pins down).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from .manifest import RunManifest
+from .telemetry import Telemetry
+from .trace import Tracer
+
+
+@dataclass
+class TelemetrySnapshot:
+    """Plain-data dump of one process's telemetry — picklable by design.
+
+    ``metrics`` holds full-fidelity instrument dumps (see
+    :meth:`~repro.obs.metrics.MetricsRegistry.dump`), ``events`` the raw
+    trace-event dicts and ``manifests`` run manifests as dicts.  Nothing
+    here references live registry or tracer objects, so a snapshot
+    crosses a process boundary as a few plain lists.
+    """
+
+    pid: int = field(default_factory=os.getpid)
+    metrics: list[dict] = field(default_factory=list)
+    events: list[dict] = field(default_factory=list)
+    manifests: list[dict] = field(default_factory=list)
+
+    @property
+    def empty(self) -> bool:
+        """Whether the snapshot recorded nothing at all."""
+        return not (self.metrics or self.events or self.manifests)
+
+
+def worker_telemetry() -> Telemetry:
+    """A fresh, enabled telemetry for one worker chunk.
+
+    The tracer is created without the automatic ``process_name``
+    metadata event: capture ships only events the trials themselves
+    emitted, so merged event counts do not depend on how many chunks or
+    workers the run happened to use.
+    """
+    return Telemetry(tracer=Tracer(process_name=""))
+
+
+def capture_snapshot(telemetry: Telemetry) -> TelemetrySnapshot:
+    """Dump ``telemetry``'s current state into a picklable snapshot."""
+    return TelemetrySnapshot(
+        pid=os.getpid(),
+        metrics=telemetry.metrics.dump(),
+        events=list(telemetry.tracer.events),
+        manifests=[m.to_dict() for m in telemetry.manifests],
+    )
+
+
+def merge_snapshot(
+    telemetry: Telemetry,
+    snapshot: TelemetrySnapshot,
+    process_name: str | None = None,
+) -> None:
+    """Fold a worker's snapshot into the driver's telemetry.
+
+    No-op on a disabled telemetry.  Counters sum, histogram buckets
+    merge, gauges last-write (labels preserved — the key carries them);
+    trace events append with the worker's pid labelled as its own
+    process track; manifests re-hydrate and append.
+    """
+    if not telemetry.enabled:
+        return
+    telemetry.metrics.merge(snapshot.metrics)
+    if snapshot.events:
+        telemetry.tracer.absorb(
+            snapshot.events, pid=snapshot.pid, process_name=process_name
+        )
+    for doc in snapshot.manifests:
+        telemetry.manifests.append(RunManifest.from_dict(doc))

@@ -11,7 +11,7 @@ import json
 
 from ..errors import ObsError
 from .schema import validate_file
-from .trace import read_trace
+from .trace import read_trace_with_warnings
 
 
 def _table(rows: list[tuple], header: tuple) -> str:
@@ -145,7 +145,14 @@ def summarize_file(path: str) -> tuple[str, str]:
             f"{path}: invalid {kind} file: " + "; ".join(problems[:5])
         )
     if kind == "trace":
-        return kind, f"{path} (trace)\n" + summarize_trace_events(read_trace(path))
+        events, warnings = read_trace_with_warnings(path)
+        text = f"{path} (trace)\n" + summarize_trace_events(events)
+        if warnings:
+            text += (
+                f"\nWARNING: {len(warnings)} truncated trailing line(s) "
+                "dropped (crashed/killed writer?)"
+            )
+        return kind, text
     with open(path, "r", encoding="utf-8") as handle:
         doc = json.load(handle)
     if kind == "metrics":

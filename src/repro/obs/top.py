@@ -1,0 +1,312 @@
+"""``repro top``: a live cockpit for the experiment service.
+
+A stdlib-curses dashboard that polls a running ``repro serve`` daemon
+(health + metrics + sampled history over HTTP) — or, with ``--file``,
+tails the sampler's JSONL log offline — and renders queue, worker,
+cache and latency panels with unicode sparklines.
+
+The rendering is deliberately split from the terminal handling:
+:func:`render_frame` is a pure function from a :class:`Frame` to text,
+so tests (and ``--once``, the CI/non-tty mode) exercise the exact
+pixels the curses loop draws.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..errors import ObsError
+from .sampler import read_sample_log
+
+#: Eight-level unicode bars, lowest to highest.
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: list[float], width: int = 40) -> str:
+    """Render the last ``width`` values as a unicode sparkline."""
+    if not values:
+        return ""
+    tail = [float(v) for v in values[-width:]]
+    lo, hi = min(tail), max(tail)
+    if hi <= lo:
+        return SPARK_CHARS[0] * len(tail)
+    span = hi - lo
+    out = []
+    for value in tail:
+        idx = int((value - lo) / span * (len(SPARK_CHARS) - 1))
+        out.append(SPARK_CHARS[idx])
+    return "".join(out)
+
+
+@dataclass
+class Frame:
+    """One polled snapshot of everything the cockpit renders."""
+
+    source: str                                   # where this came from
+    ts: float = field(default_factory=time.time)
+    health: dict = field(default_factory=dict)    # /v1/health result
+    counters: dict = field(default_factory=dict)  # canonical key -> value
+    gauges: dict = field(default_factory=dict)
+    histograms: dict = field(default_factory=dict)  # key -> snapshot dict
+    series: dict = field(default_factory=dict)    # name -> list of values
+    error: str | None = None
+
+
+def _series_rate(values: list[float], interval_s: float) -> float:
+    """Per-second rate from the last two points of a cumulative series."""
+    if len(values) < 2 or interval_s <= 0:
+        return 0.0
+    return max(0.0, (values[-1] - values[-2]) / interval_s)
+
+
+def _fmt_bytes(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024 or unit == "GiB":
+            return f"{n:.1f}{unit}" if unit != "B" else f"{int(n)}B"
+        n /= 1024
+    return f"{n:.1f}GiB"  # pragma: no cover - loop always returns
+
+
+def render_frame(frame: Frame, width: int = 80, interval_s: float = 1.0) -> str:
+    """Render one frame as fixed-width text panels."""
+    spark_w = max(10, width - 40)
+    lines: list[str] = []
+
+    health = frame.health
+    status = health.get("status", "?")
+    uptime = health.get("uptime_s")
+    uptime_text = f"up {uptime:,.0f}s" if uptime is not None else "up ?"
+    header = (
+        f"repro top — {frame.source} — {status} — {uptime_text} — "
+        f"{time.strftime('%H:%M:%S', time.localtime(frame.ts))}"
+    )
+    lines.append(header[:width])
+    lines.append("─" * min(width, len(header)))
+    if frame.error:
+        lines.append(f"!! {frame.error}"[:width])
+        return "\n".join(lines)
+
+    def _panel(title: str) -> None:
+        lines.append("")
+        lines.append(f"[{title}]")
+
+    def _row(label: str, value: str, series_name: str | None = None) -> None:
+        spark = ""
+        if series_name is not None:
+            spark = sparkline(frame.series.get(series_name, []), spark_w)
+        lines.append(f"  {label:<22}{value:>12}  {spark}"[:width])
+
+    depth = frame.gauges.get("serve.queue_depth", health.get("queue_depth", 0))
+    running = frame.gauges.get("serve.jobs_running", health.get("running", 0))
+    _panel("queue")
+    _row("queue depth", f"{depth:g}", "serve.queue_depth")
+    _row("jobs running", f"{running:g}", "serve.jobs_running")
+    _row(
+        "workers",
+        f"{health.get('workers', '?')} serve / "
+        f"{health.get('engine_workers', '?')} engine",
+    )
+
+    executed = frame.counters.get("serve.jobs_executed", 0)
+    failed = frame.counters.get("serve.jobs_failed", 0)
+    requests = frame.counters.get("serve.requests", 0)
+    _panel("throughput")
+    _row("requests", f"{requests:g}", "serve.requests")
+    _row(
+        "jobs executed",
+        f"{executed:g} "
+        f"({_series_rate(frame.series.get('serve.jobs_executed', []), interval_s):.2f}/s)",
+        "serve.jobs_executed",
+    )
+    if failed:
+        _row("jobs failed", f"{failed:g}")
+    trials = frame.counters.get("engine.trials", 0)
+    _row(
+        "engine trials",
+        f"{trials:g} "
+        f"({_series_rate(frame.series.get('engine.trials', []), interval_s):.1f}/s)",
+        "engine.trials",
+    )
+
+    coalesced = frame.counters.get("serve.coalesced_inflight", 0)
+    result_hits = frame.counters.get("serve.result_hits", 0)
+    cache_hits = sum(
+        v for k, v in frame.counters.items() if k.startswith("engine.cache_hits")
+    )
+    cache_misses = sum(
+        v for k, v in frame.counters.items()
+        if k.startswith("engine.cache_misses")
+    )
+    _panel("cache & coalescing")
+    _row("coalesced in-flight", f"{coalesced:g}", "serve.coalesced_inflight")
+    _row("result reuse", f"{result_hits:g}", "serve.result_hits")
+    total = cache_hits + cache_misses
+    ratio = f" ({cache_hits / total * 100:.0f}%)" if total else ""
+    _row("engine cache hits", f"{cache_hits:g}{ratio}")
+
+    latency = frame.histograms.get("engine.trial_seconds")
+    if latency and latency.get("count"):
+        _panel("latency (engine.trial_seconds)")
+        _row("count", f"{latency['count']:g}")
+        _row("p50", f"{latency.get('p50', 0) * 1e3:.2f}ms")
+        _row("p99", f"{latency.get('p99', 0) * 1e3:.2f}ms")
+        _row("max", f"{latency.get('max', 0) * 1e3:.2f}ms")
+
+    rss = frame.series.get("proc.rss_bytes", [])
+    cpu = frame.series.get("proc.cpu_seconds", [])
+    if rss or cpu:
+        _panel("process")
+        if rss:
+            _row("rss", _fmt_bytes(rss[-1]), "proc.rss_bytes")
+        if cpu:
+            _row(
+                "cpu",
+                f"{cpu[-1]:.1f}s "
+                f"({_series_rate(cpu, interval_s) * 100:.0f}%)",
+                "proc.cpu_seconds",
+            )
+
+    return "\n".join(lines)
+
+
+class DaemonSource:
+    """Poll a live ``repro serve`` daemon over HTTP."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8787) -> None:
+        # Imported here so obs.top does not pull the serve stack in for
+        # file-based use.
+        from ..serve.client import ServeClient
+
+        self.client = ServeClient(host=host, port=port, timeout=5.0)
+        self.name = f"{host}:{port}"
+        self.interval_s = 1.0
+
+    def fetch(self) -> Frame:
+        from ..errors import ServeError
+
+        try:
+            health = self.client.health()
+            metrics = self.client.metrics()
+            history = self.client.history()
+        except ServeError as exc:
+            return Frame(source=self.name, error=str(exc))
+        doc = metrics.get("metrics", {})
+        self.interval_s = float(history.get("interval_s") or 1.0)
+        series = {
+            name: [value for _, value in points]
+            for name, points in history.get("series", {}).items()
+        }
+        return Frame(
+            source=self.name,
+            health=health,
+            counters=doc.get("counters", {}),
+            gauges=doc.get("gauges", {}),
+            histograms=doc.get("histograms", {}),
+            series=series,
+        )
+
+
+class FileSource:
+    """Tail a sampler JSONL log written with ``repro serve --metrics-log``."""
+
+    def __init__(self, path: str, limit: int = 600) -> None:
+        self.path = path
+        self.name = path
+        self.limit = limit
+        self.interval_s = 1.0
+
+    def fetch(self) -> Frame:
+        try:
+            samples = read_sample_log(self.path, limit=self.limit)
+        except OSError as exc:
+            return Frame(source=self.name, error=str(exc))
+        if not samples:
+            return Frame(source=self.name, error="no samples yet")
+        series: dict[str, list[float]] = {}
+        for sample in samples:
+            for name, value in sample.get("values", {}).items():
+                series.setdefault(name, []).append(float(value))
+        if len(samples) >= 2:
+            self.interval_s = max(
+                1e-9, (samples[-1]["ts"] - samples[0]["ts"]) / (len(samples) - 1)
+            )
+        last = samples[-1]["values"]
+        counters = {
+            k: v
+            for k, v in last.items()
+            if not k.startswith("proc.") and not k.endswith(
+                ("queue_depth", "jobs_running")
+            )
+        }
+        gauges = {
+            k: v
+            for k, v in last.items()
+            if k.endswith(("queue_depth", "jobs_running"))
+        }
+        return Frame(
+            source=self.name,
+            ts=samples[-1]["ts"],
+            health={"status": "log"},
+            counters=counters,
+            gauges=gauges,
+            series=series,
+        )
+
+
+def run_top(
+    source,
+    *,
+    interval_s: float = 1.0,
+    frames: int | None = None,
+    once: bool = False,
+    out=print,
+) -> int:
+    """Drive the cockpit.
+
+    ``once`` renders a single plain-text frame to ``out`` (no curses —
+    the mode tests, CI and non-tty shells use).  Otherwise a curses loop
+    redraws every ``interval_s`` seconds until ``q`` or Ctrl-C;
+    ``frames`` bounds the number of redraws (None = forever).
+    """
+    if once:
+        out(render_frame(source.fetch(), interval_s=source.interval_s))
+        return 0
+
+    try:
+        import curses
+    except ImportError as exc:  # pragma: no cover - stdlib curses everywhere
+        raise ObsError(
+            "curses is unavailable; use --once for plain-text output"
+        ) from exc
+
+    def _loop(screen) -> None:
+        curses.curs_set(0)
+        screen.timeout(int(interval_s * 1000))
+        drawn = 0
+        while frames is None or drawn < frames:
+            height, width = screen.getmaxyx()
+            text = render_frame(
+                source.fetch(), width=width - 1, interval_s=source.interval_s
+            )
+            screen.erase()
+            for y, line in enumerate(text.splitlines()):
+                if y >= height:
+                    break
+                try:
+                    screen.addstr(y, 0, line)
+                except curses.error:  # lower-right corner writes
+                    pass
+            screen.refresh()
+            drawn += 1
+            if frames is not None and drawn >= frames:
+                break
+            key = screen.getch()
+            if key in (ord("q"), ord("Q")):
+                break
+
+    try:
+        curses.wrapper(_loop)
+    except KeyboardInterrupt:
+        pass
+    return 0

@@ -52,6 +52,7 @@ class Tracer:
         self.events: list[dict] = []
         self.pid = os.getpid()
         self._named_tids: set[int] = set()
+        self._named_pids: set[int] = set()
         if process_name:
             self.events.append(
                 {
@@ -93,6 +94,39 @@ class Tracer:
                 "args": {"name": name},
             }
         )
+
+    def name_process(self, pid: int, name: str) -> None:
+        """Label a pid's process track in the viewer; idempotent per pid."""
+        if pid in self._named_pids:
+            return
+        self._named_pids.add(pid)
+        self._emit(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "ts": 0,
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": name},
+            }
+        )
+
+    def absorb(
+        self, events: list[dict], pid: int | None = None,
+        process_name: str | None = None,
+    ) -> None:
+        """Append events captured by another tracer (a worker process).
+
+        Events keep their own ``pid``/``tid``, so each worker shows up
+        as its own process track in a trace viewer.  When ``pid`` names
+        a *different* process than this tracer's, ``process_name`` (or a
+        default ``worker-<pid>``) labels that track — once per pid, so
+        re-merging chunks from the same worker stays idempotent.
+        """
+        if pid is not None and pid != self.pid:
+            self.name_process(pid, process_name or f"worker-{pid}")
+        for event in events:
+            self._emit(event)
 
     def begin(
         self, name: str, cat: str = "repro", ts: float | None = None,
@@ -198,6 +232,7 @@ class NullTracer(Tracer):
         self.events = []
         self.pid = os.getpid()
         self._named_tids = set()
+        self._named_pids = set()
 
     @property
     def enabled(self) -> bool:
@@ -207,6 +242,9 @@ class NullTracer(Tracer):
         pass
 
     def name_track(self, tid: int, name: str) -> None:
+        pass
+
+    def name_process(self, pid: int, name: str) -> None:
         pass
 
     @contextmanager
@@ -222,7 +260,21 @@ def read_trace(path: str) -> list[dict]:
 
     Accepts the chrome JSON object (``traceEvents`` key), a bare JSON
     array of events, or JSONL.  Raises :class:`ObsError` on anything
-    else.
+    else.  A *trailing* truncated JSONL line — the signature of a run
+    killed mid-write — is tolerated and dropped; use
+    :func:`read_trace_with_warnings` to see what was skipped.
+    """
+    events, _ = read_trace_with_warnings(path)
+    return events
+
+
+def read_trace_with_warnings(path: str) -> tuple[list[dict], list[str]]:
+    """Like :func:`read_trace`, also reporting recoverable problems.
+
+    Returns ``(events, warnings)``.  The only recoverable problem is a
+    truncated *final* JSONL line (a crashed or SIGKILLed writer never
+    finished it); a malformed line anywhere else still raises, because
+    that indicates corruption rather than an interrupted append.
     """
     with open(path, "r", encoding="utf-8") as handle:
         text = handle.read()
@@ -239,18 +291,27 @@ def read_trace(path: str) -> list[dict]:
             events = doc.get("traceEvents")
             if not isinstance(events, list):
                 raise ObsError(f"{path}: chrome trace missing 'traceEvents'")
-            return events
+            return events, []
     elif stripped[0] == "[":
         doc = json.loads(text)
         if not isinstance(doc, list):
             raise ObsError(f"{path}: expected a JSON array of events")
-        return doc
+        return doc, []
     events = []
-    for lineno, line in enumerate(text.splitlines(), start=1):
-        if not line.strip():
-            continue
+    warnings: list[str] = []
+    lines = [
+        (lineno, line)
+        for lineno, line in enumerate(text.splitlines(), start=1)
+        if line.strip()
+    ]
+    for position, (lineno, line) in enumerate(lines):
         try:
             events.append(json.loads(line))
         except json.JSONDecodeError as exc:
+            if position == len(lines) - 1 and events:
+                warnings.append(
+                    f"{path}:{lineno}: truncated trailing event dropped"
+                )
+                break
             raise ObsError(f"{path}:{lineno}: bad JSONL event: {exc}") from exc
-    return events
+    return events, warnings

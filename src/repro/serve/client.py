@@ -188,6 +188,32 @@ class ServeClient:
         """The daemon's metrics + coalescing-counter document."""
         return self._request("GET", "/v1/metrics")["result"]
 
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition of the daemon's metrics."""
+        conn = self._connect()
+        try:
+            headers = {**self._headers(), "Accept": "text/plain"}
+            try:
+                conn.request("GET", "/v1/metrics", headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+            except (ConnectionError, OSError) as exc:
+                raise ServeError(
+                    f"cannot reach serve daemon at {self.host}:{self.port}: {exc}",
+                    status=503,
+                ) from exc
+            if response.status != 200:
+                raise ServeError(
+                    f"HTTP {response.status}", status=response.status
+                )
+            return raw.decode("utf-8")
+        finally:
+            conn.close()
+
+    def history(self) -> dict:
+        """The daemon's sampled time-series document."""
+        return self._request("GET", "/v1/metrics/history")["result"]["history"]
+
     def drain(self, timeout: float | None = None) -> dict:
         """Ask the daemon to stop admission and wait for in-flight jobs."""
         body = {"timeout": timeout} if timeout is not None else {}

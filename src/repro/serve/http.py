@@ -17,7 +17,10 @@ POST      /v1/runs                 submit a job (202 queued, 200 reused)
 GET       /v1/runs/{id}            job status / result
 GET       /v1/runs/{id}/events     JSONL progress stream (tails the job)
 GET       /v1/health               liveness + queue/worker occupancy
-GET       /v1/metrics              the telemetry metrics document
+GET       /v1/metrics              metrics document (JSON envelope), or
+                                   Prometheus text exposition when the
+                                   request sends ``Accept: text/plain``
+GET       /v1/metrics/history      sampled time series (ring buffers)
 POST      /v1/drain                stop admission, wait for in-flight
 ========  =======================  =======================================
 
@@ -36,6 +39,7 @@ import signal
 from typing import Any
 
 from ..errors import ServeError
+from ..obs.prom import PROM_CONTENT_TYPE, render_prometheus
 from ..obs.schema import make_envelope
 from .schemas import parse_submit_body
 from .service import ExperimentService
@@ -65,6 +69,18 @@ def _envelope_bytes(
     head = (
         f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
         "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    ).encode("ascii")
+    return head + body
+
+
+def _text_bytes(status: int, text: str, content_type: str) -> bytes:
+    body = text.encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+        f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
         "Connection: close\r\n"
         "\r\n"
@@ -239,6 +255,17 @@ class ServeHttpServer:
             )
             return
         if method == "GET" and path == "/v1/metrics":
+            accept = request.headers.get("accept", "")
+            if "text/plain" in accept and "application/json" not in accept:
+                # Prometheus scrape: content-negotiated text exposition.
+                writer.write(
+                    _text_bytes(
+                        200,
+                        render_prometheus(service.telemetry.metrics_document()),
+                        PROM_CONTENT_TYPE,
+                    )
+                )
+                return
             writer.write(
                 _envelope_bytes(
                     200,
@@ -248,6 +275,15 @@ class ServeHttpServer:
                         "coalescing": service.coalescing_stats(),
                     },
                     command="serve.metrics",
+                )
+            )
+            return
+        if method == "GET" and path == "/v1/metrics/history":
+            writer.write(
+                _envelope_bytes(
+                    200,
+                    {"ok": True, "history": service.metrics_history()},
+                    command="serve.metrics.history",
                 )
             )
             return

@@ -39,6 +39,7 @@ from ..engine.cache import ResultCache
 from ..engine.core import ExperimentEngine
 from ..engine.jobs import JobSpec, job_key, run_job
 from ..errors import ServeError
+from ..obs.sampler import DEFAULT_CAPACITY, SAMPLE_SCHEMA, MetricsSampler
 from ..obs.telemetry import Telemetry
 from .ratelimit import TokenBucket
 
@@ -50,6 +51,20 @@ KEEP_MANIFESTS = 50
 
 #: Event-stream poll period (seconds) while tailing a live job.
 EVENT_POLL_S = 0.02
+
+#: Instruments the service sampler tracks by default — the signals the
+#: ``repro top`` cockpit renders (see :mod:`repro.obs.sampler`).
+SAMPLED_INSTRUMENTS: tuple[str, ...] = (
+    "serve.queue_depth",
+    "serve.jobs_running",
+    "serve.requests",
+    "serve.jobs_executed",
+    "serve.jobs_failed",
+    "serve.coalesced_inflight",
+    "serve.result_hits",
+    "engine.trials",
+    "engine.runs",
+)
 
 
 @dataclass
@@ -123,6 +138,9 @@ class ExperimentService:
         burst: float = 1.0,
         keep_jobs: int = DEFAULT_KEEP_JOBS,
         telemetry: Telemetry | None = None,
+        sample_interval_s: float = 1.0,
+        sample_capacity: int = DEFAULT_CAPACITY,
+        metrics_log: str | None = None,
     ) -> None:
         if serve_workers < 1:
             raise ServeError("the service needs at least one worker")
@@ -163,6 +181,17 @@ class ExperimentService:
         self._g_depth = metrics.gauge("serve.queue_depth")
         self._g_running = metrics.gauge("serve.jobs_running")
 
+        self.sampler: MetricsSampler | None = None
+        self._sampler_task: asyncio.Task | None = None
+        if sample_interval_s > 0:
+            self.sampler = MetricsSampler(
+                metrics,
+                SAMPLED_INSTRUMENTS,
+                interval_s=sample_interval_s,
+                capacity=sample_capacity,
+                log_path=metrics_log,
+            )
+
     # -- lifecycle ---------------------------------------------------------
 
     async def start(self) -> None:
@@ -173,6 +202,10 @@ class ExperimentService:
             asyncio.create_task(self._worker(), name=f"serve-worker-{i}")
             for i in range(self.serve_workers)
         ]
+        if self.sampler is not None and self._sampler_task is None:
+            self._sampler_task = asyncio.create_task(
+                self.sampler.run(), name="serve-sampler"
+            )
 
     async def drain(self, timeout: float | None = None) -> bool:
         """Stop admission and wait for in-flight jobs.
@@ -189,15 +222,19 @@ class ExperimentService:
             return False
 
     async def close(self) -> None:
-        """Cancel workers and release the thread pool."""
-        for task in self._workers:
+        """Cancel workers and the sampler; release the thread pool."""
+        tasks = list(self._workers)
+        if self._sampler_task is not None:
+            tasks.append(self._sampler_task)
+        for task in tasks:
             task.cancel()
-        for task in self._workers:
+        for task in tasks:
             try:
                 await task
             except asyncio.CancelledError:
                 pass
         self._workers = []
+        self._sampler_task = None
         self._pool.shutdown(wait=False, cancel_futures=True)
 
     # -- admission ---------------------------------------------------------
@@ -360,6 +397,13 @@ class ExperimentService:
             "cache": self.engine.cache is not None,
             "rate_limited": self.limiter.enabled,
         }
+
+    def metrics_history(self) -> dict:
+        """The ``GET /v1/metrics/history`` body (sampled time series)."""
+        if self.sampler is None:
+            return {"schema": SAMPLE_SCHEMA, "series": {},
+                    "samples_taken": 0, "interval_s": 0.0, "capacity": 0}
+        return self.sampler.history()
 
     def coalescing_stats(self) -> dict:
         """Executed/coalesced/reused counters (for benches and tests)."""

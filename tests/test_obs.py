@@ -234,8 +234,8 @@ class TestManifest:
         assert manifests[0].identity() == manifests[1].identity()
         assert manifests[1].cache_hits == 1
         doc = telemetry.metrics_document()
-        assert doc["counters"]["engine.cache_hits"] == 1
-        assert doc["counters"]["engine.cache_misses"] == 1
+        assert doc["counters"]["engine.cache_hits{experiment=obs-test}"] == 1
+        assert doc["counters"]["engine.cache_misses{experiment=obs-test}"] == 1
         assert validate_metrics_document(doc) == []
 
     def test_manifest_sidecars_written(self, tmp_path):

@@ -456,3 +456,92 @@ class TestAtomicCache:
         cache.clear()
         assert not orphan.exists()
         assert not cache.get(key)[0]
+
+
+class TestObservabilityEndpoints:
+    """Prometheus exposition, content negotiation and sampled history."""
+
+    @pytest.fixture()
+    def obs_harness(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "serve-cache"))
+        h = ServerHarness(
+            serve_workers=2, queue_size=16, cache=True,
+            sample_interval_s=0.02,
+            metrics_log=str(tmp_path / "samples.jsonl"),
+        ).start()
+        yield h
+        h.stop()
+
+    def test_prometheus_scrape_after_job(self, obs_harness):
+        client = obs_harness.client()
+        client.run("fig6", config=CFG, trials=2, seed=0)
+        text = client.metrics_text()
+        assert "# TYPE serve_requests_total counter" in text
+        assert "serve_requests_total 1" in text
+        assert "serve_jobs_executed_total 1" in text
+        assert "# TYPE serve_queue_depth gauge" in text
+        # Labeled engine cache counters survive with their labels.
+        assert (
+            'engine_cache_misses_total{experiment="noc.fig6_disconnection"}'
+            in text
+        )
+        # Every line is either a comment or `name[{labels}] value`.
+        for line in text.strip().splitlines():
+            assert line.startswith("# ") or len(line.rsplit(" ", 1)) == 2
+
+    def test_metrics_json_stays_default(self, obs_harness):
+        client = obs_harness.client()
+        doc = client.metrics()
+        assert "metrics" in doc and "coalescing" in doc
+
+    def test_prom_content_type_header(self, obs_harness):
+        conn = http.client.HTTPConnection("127.0.0.1", obs_harness.port)
+        try:
+            conn.request("GET", "/v1/metrics", headers={"Accept": "text/plain"})
+            response = conn.getresponse()
+            assert response.status == 200
+            ctype = response.getheader("Content-Type")
+            assert ctype == "text/plain; version=0.0.4; charset=utf-8"
+            response.read()
+        finally:
+            conn.close()
+
+    def test_history_returns_sampled_series(self, obs_harness):
+        import time
+
+        client = obs_harness.client()
+        client.run("fig6", config=CFG, trials=2, seed=1)
+        time.sleep(0.1)  # a few sampler ticks
+        history = client.history()
+        assert history["samples_taken"] >= 2
+        series = history["series"]
+        assert "serve.queue_depth" in series
+        assert "serve.requests" in series
+        points = series["serve.requests"]
+        assert points and all(len(p) == 2 for p in points)
+        # Timestamps are monotonically non-decreasing within a ring.
+        ts = [p[0] for p in points]
+        assert ts == sorted(ts)
+
+    def test_sampler_disabled_history_is_empty(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+        h = ServerHarness(
+            serve_workers=1, cache=None, sample_interval_s=0.0
+        ).start()
+        try:
+            history = h.client().history()
+            assert history["series"] == {}
+            assert history["samples_taken"] == 0
+        finally:
+            h.stop()
+
+    def test_metrics_log_written_for_top(self, obs_harness, tmp_path):
+        import time
+
+        from repro.obs.top import FileSource, render_frame
+
+        time.sleep(0.08)
+        frame = FileSource(str(tmp_path / "samples.jsonl")).fetch()
+        assert frame.error is None
+        assert "serve.queue_depth" in frame.series
+        assert "[queue]" in render_frame(frame)
