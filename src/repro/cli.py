@@ -412,6 +412,10 @@ def run_noc(
     faults: int = 0,
     engine: str = "reference",
     check: bool = False,
+    checkpoint: str | None = None,
+    checkpoint_every: int = 0,
+    resume: str | None = None,
+    halt_at: int | None = None,
 ) -> dict:
     """Cycle-level NoC simulation under a synthetic traffic pattern.
 
@@ -425,28 +429,100 @@ def run_noc(
     ``check=True`` (the ``--check`` flag) attaches the cheap always-on
     invariant checkers (flit conservation + delivery legality) to the
     live run; any violation aborts the command with a structured error.
+
+    Checkpointing: ``--checkpoint PATH --checkpoint-every K`` rewrites a
+    resumable snapshot every K cycles (and once at the end of the run);
+    ``--halt-at N`` stops stepping at cycle N without draining and
+    writes a final snapshot — the pair exists so a later process can
+    ``--resume PATH`` and finish the run.  The manifest round-trips the
+    traffic parameters, so a resume re-derives the identical injection
+    schedule and continues bit-identically to a run that never stopped
+    (resume validates those parameters against the command line and
+    refuses on mismatch).  Checkpoints are engine-portable: you may
+    halt on ``fast`` and resume on ``vector``.
     """
     from .noc.dualnetwork import NetworkId
     from .noc.faults import random_fault_map
     from .noc.simulator import NocSimulator
     from .workloads.traffic import TrafficPattern, generate_traffic
 
+    if checkpoint_every and not checkpoint:
+        raise SystemExit("--checkpoint-every requires --checkpoint PATH")
+    if halt_at is not None and not checkpoint:
+        raise SystemExit("--halt-at requires --checkpoint PATH")
+
     checkers = None
     if check:
         from .verify import default_noc_checkers
 
         checkers = default_noc_checkers()
-    fault_map = random_fault_map(config, faults, rng=seed) if faults else None
-    sim = NocSimulator(config, fault_map=fault_map, engine=engine, checkers=checkers)
+    extra = {
+        "pattern": pattern,
+        "rate": rate,
+        "seed": seed,
+        "faults": faults,
+        "rows": config.rows,
+        "cols": config.cols,
+        "warm_cycles": cycles,
+    }
+    resumed_at: int | None = None
+    if resume:
+        from .noc.checkpoint import read_checkpoint_manifest
+
+        saved = read_checkpoint_manifest(resume).get("extra") or {}
+        mismatched = {
+            key: {"checkpoint": saved[key], "requested": value}
+            for key, value in extra.items()
+            if key in saved and saved[key] != value
+        }
+        if mismatched:
+            raise SystemExit(
+                "cannot resume: checkpoint traffic parameters disagree "
+                f"with the command line: {mismatched}"
+            )
+        sim = NocSimulator.load_state(resume, engine=engine, checkers=checkers)
+        resumed_at = sim.cycle
+    else:
+        fault_map = random_fault_map(config, faults, rng=seed) if faults else None
+        sim = NocSimulator(
+            config, fault_map=fault_map, engine=engine, checkers=checkers
+        )
+
     traffic = generate_traffic(
         config, TrafficPattern(pattern), rate, cycles, seed=seed
     )
+    horizon = cycles if halt_at is None else min(cycles, max(0, halt_at))
+    checkpoints_written = 0
+
+    def step_once() -> None:
+        nonlocal checkpoints_written
+        sim.step()
+        if (
+            checkpoint
+            and checkpoint_every
+            and sim.cycle % checkpoint_every == 0
+            and sim.cycle < horizon
+        ):
+            sim.save_state(checkpoint, extra=extra)
+            checkpoints_written += 1
+
     for cycle, packet in traffic:
+        if cycle < sim.cycle:
+            continue   # injected before the checkpoint was written
+        if cycle >= horizon:
+            break
         while sim.cycle < cycle:
-            sim.step()
+            step_once()
         sim.inject(packet, network=NetworkId.XY)
-    sim.run(max(0, cycles - sim.cycle))
-    sim.drain()
+    while sim.cycle < horizon:
+        step_once()
+
+    halted = halt_at is not None and sim.cycle < cycles
+    if not halted:
+        sim.drain()
+    if checkpoint:
+        sim.save_state(checkpoint, extra=extra)
+        checkpoints_written += 1
     report = sim.report()
     return {
         "command": "noc",
@@ -457,6 +533,11 @@ def run_noc(
         "seed": seed,
         "faults": faults,
         "warm_cycles": cycles,
+        "checkpoint": checkpoint,
+        "checkpoints_written": checkpoints_written,
+        "resumed_from": resume,
+        "resumed_at_cycle": resumed_at,
+        "halted": halted,
         "cycles": report.cycles,
         "injected": report.injected,
         "delivered": report.delivered,
@@ -752,10 +833,22 @@ def render_noc(result: dict) -> str:
         f"{name} {count}"
         for name, count in sorted(result["per_network_delivered"].items())
     )
+    lifecycle = "halted at" if result.get("halted") else "drained at"
+    extra_lines = []
+    if result.get("resumed_from"):
+        extra_lines.append(
+            f"resumed from {result['resumed_from']} "
+            f"at cycle {result['resumed_at_cycle']}"
+        )
+    if result.get("checkpoint"):
+        extra_lines.append(
+            f"checkpoint: {result['checkpoint']} "
+            f"({result['checkpoints_written']} snapshot(s) written)"
+        )
     return "\n".join(
         [
             f"pattern {result['pattern']} @ {result['rate']:g} pkt/tile/cycle, "
-            f"{result['warm_cycles']} cycles (drained at {result['cycles']}, "
+            f"{result['warm_cycles']} cycles ({lifecycle} {result['cycles']}, "
             f"{result['engine']} engine)",
             f"injected {result['injected']}, delivered {result['delivered']} "
             f"({result['responses_delivered']} responses), "
@@ -766,6 +859,7 @@ def render_noc(result: dict) -> str:
             f"per-network delivered: {per_net}",
             f"link stalls: {result['link_stalls']}",
         ]
+        + extra_lines
     )
 
 
@@ -884,6 +978,8 @@ _RUNNERS: dict[str, Callable[[argparse.Namespace], dict]] = {
         _config(a), cycles=a.cycles, rate=a.rate,
         pattern=a.pattern, seed=a.seed, faults=a.faults,
         engine=a.engine, check=a.check,
+        checkpoint=a.checkpoint, checkpoint_every=a.checkpoint_every,
+        resume=a.resume, halt_at=a.halt_at,
     ),
     "obs": lambda a: run_obs(
         a.action, a.paths,
@@ -1070,7 +1166,8 @@ def build_parser() -> argparse.ArgumentParser:
         ("bringup", ("seed", "faults")),
         ("remap", ("seed", "faults")),
         ("lot", ("seed", "wafers")),
-        ("noc", ("seed", "faults", "cycles", "rate", "pattern", "sim_engine")),
+        ("noc", ("seed", "faults", "cycles", "rate", "pattern", "sim_engine",
+                 "noc_checkpoint")),
         ("validate", ()),
     ):
         p = sub.add_parser(name)
@@ -1137,6 +1234,39 @@ def build_parser() -> argparse.ArgumentParser:
                 action="store_true",
                 help="attach the always-on invariant checkers "
                 "(flit conservation + delivery legality) to the run",
+            )
+        if "noc_checkpoint" in extras:
+            p.add_argument(
+                "--checkpoint",
+                type=str,
+                default=None,
+                metavar="PATH",
+                help="write a resumable .npz snapshot of the run to PATH",
+            )
+            p.add_argument(
+                "--checkpoint-every",
+                dest="checkpoint_every",
+                type=int,
+                default=0,
+                metavar="K",
+                help="rewrite the --checkpoint snapshot every K cycles",
+            )
+            p.add_argument(
+                "--resume",
+                type=str,
+                default=None,
+                metavar="PATH",
+                help="resume from a --checkpoint snapshot and continue the "
+                "run bit-identically (traffic parameters must match)",
+            )
+            p.add_argument(
+                "--halt-at",
+                dest="halt_at",
+                type=int,
+                default=None,
+                metavar="N",
+                help="stop stepping at cycle N without draining and write "
+                "the final --checkpoint snapshot (for later --resume)",
             )
         if name in ENGINE_COMMANDS:
             p.add_argument(

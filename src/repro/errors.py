@@ -40,6 +40,10 @@ class RoutingError(NetworkError):
     """No legal route exists (DoR path blocked, substrate track overflow...)."""
 
 
+class CheckpointError(NetworkError):
+    """A simulator checkpoint is unreadable, corrupted or inconsistent."""
+
+
 class FaultMapError(ReproError):
     """A fault map is malformed or inconsistent with the tile grid."""
 

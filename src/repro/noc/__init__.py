@@ -1,6 +1,7 @@
 """Waferscale mesh network: routing, resiliency, simulation (Section VI)."""
 
 from .adaptive import AdaptiveNocSimulator, AdaptiveRouter
+from .checkpoint import load_noc_state, read_checkpoint_manifest, save_noc_state
 from .connectivity import (
     ConnectivityStats,
     disconnected_fraction,
@@ -28,6 +29,7 @@ from .remap import (
 from .routing import RoutingPolicy, build_port_lut, xy_path, yx_path
 from .simulator import ENGINES, NocSimulator, SimulationReport
 from .topology import MeshTopology
+from .vectorsim import BatchNocSimulator, VectorNocSimulator, simulate_batch
 
 __all__ = [
     "AdaptiveNocSimulator",
@@ -64,4 +66,10 @@ __all__ = [
     "NocSimulator",
     "SimulationReport",
     "MeshTopology",
+    "BatchNocSimulator",
+    "VectorNocSimulator",
+    "simulate_batch",
+    "load_noc_state",
+    "read_checkpoint_manifest",
+    "save_noc_state",
 ]

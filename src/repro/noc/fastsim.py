@@ -15,12 +15,14 @@ state, in the style of Booksim/garnet cycle models:
   ``int``, which beats both a dict lookup and scalar numpy indexing in
   the arbitration loop.  Arrays too large to tabulate (> ~64 MB per
   network) fall back to the scalar :func:`~repro.noc.routing.dor_port_code`.
-* **Active-set scheduling** — a per-network set of flat tile indices
-  with non-empty FIFOs, maintained incrementally on accept/grant.
-  Arbitration iterates ``sorted(active)`` — row-major order, exactly
-  the reference engine's router-dict order, which is what makes
-  delivery order (and therefore the report's latency list) identical.
-  An idle mesh costs nothing per cycle.
+* **Active-set scheduling** — a per-network *sorted list* of flat tile
+  indices with non-empty FIFOs, maintained incrementally (``bisect``
+  insert on first packet, binary-search removal on last) on
+  accept/grant.  Arbitration iterates the list in place — row-major
+  order, exactly the reference engine's router-dict order, which is
+  what makes delivery order (and therefore the report's latency list)
+  identical — without re-sorting the whole set every cycle.  An idle
+  mesh costs nothing per cycle.
 * **Struct-of-arrays state** — FIFO queues live in one flat list
   (``fifos[tile * 5 + port]``), and occupancy, round-robin pointers and
   forwarded counts are flat Python lists indexed by tile.  No per-router
@@ -37,8 +39,11 @@ this module only replaces how a cycle is computed.
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from collections import deque
 from typing import TYPE_CHECKING, Iterable, Iterator
+
+import numpy as np
 
 from ..config import Coord, SystemConfig
 from .dualnetwork import NetworkId
@@ -134,7 +139,9 @@ class FastNocSimulator(NocSimulator):
         self._occ = [[0] * n for _ in NET_ORDER]
         self._rr = [[[0] * 5 for _ in range(n)] for _ in NET_ORDER]
         self._fwd = [[0] * n for _ in NET_ORDER]
-        self._active: list[set[int]] = [set() for _ in NET_ORDER]
+        # Sorted lists of busy tiles (ascending flat index); kept ordered
+        # incrementally so arbitration never re-sorts per cycle.
+        self._active: list[list[int]] = [[] for _ in NET_ORDER]
 
     def router_occupancy(self, network: NetworkId, coord) -> int:
         """Packets buffered at one router (fast-engine state inspection)."""
@@ -170,7 +177,7 @@ class FastNocSimulator(NocSimulator):
                 fifo.append(packet)
                 occ = self._occ[net_i]
                 if occ[idx] == 0:
-                    self._active[net_i].add(idx)
+                    insort(self._active[net_i], idx)
                 occ[idx] += 1
                 self.injected_count += 1
                 self._in_flight += 1
@@ -210,7 +217,7 @@ class FastNocSimulator(NocSimulator):
             lut = self._lut[net_i]
             rr = self._rr[net_i]
             policy = NET_ORDER[net_i].policy
-            for idx in sorted(active):
+            for idx in active:     # already ascending: maintained sorted
                 base = idx * 5
                 lut_base = idx * n
                 rr_row = rr[idx]
@@ -252,7 +259,8 @@ class FastNocSimulator(NocSimulator):
             left = occ[idx] - 1
             occ[idx] = left
             if left == 0:
-                self._active[net_i].discard(idx)
+                act = self._active[net_i]
+                del act[bisect_left(act, idx)]
             self._rr[net_i][idx][out] = (in_p + 1) % 5
             self._fwd[net_i][idx] += 1
             if self._chk_grant is not None:
@@ -269,7 +277,7 @@ class FastNocSimulator(NocSimulator):
             if hop >= 0:
                 fifos[hop * 5 + (out ^ 1)].append(packet)
                 if occ[hop] == 0:
-                    self._active[net_i].add(hop)
+                    insort(self._active[net_i], hop)
                 occ[hop] += 1
             elif hop == -1:
                 self._deliver(packet, NET_ORDER[net_i])
@@ -308,22 +316,59 @@ class FastNocSimulator(NocSimulator):
                     yield net, coord, port, len(fifo) if fifo is not None else 0
 
     def _record_router_distributions(self) -> None:
-        """Per-router load snapshot straight from the flat arrays."""
+        """Per-router load snapshot straight from the flat arrays.
+
+        One vectorized histogram update per network instead of a Python
+        loop over every tile — the loop dominated telemetry-on runs at
+        full-wafer scale.
+        """
         if self._router_snapshot_cycle == self.cycle:
             return
         self._router_snapshot_cycle = self.cycle
         metrics = self.telemetry.metrics
-        healthy = self._healthy
+        healthy = np.asarray(self._healthy, dtype=bool)
         for net_i, net in enumerate(NET_ORDER):
-            forwarded = metrics.histogram(
+            metrics.histogram(
                 "noc.router_forwarded_packets", network=net.name
-            )
-            occupancy = metrics.histogram(
+            ).observe_many(np.asarray(self._fwd[net_i])[healthy])
+            metrics.histogram(
                 "noc.router_buffered_packets", network=net.name
-            )
-            fwd = self._fwd[net_i]
+            ).observe_many(np.asarray(self._occ[net_i])[healthy])
+
+    # ------------------------------------------------------------------
+    # Checkpoint/restore (engine-portable layout; see base class)
+
+    def _snapshot_engine_state(self) -> dict:
+        n = self._n
+        fifos = [
+            [
+                [
+                    list(self._fifos[net_i][idx * 5 + port] or ())
+                    for port in range(5)
+                ]
+                for idx in range(n)
+            ]
+            for net_i in range(2)
+        ]
+        rr = [[list(row) for row in self._rr[net_i]] for net_i in range(2)]
+        fwd = [list(self._fwd[net_i]) for net_i in range(2)]
+        return {"fifos": fifos, "rr": rr, "fwd": fwd}
+
+    def _restore_engine_state(self, state: dict) -> None:
+        for net_i in range(2):
+            fifos = self._fifos[net_i]
             occ = self._occ[net_i]
+            active = self._active[net_i]
             for idx in range(self._n):
-                if healthy[idx]:
-                    forwarded.observe(fwd[idx])
-                    occupancy.observe(occ[idx])
+                if not self._healthy[idx]:
+                    continue
+                total = 0
+                for port in range(5):
+                    packets = state["fifos"][net_i][idx][port]
+                    fifos[idx * 5 + port].extend(packets)
+                    total += len(packets)
+                if total:
+                    occ[idx] = total
+                    insort(active, idx)
+                self._rr[net_i][idx] = list(state["rr"][net_i][idx])
+                self._fwd[net_i][idx] = state["fwd"][net_i][idx]

@@ -99,9 +99,13 @@ def measure_load_latency(
     network failed to drain in a bounded horizon — the standard knee
     detection for load-latency curves.
 
-    ``engine`` selects the simulation core (``"reference"`` or
-    ``"fast"``); both produce identical curves, the fast engine just
-    gets there sooner — use it for large arrays or fine-grained sweeps.
+    ``engine`` selects the simulation core (``"reference"``, ``"fast"``
+    or ``"vector"``); all produce identical curves.  With
+    ``engine="vector"`` every swept rate becomes one trial of a single
+    :class:`~repro.noc.vectorsim.BatchNocSimulator`, so the whole sweep
+    advances through one batched numpy kernel instead of R sequential
+    runs — the per-rate reports (and therefore every curve point) still
+    match R individual runs field for field.
     """
     from ..workloads.traffic import TrafficPattern, generate_traffic
 
@@ -110,27 +114,38 @@ def measure_load_latency(
     rates = rates or [0.01, 0.02, 0.05, 0.1, 0.2, 0.3]
     if not rates or any(not 0 < r <= 1 for r in rates):
         raise NetworkError("rates must be in (0, 1]")
+    swept = sorted(rates)
+
+    if engine == "vector":
+        reports, sat_flags = _batched_sweep(
+            config, pattern, swept, warm_cycles, fault_map, seed,
+        )
+    else:
+        reports, sat_flags = [], []
+        for rate in swept:
+            sim = NocSimulator(config, fault_map=fault_map, engine=engine)
+            traffic = generate_traffic(
+                config, pattern, rate, warm_cycles, seed=seed
+            )
+            injections = {cycle: [] for cycle, _ in traffic}
+            for cycle, packet in traffic:
+                injections[cycle].append(packet)
+
+            saturated = False
+            for cycle in range(warm_cycles):
+                for packet in injections.get(cycle, ()):  # offered this cycle
+                    sim.inject(packet, NetworkId.XY)
+                sim.step()
+            try:
+                sim.drain(max_cycles=20_000)
+            except NetworkError:
+                saturated = True
+            reports.append(sim.report())
+            sat_flags.append(saturated)
 
     points: list[LoadPoint] = []
     zero_load: float | None = None
-    for rate in sorted(rates):
-        sim = NocSimulator(config, fault_map=fault_map, engine=engine)
-        traffic = generate_traffic(config, pattern, rate, warm_cycles, seed=seed)
-        injections = {cycle: [] for cycle, _ in traffic}
-        for cycle, packet in traffic:
-            injections[cycle].append(packet)
-
-        saturated = False
-        for cycle in range(warm_cycles):
-            for packet in injections.get(cycle, ()):  # offered this cycle
-                sim.inject(packet, NetworkId.XY)
-            sim.step()
-        try:
-            sim.drain(max_cycles=20_000)
-        except NetworkError:
-            saturated = True
-
-        report = sim.report()
+    for rate, report, saturated in zip(swept, reports, sat_flags):
         mean_latency = report.mean_latency
         if zero_load is None and not saturated:
             zero_load = mean_latency
@@ -147,3 +162,44 @@ def measure_load_latency(
             )
         )
     return LoadLatencyCurve(config=config, pattern=pattern, points=points)
+
+
+def _batched_sweep(
+    config: SystemConfig,
+    pattern: "TrafficPattern",
+    swept: list[float],
+    warm_cycles: int,
+    fault_map: FaultMap | None,
+    seed: int,
+) -> tuple[list, list[bool]]:
+    """Run every rate of a load sweep as one trial of a batched kernel.
+
+    Each trial injects its own rate's schedule for ``warm_cycles``
+    cycles; the shared drain retires each trial at the first cycle it
+    goes idle, which is exactly where an individual run's ``drain()``
+    would have stopped, so the per-trial reports match individual
+    ``engine="vector"`` runs exactly.  A trial that fails to drain
+    within the bounded horizon is flagged saturated instead of raising,
+    mirroring the per-rate ``NetworkError`` handling.
+    """
+    from ..workloads.traffic import generate_traffic
+
+    from .vectorsim import BatchNocSimulator
+
+    sim = BatchNocSimulator(config, [fault_map] * len(swept))
+    schedules = [
+        generate_traffic(config, pattern, rate, warm_cycles, seed=seed)
+        for rate in swept
+    ]
+    positions = [0] * len(swept)
+    for cycle in range(warm_cycles):
+        for b, schedule in enumerate(schedules):
+            pos = positions[b]
+            total = len(schedule)
+            while pos < total and schedule[pos][0] == cycle:
+                sim.inject(b, schedule[pos][1], NetworkId.XY)
+                pos += 1
+            positions[b] = pos
+        sim.step()
+    sat_flags = sim.drain(max_cycles=20_000)
+    return sim.reports(), sat_flags

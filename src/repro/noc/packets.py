@@ -33,6 +33,19 @@ PACKET_BITS = KIND_BITS + 2 * TILE_ID_BITS + ADDRESS_BITS + PAYLOAD_BITS
 _packet_ids = itertools.count()
 
 
+def ensure_packet_ids_above(value: int) -> None:
+    """Advance the global packet-id counter past ``value`` if needed.
+
+    Checkpoint restore materializes packets with their original ids; in
+    a fresh process the counter would otherwise restart at zero and new
+    packets (responses issued after resume) could collide with restored
+    ones.  The counter only ever moves forward.
+    """
+    global _packet_ids
+    current = next(_packet_ids)
+    _packet_ids = itertools.count(max(current, value + 1))
+
+
 class PacketKind(enum.Enum):
     """Request/response discriminator (drives network complementarity)."""
 

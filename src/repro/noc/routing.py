@@ -58,6 +58,43 @@ def dor_port_code(
     return PORT_LOCAL
 
 
+def dor_port_codes(
+    cur_r: np.ndarray,
+    cur_c: np.ndarray,
+    dst_r: np.ndarray,
+    dst_c: np.ndarray,
+    policy: RoutingPolicy,
+) -> np.ndarray:
+    """Vectorized :func:`dor_port_code` over coordinate arrays.
+
+    All four arguments broadcast against each other; the result is an
+    int8 array of port codes with the broadcast shape.  This is the
+    arithmetic routing kernel the vector engine uses for meshes too
+    large to tabulate — and :func:`build_port_lut` is just this kernel
+    evaluated on the full ``(cur, dst)`` product.
+    """
+    cur_r = np.asarray(cur_r)
+    cur_c = np.asarray(cur_c)
+    dst_r = np.asarray(dst_r)
+    dst_c = np.asarray(dst_c)
+    col_port = np.where(dst_c > cur_c, PORT_EAST, PORT_WEST)
+    row_port = np.where(dst_r > cur_r, PORT_SOUTH, PORT_NORTH)
+    same_r, same_c = dst_r == cur_r, dst_c == cur_c
+    if policy is RoutingPolicy.XY:
+        out = np.where(same_c, row_port, col_port)
+    else:
+        out = np.where(same_r, col_port, row_port)
+    return np.where(same_r & same_c, PORT_LOCAL, out).astype(np.int8)
+
+
+#: Memoized port tables: every simulator construction at a given mesh
+#: size asks for the identical pure-function tabulation, and at 32x32
+#: the two (1024, 1024) builds dominate construction time.  Entries are
+#: marked read-only so sharing is safe; the cache is bounded because
+#: entry count grows only with distinct mesh shapes in one process.
+_LUT_CACHE: dict[tuple[int, int, "RoutingPolicy"], np.ndarray] = {}
+
+
 def build_port_lut(rows: int, cols: int, policy: RoutingPolicy) -> np.ndarray:
     """Tabulate the static DoR output-port decision for a whole mesh.
 
@@ -67,24 +104,23 @@ def build_port_lut(rows: int, cols: int, policy: RoutingPolicy) -> np.ndarray:
     for a packet addressed to flat index ``dst``.  The decision is a
     pure function of the coordinate pair — faults never reroute DoR
     traffic, they only drop it — so one table per network replaces every
-    per-packet policy call in the simulator's hot loop.
+    per-packet policy call in the simulator's hot loop.  Results are
+    memoized per ``(rows, cols, policy)`` and returned read-only; copy
+    before mutating.
     """
     if rows < 1 or cols < 1:
         raise RoutingError("mesh dimensions must be positive")
-    flat = np.arange(rows * cols)
-    r, c = flat // cols, flat % cols
-    cur_r, dst_r = r[:, None], r[None, :]
-    cur_c, dst_c = c[:, None], c[None, :]
-    col_port = np.where(dst_c > cur_c, PORT_EAST, PORT_WEST)
-    row_port = np.where(dst_r > cur_r, PORT_SOUTH, PORT_NORTH)
-    same_r, same_c = dst_r == cur_r, dst_c == cur_c
-    if policy is RoutingPolicy.XY:
-        out = np.where(same_c, row_port, col_port)
-    else:
-        out = np.where(same_r, col_port, row_port)
-    out = out.astype(np.int8)
-    out[same_r & same_c] = PORT_LOCAL
-    return out
+    key = (rows, cols, policy)
+    cached = _LUT_CACHE.get(key)
+    if cached is None:
+        flat = np.arange(rows * cols)
+        r, c = flat // cols, flat % cols
+        cached = dor_port_codes(
+            r[:, None], c[:, None], r[None, :], c[None, :], policy
+        )
+        cached.flags.writeable = False
+        _LUT_CACHE[key] = cached
+    return cached
 
 
 def _steps(a: int, b: int) -> list[int]:

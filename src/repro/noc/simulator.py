@@ -54,7 +54,7 @@ LATENCY_BUCKETS = tuple(float(2**i) for i in range(0, 14))
 OCCUPANCY_BUCKETS = tuple(float(2**i) for i in range(0, 15))
 
 #: Valid values for :class:`NocSimulator`'s ``engine`` argument.
-ENGINES = ("reference", "fast")
+ENGINES = ("reference", "fast", "vector")
 
 #: Port -> integer code in ``list(Port)`` order (N=0, S=1, W=2, E=3, LOCAL=4),
 #: the encoding checker hooks and the fast engine share.
@@ -168,9 +168,15 @@ class NocSimulator:
       next-hop lookup tables, flat per-tile state arrays, and a
       busy-router set so each cycle touches only routers holding
       traffic.  Bit-identical reports, no per-router objects.
+    * ``engine="vector"`` — the batched numpy engine
+      (:class:`repro.noc.vectorsim.VectorNocSimulator`): the whole
+      arbitrate/apply cycle as array operations over a flat packet
+      pool and ring-buffer FIFOs.  Bit-identical reports again; the
+      engine of choice at full-wafer (2048-chiplet) scale and beyond.
 
-    Constructing ``NocSimulator(..., engine="fast")`` transparently
-    returns the fast subclass, so callers never import it directly.
+    Constructing ``NocSimulator(..., engine="fast")`` (or ``"vector"``)
+    transparently returns the matching subclass, so callers never
+    import engine modules directly.
     """
 
     def __new__(
@@ -187,6 +193,10 @@ class NocSimulator:
             from .fastsim import FastNocSimulator
 
             return super().__new__(FastNocSimulator)
+        if cls is NocSimulator and engine == "vector":
+            from .vectorsim import VectorNocSimulator
+
+            return super().__new__(VectorNocSimulator)
         return super().__new__(cls)
 
     def __init__(
@@ -561,11 +571,97 @@ class NocSimulator:
         self._last_report = report
         return report
 
+    # ------------------------------------------------------------------
+    # Checkpoint/restore
+
+    def save_state(self, path, extra: dict | None = None) -> None:
+        """Write a resumable checkpoint of the full simulation state.
+
+        The file is a ``.npz`` archive holding every in-flight, pending
+        and delivered packet plus the per-router FIFO/round-robin state,
+        with a manifest (config, fault map, engine, counters) protected
+        by a content hash — see :mod:`repro.noc.checkpoint`.  ``extra``
+        is an arbitrary JSON-able dict round-tripped in the manifest
+        (the CLI stores its traffic parameters there).
+        """
+        from .checkpoint import save_noc_state
+
+        save_noc_state(self, path, extra=extra)
+
+    @classmethod
+    def load_state(
+        cls,
+        path,
+        engine: str | None = None,
+        telemetry: Telemetry | None = None,
+        checkers: "Iterable[InvariantChecker] | None" = None,
+    ) -> "NocSimulator":
+        """Reconstruct a simulator from a :meth:`save_state` checkpoint.
+
+        ``engine=None`` resumes on the engine that wrote the checkpoint;
+        passing an engine name resumes the same state on a different
+        engine (the serialized form is engine-neutral).  Continuing a
+        restored simulator is bit-identical to never having stopped.
+        """
+        from .checkpoint import load_noc_state
+
+        return load_noc_state(
+            path, engine=engine, telemetry=telemetry, checkers=checkers
+        )
+
+    def _pending_injection_list(self) -> list[tuple[Packet, NetworkId]]:
+        """Queued-but-not-admitted packets, in admission-relevant order.
+
+        Checkpointing serializes this instead of reading
+        ``_pending_injections`` directly because the vector engine keeps
+        its backlog in per-tile queues; admission only depends on
+        per-tile order, which every engine's flattening preserves.
+        """
+        return list(self._pending_injections)
+
+    def _snapshot_engine_state(self) -> dict:
+        """Engine-private state as ``{"fifos", "rr", "fwd"}`` nested lists.
+
+        ``fifos[net_i][tile_idx][port_code]`` is the queued packet list
+        (head first), ``rr``/``fwd`` the round-robin pointers and
+        forwarded counts — the exact layout every engine can both emit
+        and reload, which is what makes checkpoints engine-portable.
+        """
+        cols = self.config.cols
+        n = self.config.tiles
+        ports = list(Port)
+        fifos = [[[[] for _ in range(5)] for _ in range(n)] for _ in range(2)]
+        rr = [[[0] * 5 for _ in range(n)] for _ in range(2)]
+        fwd = [[0] * n for _ in range(2)]
+        for net_i, net in enumerate((NetworkId.XY, NetworkId.YX)):
+            for coord, router in self.routers[net].items():
+                idx = coord[0] * cols + coord[1]
+                fifos[net_i][idx] = [
+                    list(router.inputs[p].queue) for p in ports
+                ]
+                rr[net_i][idx] = [router._rr_state[p] for p in ports]
+                fwd[net_i][idx] = router.forwarded_packets
+        return {"fifos": fifos, "rr": rr, "fwd": fwd}
+
+    def _restore_engine_state(self, state: dict) -> None:
+        """Load a :meth:`_snapshot_engine_state` dict into live routers."""
+        cols = self.config.cols
+        ports = list(Port)
+        for net_i, net in enumerate((NetworkId.XY, NetworkId.YX)):
+            for coord, router in self.routers[net].items():
+                idx = coord[0] * cols + coord[1]
+                for code, port in enumerate(ports):
+                    router.inputs[port].queue.extend(
+                        state["fifos"][net_i][idx][code]
+                    )
+                    router._rr_state[port] = state["rr"][net_i][idx][code]
+                router.forwarded_packets = state["fwd"][net_i][idx]
+
     def _iter_fifo_lengths(self) -> Iterator[tuple[NetworkId, Coord, int, int]]:
         """Yield ``(network, coord, port_code, occupancy)`` for every FIFO.
 
         The engine-neutral state walk :class:`~repro.verify.invariants.
-        FifoBoundChecker` scans; both engines implement it over their own
+        FifoBoundChecker` scans; all engines implement it over their own
         state layout.
         """
         for net in NetworkId:
@@ -580,22 +676,22 @@ class NocSimulator:
         occupancy *across* routers (hot-spot detection) without emitting
         thousands of individual per-router series.  Recorded at most
         once per simulated cycle so repeated :meth:`report` calls do not
-        double-count.
+        double-count.  The observations are batched (one vectorized
+        histogram update per network) so the snapshot stays affordable
+        at full-wafer router counts.
         """
         if self._router_snapshot_cycle == self.cycle:
             return
         self._router_snapshot_cycle = self.cycle
         metrics = self.telemetry.metrics
         for net in NetworkId:
-            forwarded = metrics.histogram(
+            routers = self.routers[net].values()
+            metrics.histogram(
                 "noc.router_forwarded_packets", network=net.name
-            )
-            occupancy = metrics.histogram(
+            ).observe_many([r.forwarded_packets for r in routers])
+            metrics.histogram(
                 "noc.router_buffered_packets", network=net.name
-            )
-            for router in self.routers[net].values():
-                forwarded.observe(router.forwarded_packets)
-                occupancy.observe(router.occupancy())
+            ).observe_many([r.occupancy() for r in routers])
 
 
 def packet_next_coord(coord: Coord, port: Port) -> Coord:

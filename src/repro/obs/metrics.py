@@ -184,6 +184,32 @@ class Histogram:
             cumulative += bucket_count
         return self.max           # pragma: no cover - rank always found
 
+    def observe_many(self, values) -> None:
+        """Record a whole array of observations in one vectorized pass.
+
+        Equivalent to ``for v in values: observe(v)`` — same buckets
+        (first bound >= value), same running sum — but bucketed with one
+        ``searchsorted`` + ``bincount`` instead of a Python loop per
+        value.  This is what keeps per-router distribution snapshots
+        affordable at full-wafer scale (thousands of routers).
+        """
+        import numpy as np
+
+        values = np.asarray(values)
+        if values.size == 0:
+            return
+        idx = np.searchsorted(self.bounds, values, side="left")
+        counts = self.counts
+        for i, c in zip(*np.unique(idx, return_counts=True)):
+            counts[i] += int(c)
+        self.count += int(values.size)
+        self.total += float(values.sum())
+        vmin, vmax = values.min().item(), values.max().item()
+        if vmin < self.min:
+            self.min = vmin
+        if vmax > self.max:
+            self.max = vmax
+
     def dump(self) -> dict:
         """Full-fidelity picklable state (see :meth:`MetricsRegistry.merge`)."""
         return {
@@ -264,6 +290,9 @@ class _NullHistogram(Histogram):
     __slots__ = ()
 
     def observe(self, value: float, count: int = 1) -> None:
+        pass
+
+    def observe_many(self, values) -> None:
         pass
 
 

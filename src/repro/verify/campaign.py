@@ -127,6 +127,75 @@ def _compare_reports(engine_report, golden_report, context: str) -> None:
             )
 
 
+def _alternating_schedule(schedule) -> list[tuple]:
+    """Re-express a ``(cycle, packet)`` schedule as explicit triples.
+
+    The networks alternate by schedule position exactly as
+    :func:`_drive` injects them, so a batched run over these triples is
+    driven identically to an individual ``_drive`` run — including YX
+    driver injections, which exercise the engines' response-admission
+    ordering.
+    """
+    return [
+        (cycle, packet, NetworkId.XY if i % 2 == 0 else NetworkId.YX)
+        for i, (cycle, packet) in enumerate(schedule)
+    ]
+
+
+def _check_batched_trials(
+    cfg, fmap, rng, pattern, rate, inject_cycles, traffic_seed, run_cycles,
+    vector_report,
+) -> None:
+    """Batched-trial equality: ``simulate_batch`` == B individual runs.
+
+    Trial 0 replays this trial's scenario; trial 1 is an independent
+    scenario (own fault map and traffic seed) so the check covers
+    per-trial isolation, not just B copies of one stream.  Both batched
+    reports must match individually driven ``engine="vector"`` runs
+    field for field.
+    """
+    from ..noc.vectorsim import simulate_batch
+
+    fmap2 = _campaign_fault_map(cfg, rng, max_faults=3)
+    seed2 = traffic_seed + 1
+
+    solo = NocSimulator(cfg, fmap2, engine="vector")
+    _drive(
+        solo,
+        generate_traffic(cfg, pattern, rate, inject_cycles, seed=seed2),
+        run_cycles,
+    )
+    expected = [vector_report, solo.report()]
+
+    schedules = [
+        _alternating_schedule(
+            generate_traffic(cfg, pattern, rate, inject_cycles, seed=s)
+        )
+        for s in (traffic_seed, seed2)
+    ]
+    batched = simulate_batch(
+        cfg,
+        schedules,
+        fault_maps=[fmap, fmap2],
+        run_cycles=run_cycles,
+        drain=False,
+    )
+    for trial, (got, want) in enumerate(zip(batched, expected)):
+        if got != want:
+            raise InvariantViolation(
+                "noc",
+                "batch_differential",
+                "batched trial diverged from its individual vector run",
+                {
+                    "pattern": pattern.name,
+                    "rate": rate,
+                    "trial": trial,
+                    "batched": got,
+                    "individual": want,
+                },
+            )
+
+
 # ---------------------------------------------------------------------------
 # suite trial functions (module-level: picklable for the engine)
 # ---------------------------------------------------------------------------
@@ -150,9 +219,10 @@ def _noc_trial(ctx: TrialContext) -> dict[str, Any]:
     checkers = {
         "fast": full_noc_checkers(),
         "reference": full_noc_checkers(),
+        "vector": full_noc_checkers(),
     }
     reports = {}
-    for engine in ("fast", "reference"):
+    for engine in ("fast", "reference", "vector"):
         sim = NocSimulator(
             cfg, fmap, engine=engine, checkers=checkers[engine]
         )
@@ -166,20 +236,25 @@ def _noc_trial(ctx: TrialContext) -> dict[str, Any]:
     schedule = generate_traffic(cfg, pattern, rate, inject_cycles, seed=traffic_seed)
     _drive(golden, schedule, run_cycles)
 
-    if reports["fast"] != reports["reference"]:
-        raise InvariantViolation(
-            "noc",
-            "engine_differential",
-            "fast and reference engines produced different reports",
-            {
-                "pattern": pattern.name,
-                "rate": rate,
-                "fast": reports["fast"],
-                "reference": reports["reference"],
-            },
-        )
+    for other in ("reference", "vector"):
+        if reports["fast"] != reports[other]:
+            raise InvariantViolation(
+                "noc",
+                "engine_differential",
+                f"fast and {other} engines produced different reports",
+                {
+                    "pattern": pattern.name,
+                    "rate": rate,
+                    "fast": reports["fast"],
+                    other: reports[other],
+                },
+            )
     _compare_reports(
         reports["fast"], golden.report(), context=f"pattern={pattern.name}"
+    )
+    _check_batched_trials(
+        cfg, fmap, rng, pattern, rate, inject_cycles, traffic_seed, run_cycles,
+        reports["vector"],
     )
     checks = sum(c.checks for cs in checkers.values() for c in cs)
     return {
