@@ -8,7 +8,16 @@ attached to ``benchmark.extra_info`` and printed so ``pytest benchmarks/
 
 import pytest
 
+from repro.arch.emulator import clear_route_cache
 from repro.config import SystemConfig
+
+
+@pytest.fixture(autouse=True)
+def _fresh_route_caches():
+    """Benchmarks must not inherit another bench's warmed route cache."""
+    clear_route_cache()
+    yield
+    clear_route_cache()
 
 
 @pytest.fixture(scope="session")

@@ -22,7 +22,7 @@ from typing import Callable
 
 from ..config import Coord
 from ..errors import EmulatorError, NetworkError
-from ..fastpath import resolve_engine_kind
+from ..fastpath import VECTOR_ENGINE_KINDS, resolve_engine_kind
 from ..noc.faults import FaultMap
 from ..noc.routing import dor_path
 from ..obs.telemetry import Telemetry, resolve_telemetry
@@ -33,6 +33,9 @@ from .system import (
     SERVICE_LATENCY,
     WaferscaleSystem,
 )
+
+#: Engine kinds the emulator implements (mirrors ``noc.simulator.ENGINES``).
+ENGINES = ("reference", "fast", "vector")
 
 #: Route entry: (one-way hops, is_detour, reachable).
 _Route = tuple[int, bool, bool]
@@ -60,9 +63,16 @@ def _shared_routes(fault_map: FaultMap) -> dict[tuple[Coord, Coord], _Route]:
     return routes
 
 
+# Additional per-fault-map caches (the vector engine's route tables)
+# register a clearer here so ``clear_route_cache`` drops them too.
+_EXTRA_CACHE_CLEARERS: list[Callable[[], None]] = []
+
+
 def clear_route_cache() -> None:
     """Drop all shared route tables (benchmark / test isolation)."""
     _ROUTE_CACHE.clear()
+    for clearer in _EXTRA_CACHE_CLEARERS:
+        clearer()
 
 
 @dataclass
@@ -106,6 +116,23 @@ class Emulator:
     #: Histogram buckets for one-way hops per message.
     HOP_BUCKETS = tuple(float(2**i) for i in range(0, 8))
 
+    def __new__(
+        cls,
+        system: WaferscaleSystem | None = None,
+        telemetry: Telemetry | None = None,
+        engine: str | None = None,
+        route_cache: bool | None = None,
+        checkers=None,
+    ):
+        # Factory dispatch (mirrors NocSimulator): Emulator(engine="vector")
+        # builds the struct-of-arrays engine.  Resolution/validation of the
+        # keyword happens once, in ``__init__``.
+        if cls is Emulator and engine == "vector":
+            from .vectoremu import VectorEmulator
+
+            return super().__new__(VectorEmulator)
+        return super().__new__(cls)
+
     def __init__(
         self,
         system: WaferscaleSystem,
@@ -118,6 +145,7 @@ class Emulator:
         self.engine = resolve_engine_kind(
             engine,
             entry_point="Emulator",
+            kinds=VECTOR_ENGINE_KINDS,
             deprecated_name="route_cache",
             deprecated_value=route_cache,
             deprecated_map={True: "fast", False: "reference"},
@@ -162,6 +190,28 @@ class Emulator:
         if words < 1:
             raise EmulatorError("message must carry at least one word")
         self._outbox.append(Message(src=src, dst=dst, payload=payload, words=words))
+
+    def send_batch(
+        self,
+        src: Coord,
+        dsts,
+        payload: object = None,
+        words: int = 2,
+    ) -> None:
+        """Queue one message from ``src`` to every tile in ``dsts``.
+
+        ``dsts`` is a sequence of coordinates or a numpy integer array of
+        flat row-major tile ids.  Semantically identical to calling
+        :meth:`send` once per destination with the same payload and word
+        count; the vector engine overrides it to append the whole batch as
+        flat arrays and materialise :class:`Message` objects lazily at the
+        delivery barrier.
+        """
+        cols = self.system.config.cols
+        for dst in dsts:
+            if not isinstance(dst, tuple):
+                dst = (int(dst) // cols, int(dst) % cols)
+            self.send(src, dst, payload, words=words)
 
     def _route(self, src: Coord, dst: Coord) -> tuple[int, bool]:
         """One-way hops and detour flag for one flow.

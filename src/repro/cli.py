@@ -557,6 +557,92 @@ def run_noc(
     }
 
 
+def run_emu(
+    config: SystemConfig,
+    workload: str = "wave",
+    engine: str | None = None,
+    faults: int = 0,
+    seed: int = 0,
+) -> dict:
+    """Run one emulated workload end to end and report its accounting.
+
+    Mirrors ``repro noc``'s engine parity: ``--engine`` picks the
+    emulator tier (``fast`` routing cache, ``reference`` per-flow
+    assignment, or the struct-of-arrays ``vector`` engine) and the
+    resolved kind is echoed in the result envelope.  All tiers produce
+    bit-identical :class:`~repro.arch.emulator.EmulationStats` — this
+    command exists to eyeball that, and to give traced runs
+    (``--trace``/``--metrics``) a workload-level span source.
+    """
+    import numpy as np
+
+    from .arch.system import WaferscaleSystem
+    from .fastpath import VECTOR_ENGINE_KINDS, resolve_engine_kind
+    from .noc.faults import random_fault_map
+    from .workloads.graphs import random_graph
+
+    kind = resolve_engine_kind(
+        engine, entry_point="repro emu", kinds=VECTOR_ENGINE_KINDS
+    )
+    fault_map = random_fault_map(config, faults, rng=seed) if faults else None
+    system = WaferscaleSystem(config, fault_map)
+    detail: dict = {}
+    if workload == "wave":
+        from .workloads.waves import FrontierWave
+
+        stats = FrontierWave(system, seed=seed).run(engine=kind)
+    elif workload == "bfs":
+        from .workloads.bfs import DistributedBfs
+
+        graph = random_graph(nodes=64, seed=seed)
+        result = DistributedBfs(system, graph).run(0, engine=kind)
+        stats = result.stats
+        detail["reached"] = len(result.distance)
+    elif workload == "pagerank":
+        from .workloads.pagerank import DistributedPageRank
+
+        graph = random_graph(nodes=64, seed=seed)
+        result = DistributedPageRank(system, graph).run(
+            iterations=10, engine=kind
+        )
+        stats = result.stats
+        detail["iterations"] = result.iterations
+    elif workload == "stencil":
+        from .workloads.stencil import DistributedStencil
+
+        if faults:
+            raise SystemExit(
+                "stencil blocks pin to physical tiles: drop --faults"
+            )
+        field = np.random.default_rng(seed).random(
+            (config.rows * 4, config.cols * 4)
+        )
+        result = DistributedStencil(system, field).run(10, engine=kind)
+        stats = result.stats
+        detail["iterations"] = result.iterations
+    else:
+        raise SystemExit(f"unknown emu workload {workload!r}")
+    return {
+        "command": "emu",
+        "ok": True,
+        "engine": kind,
+        "workload": workload,
+        "rows": config.rows,
+        "cols": config.cols,
+        "faults": faults,
+        "seed": seed,
+        "supersteps": stats.supersteps,
+        "messages_sent": stats.messages_sent,
+        "message_hops": stats.message_hops,
+        "detoured_messages": stats.detoured_messages,
+        "local_compute_cycles": stats.local_compute_cycles,
+        "network_cycles": stats.network_cycles,
+        "total_cycles": stats.total_cycles,
+        "mean_hops_per_message": stats.mean_hops_per_message,
+        **detail,
+    }
+
+
 def run_verify_cmd(
     suite: str = "all",
     trials: int = 25,
@@ -863,6 +949,22 @@ def render_noc(result: dict) -> str:
     )
 
 
+def render_emu(result: dict) -> str:
+    lines = [
+        f"Emulated {result['workload']} on "
+        f"{result['rows']}x{result['cols']} "
+        f"({result['faults']} faults, engine={result['engine']}):",
+        f"  supersteps        : {result['supersteps']}",
+        f"  messages sent     : {result['messages_sent']} "
+        f"({result['detoured_messages']} detoured)",
+        f"  mean hops/message : {result['mean_hops_per_message']:.2f}",
+        f"  compute cycles    : {result['local_compute_cycles']}",
+        f"  network cycles    : {result['network_cycles']}",
+        f"  total cycles      : {result['total_cycles']}",
+    ]
+    return "\n".join(lines)
+
+
 def render_verify(result: dict) -> str:
     lines = [
         f"verification campaign: suite={result['suite']} "
@@ -981,6 +1083,10 @@ _RUNNERS: dict[str, Callable[[argparse.Namespace], dict]] = {
         checkpoint=a.checkpoint, checkpoint_every=a.checkpoint_every,
         resume=a.resume, halt_at=a.halt_at,
     ),
+    "emu": lambda a: run_emu(
+        _config(a), workload=a.workload, engine=a.engine,
+        faults=a.faults, seed=a.seed,
+    ),
     "obs": lambda a: run_obs(
         a.action, a.paths,
         threshold=getattr(a, "threshold", 0.1),
@@ -1014,6 +1120,7 @@ _RENDERERS: dict[str, Callable[[dict], str]] = {
     "remap": render_remap,
     "lot": render_lot,
     "noc": render_noc,
+    "emu": render_emu,
     "obs": render_obs,
     "submit": render_submit,
     "verify": render_verify,
@@ -1168,6 +1275,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("lot", ("seed", "wafers")),
         ("noc", ("seed", "faults", "cycles", "rate", "pattern", "sim_engine",
                  "noc_checkpoint")),
+        ("emu", ("seed", "faults", "emu_engine", "workload")),
         ("validate", ()),
     ):
         p = sub.add_parser(name)
@@ -1234,6 +1342,26 @@ def build_parser() -> argparse.ArgumentParser:
                 action="store_true",
                 help="attach the always-on invariant checkers "
                 "(flit conservation + delivery legality) to the run",
+            )
+        if "emu_engine" in extras:
+            from .arch.emulator import ENGINES as EMULATOR_ENGINES
+
+            p.add_argument(
+                "--engine",
+                type=str,
+                default=None,
+                choices=list(EMULATOR_ENGINES),
+                help="emulator tier: reference per-flow assignment, "
+                "fast cached routing (default), or the struct-of-arrays "
+                "vector engine — all bit-identical",
+            )
+        if "workload" in extras:
+            p.add_argument(
+                "--workload",
+                type=str,
+                default="wave",
+                choices=("wave", "bfs", "pagerank", "stencil"),
+                help="emulated workload to run end to end",
             )
         if "noc_checkpoint" in extras:
             p.add_argument(

@@ -20,6 +20,7 @@ Quick start::
 See ``docs/engine.md`` for the execution model.
 """
 
+from .adaptive import CIStop
 from .cache import ResultCache, cache_key, canonicalize, resolve_cache
 from .core import ExperimentEngine, RunResult, TrialContext, default_workers
 from .jobs import EXPERIMENTS, ExperimentAdapter, JobSpec, get_experiment, job_key, run_job
@@ -33,6 +34,7 @@ from .observe import (
 from .seeding import as_seed_sequence, rng_from, seed_fingerprint, spawn_trial_seeds
 
 __all__ = [
+    "CIStop",
     "ExperimentEngine",
     "EXPERIMENTS",
     "ExperimentAdapter",

@@ -1,0 +1,124 @@
+"""Variance-based adaptive sampling for the experiment engine.
+
+A Monte-Carlo campaign usually runs a fixed trial count chosen by
+guesswork.  :class:`CIStop` replaces the guess with a stopping rule:
+keep spawning trial blocks until the bootstrap confidence interval on
+the tracked statistic is narrower than a relative target, then stop.
+
+Worker-count invariance
+-----------------------
+The stopping decision is a **pure function of trial order**.  Trial
+``i``'s value is already a pure function of ``(fn, params, seed, i)``
+(the engine's determinism contract), and the engine evaluates the rule
+only at deterministic checkpoints — after ``min_trials``, then every
+``block`` trials — with a barrier, so no extra completed trials can
+leak into the decision from a faster pool.  The bootstrap resampling
+generator is itself seeded by ``(rule seed, prefix length)``.  Hence a
+1-worker and a 64-worker run stop at the same trial count with the same
+values, and adaptive results stay cacheable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+@dataclass(frozen=True)
+class CIStop:
+    """Stop once the bootstrap CI on the mean statistic closes.
+
+    Parameters
+    ----------
+    rel_halfwidth:
+        Target: stop when the CI halfwidth is at most this fraction of
+        the absolute mean (a zero mean only stops on a zero-width CI).
+    confidence:
+        Central bootstrap interval mass (e.g. ``0.95``).
+    min_trials:
+        First checkpoint — never stop before this many trials.
+    block:
+        Trials added between later checkpoints.
+    resamples:
+        Bootstrap resample count.
+    seed:
+        Seed of the resampling generator (mixed with the prefix length,
+        so every checkpoint draws fresh but reproducible resamples).
+    statistic:
+        Maps one trial value to the tracked float; default
+        ``float(value)``.  Evaluated in the parent process only (it is
+        never pickled to workers) and must be deterministic — it is
+        part of the stopping decision, so campaigns tracking a
+        different statistic should use a distinct experiment or params.
+    """
+
+    rel_halfwidth: float = 0.05
+    confidence: float = 0.95
+    min_trials: int = 16
+    block: int = 8
+    resamples: int = 256
+    seed: int = 0
+    statistic: Callable[[Any], float] | None = None
+
+    def validate(self) -> None:
+        if not 0 < self.rel_halfwidth:
+            raise ReproError("rel_halfwidth must be positive")
+        if not 0 < self.confidence < 1:
+            raise ReproError("confidence must be in (0, 1)")
+        if self.min_trials < 2:
+            raise ReproError("min_trials must be >= 2")
+        if self.block < 1:
+            raise ReproError("block must be >= 1")
+        if self.resamples < 16:
+            raise ReproError("resamples must be >= 16")
+
+    def next_checkpoint(self, done: int, cap: int) -> int:
+        """The next evaluation point after ``done`` trials (<= ``cap``)."""
+        if done < self.min_trials:
+            return min(self.min_trials, cap)
+        return min(done + self.block, cap)
+
+    def halfwidth(self, stats: np.ndarray) -> float:
+        """Bootstrap CI halfwidth of the mean of ``stats``."""
+        rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=(self.seed, stats.size))
+        )
+        idx = rng.integers(0, stats.size, size=(self.resamples, stats.size))
+        means = stats[idx].mean(axis=1)
+        tail = (1.0 - self.confidence) / 2.0
+        lo, hi = np.quantile(means, [tail, 1.0 - tail])
+        return float(hi - lo) / 2.0
+
+    def satisfied(self, values: list[Any]) -> bool:
+        """Whether the prefix ``values`` (in trial order) closes the CI."""
+        stat = self.statistic
+        if stat is None:
+            arr = np.asarray(values, dtype=float)
+        else:
+            arr = np.asarray([stat(v) for v in values], dtype=float)
+        mean = float(arr.mean())
+        if not np.isfinite(mean):
+            return False
+        hw = self.halfwidth(arr)
+        if mean == 0.0:
+            return hw == 0.0
+        return hw <= self.rel_halfwidth * abs(mean)
+
+    def cache_token(self) -> str:
+        """The rule's contribution to the run's cache identity."""
+        stat = self.statistic
+        stat_name = (
+            "value"
+            if stat is None
+            else f"{getattr(stat, '__module__', '?')}."
+            f"{getattr(stat, '__qualname__', repr(stat))}"
+        )
+        return (
+            f"cistop(rel={self.rel_halfwidth!r},conf={self.confidence!r},"
+            f"min={self.min_trials},block={self.block},"
+            f"resamples={self.resamples},seed={self.seed},stat={stat_name})"
+        )

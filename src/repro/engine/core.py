@@ -42,6 +42,7 @@ from ..obs.snapshot import (
     worker_telemetry,
 )
 from ..obs.telemetry import Telemetry, resolve_telemetry, scoped_telemetry
+from .adaptive import CIStop
 from .cache import ResultCache, cache_key, resolve_cache
 from .observe import EngineObserver, ProgressCallback, TelemetryObserver
 from .seeding import SeedLike, spawn_trial_seeds
@@ -87,6 +88,9 @@ class RunResult:
     trial_times_s: list[float]      # per-trial compute time (zeros on cache hit)
     elapsed_s: float                # wall-clock for the whole run
     from_cache: bool
+    #: Trial cap the caller asked for; set (> ``trials``-or-equal) only on
+    #: adaptive runs, where ``trials`` is the count actually executed.
+    requested_trials: int | None = None
 
     @property
     def total_trial_time_s(self) -> float:
@@ -107,12 +111,20 @@ class RunResult:
 def _run_chunk(
     payload: tuple[
         Callable[[TrialContext], Any],
+        Callable[[list[TrialContext]], list[Any]] | None,
         dict[str, Any],
         list[tuple[int, np.random.SeedSequence]],
         bool,
     ],
 ) -> tuple[list[tuple[int, Any, float]], TelemetrySnapshot | None]:
     """Execute one chunk of trials; runs inside a worker process.
+
+    With ``batch_fn`` set, the whole chunk is consumed by one vectorized
+    call — ``batch_fn(contexts)`` returns per-trial values in context
+    order, each context carrying the same private seed stream its trial
+    would get on the per-trial path, so values must (and, for the
+    shipped batch kernels, bit-identically do) match ``fn`` trial by
+    trial.  The chunk's wall time is charged evenly across its trials.
 
     With ``capture`` set, the chunk runs under a *fresh* ambient
     telemetry — never the one inherited across ``fork``, whose registry
@@ -122,10 +134,26 @@ def _run_chunk(
     (``workers=1``) path uses the very same flow, so merged totals are
     identical by construction regardless of worker count.
     """
-    fn, params, items, capture = payload
+    fn, batch_fn, params, items, capture = payload
 
     def _execute() -> list[tuple[int, Any, float]]:
         out: list[tuple[int, Any, float]] = []
+        if batch_fn is not None:
+            contexts = [
+                TrialContext(index=index, seed=seed, params=params)
+                for index, seed in items
+            ]
+            start = time.perf_counter()
+            values = batch_fn(contexts)
+            per_trial = (time.perf_counter() - start) / max(1, len(items))
+            if len(values) != len(items):
+                raise ReproError(
+                    f"batch_fn returned {len(values)} values for "
+                    f"{len(items)} trials"
+                )
+            for (index, _), value in zip(items, values):
+                out.append((index, value, per_trial))
+            return out
         for index, seed in items:
             start = time.perf_counter()
             value = fn(TrialContext(index=index, seed=seed, params=params))
@@ -217,6 +245,8 @@ class ExperimentEngine:
         params: dict[str, Any] | None = None,
         progress: Callable[[int, int], None] | None = None,
         verify: Callable[[int, Any], None] | None = None,
+        batch_fn: Callable[[list[TrialContext]], list[Any]] | None = None,
+        adaptive: "CIStop | None" = None,
     ) -> RunResult:
         """Run ``trials`` independent trials of ``fn`` and collect values.
 
@@ -231,9 +261,24 @@ class ExperimentEngine:
         Raise from the hook (e.g. an
         :class:`~repro.verify.invariants.InvariantViolation`) to fail
         the run; verified-trial counts are recorded through telemetry.
+
+        ``batch_fn``, when given, consumes each dispatched chunk in one
+        vectorized call (see :func:`_run_chunk`); per-trial seed
+        streams, chunking, caching, and telemetry capture are unchanged,
+        and the caller warrants that ``batch_fn`` reproduces ``fn``'s
+        per-trial values.
+
+        ``adaptive`` (a :class:`~repro.engine.adaptive.CIStop`) turns
+        ``trials`` into a cap: trials run in deterministic blocks and
+        stop early once the bootstrap CI on the tracked statistic
+        closes.  The decision is a pure function of trial order, so the
+        executed trial count — recorded as ``result.trials``, with the
+        cap in ``result.requested_trials`` — is worker-count invariant.
         """
         if trials < 1:
             raise ReproError("an experiment needs at least one trial")
+        if adaptive is not None:
+            adaptive.validate()
         run_params = dict(params or {})
         if config is not None:
             run_params["config"] = config
@@ -245,9 +290,14 @@ class ExperimentEngine:
         if progress is not None:
             observers.append(ProgressCallback(progress))
 
+        cache_params = params
+        if adaptive is not None:
+            cache_params = dict(params or {})
+            cache_params["adaptive"] = adaptive.cache_token()
+
         key = None
         if self.cache is not None:
-            key = cache_key(experiment, config, params, seed, trials)
+            key = cache_key(experiment, config, cache_params, seed, trials)
             hit, values = self.cache.get(key)
             if telemetry.enabled:
                 telemetry.metrics.counter(
@@ -261,12 +311,13 @@ class ExperimentEngine:
                 self._verify_values(verify, values)
                 result = RunResult(
                     experiment=experiment,
-                    trials=trials,
+                    trials=len(values),
                     workers=self.workers,
                     values=values,
-                    trial_times_s=[0.0] * trials,
+                    trial_times_s=[0.0] * len(values),
                     elapsed_s=time.perf_counter() - start,
                     from_cache=True,
+                    requested_trials=trials if adaptive is not None else None,
                 )
                 for observer in observers:
                     observer.on_run_end(result)
@@ -299,20 +350,51 @@ class ExperimentEngine:
                 for observer in observers:
                     observer.on_trial(experiment, index, elapsed)
 
-        if self.workers == 1 or trials == 1:
-            for chunk in self._chunks(items):
-                _absorb(_run_chunk((fn, run_params, chunk, capture)))
-        else:
+        def _dispatch(block, pool) -> None:
             payloads = [
-                (fn, run_params, chunk, capture) for chunk in self._chunks(items)
+                (fn, batch_fn, run_params, chunk, capture)
+                for chunk in self._chunks(block)
             ]
-            ctx = multiprocessing.get_context(
-                "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
-            )
-            with ctx.Pool(processes=min(self.workers, len(payloads))) as pool:
+            if pool is None:
+                for payload in payloads:
+                    _absorb(_run_chunk(payload))
+            else:
                 for chunk_result in pool.imap_unordered(_run_chunk, payloads):
                     _absorb(chunk_result)
 
+        pool = None
+        executed = trials
+        try:
+            if self.workers > 1 and trials > 1:
+                ctx = multiprocessing.get_context(
+                    "fork"
+                    if "fork" in multiprocessing.get_all_start_methods()
+                    else "spawn"
+                )
+                pool = ctx.Pool(processes=self.workers)
+            if adaptive is None:
+                _dispatch(items, pool)
+            else:
+                # Deterministic block schedule with a barrier per block:
+                # the stopping decision sees exactly the first N trial
+                # values, never a worker-count-dependent superset.
+                done = 0
+                while done < trials:
+                    checkpoint = adaptive.next_checkpoint(done, trials)
+                    _dispatch(items[done:checkpoint], pool)
+                    done = checkpoint
+                    if done >= trials or adaptive.satisfied(
+                        values_by_index[:done]
+                    ):
+                        break
+                executed = done
+        finally:
+            if pool is not None:
+                pool.terminate()
+                pool.join()
+
+        values_by_index = values_by_index[:executed]
+        times_by_index = times_by_index[:executed]
         self._verify_values(verify, values_by_index)
 
         if self.cache is not None and key is not None:
@@ -320,12 +402,13 @@ class ExperimentEngine:
 
         result = RunResult(
             experiment=experiment,
-            trials=trials,
+            trials=executed,
             workers=self.workers,
             values=values_by_index,
             trial_times_s=times_by_index,
             elapsed_s=time.perf_counter() - start,
             from_cache=False,
+            requested_trials=trials if adaptive is not None else None,
         )
         for observer in observers:
             observer.on_run_end(result)

@@ -30,8 +30,13 @@ from .errors import ReproError
 #: The two implementation kinds every dual-path entry point accepts.
 ENGINE_KINDS = ("fast", "reference")
 
+#: The three-tier vocabulary for entry points that also ship a batched
+#: whole-array numpy kernel (the NoC simulator and the emulator).
+VECTOR_ENGINE_KINDS = ("fast", "reference", "vector")
+
 FAST = "fast"
 REFERENCE = "reference"
+VECTOR = "vector"
 
 
 def resolve_engine_kind(
@@ -39,6 +44,7 @@ def resolve_engine_kind(
     *,
     default: str = FAST,
     entry_point: str = "",
+    kinds: tuple[str, ...] = ENGINE_KINDS,
     deprecated_name: str | None = None,
     deprecated_value: Any = None,
     deprecated_map: Mapping[Any, str] | None = None,
@@ -53,6 +59,10 @@ def resolve_engine_kind(
         Kind selected when neither keyword is supplied.
     entry_point:
         Name used in warnings/errors (e.g. ``"PdnSolver"``).
+    kinds:
+        The kinds this entry point implements — :data:`ENGINE_KINDS`
+        for the common dual-path case, :data:`VECTOR_ENGINE_KINDS` for
+        entry points with a third batched-numpy tier.
     deprecated_name / deprecated_value / deprecated_map:
         The legacy keyword's name, the value the caller passed (``None``
         = not given), and the mapping from legacy values to kinds (e.g.
@@ -77,9 +87,9 @@ def resolve_engine_kind(
             stacklevel=3,
         )
     if engine is not None:
-        if engine not in ENGINE_KINDS:
+        if engine not in kinds:
             raise ReproError(
-                f"{entry_point}: unknown engine {engine!r}; pick one of {ENGINE_KINDS}"
+                f"{entry_point}: unknown engine {engine!r}; pick one of {kinds}"
             )
         if legacy_kind is not None and legacy_kind != engine:
             raise ReproError(

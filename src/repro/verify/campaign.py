@@ -30,11 +30,12 @@ import numpy as np
 
 from ..arch.emulator import Emulator, clear_route_cache
 from ..arch.system import WaferscaleSystem
+from ..arch.vectoremu import emulate_batch
 from ..config import SystemConfig
 from ..dft.multichain import row_chains, single_chain
 from ..dft.unrolling import ChainTestSession, TileUnderTest, locate_faulty_tiles
 from ..engine.core import ExperimentEngine, TrialContext
-from ..errors import ReproError
+from ..errors import NetworkError, ReproError
 from ..noc.dualnetwork import NetworkId
 from ..noc.faults import random_fault_map
 from ..noc.remap import best_logical_grid, logical_system_config
@@ -42,8 +43,11 @@ from ..noc.simulator import NocSimulator
 from ..pdn.solver import PdnSolver
 from ..workloads.bfs import DistributedBfs
 from ..workloads.graphs import random_graph
+from ..workloads.pagerank import DistributedPageRank
 from ..workloads.sssp import DistributedSssp
+from ..workloads.stencil import DistributedStencil
 from ..workloads.traffic import TrafficPattern, generate_traffic
+from ..workloads.waves import FrontierWave
 from .golden import (
     GoldenNocModel,
     golden_bfs,
@@ -59,8 +63,9 @@ from .invariants import (
     full_noc_checkers,
 )
 
-#: Campaign suites, in the order ``--suite all`` runs them.
-SUITES = ("noc", "pdn", "emu", "dft")
+#: Campaign suites, in the order ``--suite all`` runs them.  New suites
+#: append at the end: a suite's seed stream is derived from its index.
+SUITES = ("noc", "pdn", "emu", "dft", "emu-vector")
 
 #: Traffic patterns the NoC suite cycles through (HOTSPOT saturates tiny
 #: meshes too fast to stay comparable at fixed cycle counts).
@@ -402,10 +407,197 @@ def _emu_trial(ctx: TrialContext) -> dict[str, Any]:
             "distributed SSSP distances diverged from the oracle",
             {"source": source},
         )
+
+    # Phase 3: PageRank fuzz across all three emulator tiers on the
+    # trial's faulty system — ranks and every EmulationStats field must
+    # be bit-identical.
+    pagerank = DistributedPageRank(system, graph)
+    pr = {
+        engine: pagerank.run(iterations=4, engine=engine)
+        for engine in ("fast", "reference", "vector")
+    }
+    for other in ("reference", "vector"):
+        if (
+            pr["fast"].ranks != pr[other].ranks
+            or pr["fast"].stats != pr[other].stats
+        ):
+            raise InvariantViolation(
+                "emu",
+                "pagerank_differential",
+                f"PageRank diverged between the fast and {other} engines",
+                {"source": source, "engines": ["fast", other]},
+            )
+
+    # Phase 4: stencil fuzz across the tiers (stencil blocks pin to
+    # physical tiles, so it runs on a fault-free system).
+    clean = WaferscaleSystem(cfg)
+    field = rng.random((rows * 2, cols * 2))
+    sweeps = int(rng.integers(1, 4))
+    st = {
+        engine: DistributedStencil(clean, field).run(sweeps, engine=engine)
+        for engine in ("fast", "reference", "vector")
+    }
+    for other in ("reference", "vector"):
+        if (
+            not np.array_equal(st["fast"].field, st[other].field)
+            or st["fast"].stats != st[other].stats
+        ):
+            raise InvariantViolation(
+                "emu",
+                "stencil_differential",
+                f"stencil diverged between the fast and {other} engines",
+                {"sweeps": sweeps, "engines": ["fast", other]},
+            )
     return {
         "checks": checker.checks,
         "flows": len(pairs),
         "bfs_reached": len(cached),
+        "pagerank_iterations": pr["fast"].iterations,
+    }
+
+
+def _wave_outcome(wave: FrontierWave, engine: str):
+    """A wave run's stats, or the :class:`NetworkError` message it raised.
+
+    Random destinations can be unreachable on a disconnecting fault map;
+    engines must then agree on the *error* too, so the outcome keeps the
+    message text as the comparable value.
+    """
+    try:
+        return wave.run(engine=engine)
+    except NetworkError as err:
+        return ("NetworkError", str(err))
+
+
+def _emu_vector_trial(ctx: TrialContext) -> dict[str, Any]:
+    """Vector-emulator differential: per-field stats and batched trials.
+
+    Four phases per randomized scenario:
+
+    1. synthetic flows through a checked ``engine="vector"`` emulator
+       (every cached route re-derived by RouteCoherenceChecker);
+    2. BFS and SSSP across all three tiers — distances *and* every
+       :class:`~repro.arch.emulator.EmulationStats` field bit-identical;
+    3. a :class:`FrontierWave` across the tiers, where unreachable
+       destinations must raise the identical :class:`NetworkError`;
+    4. :func:`emulate_batch` over three independent wave trials, each
+       trial's stats bit-identical to its own individual vector run.
+    """
+    rng = ctx.rng
+    rows = ctx.params["rows"]
+    cols = ctx.params["cols"]
+    cfg = SystemConfig(rows=rows, cols=cols)
+    fmap = _campaign_fault_map(cfg, rng, max_faults=6)
+    clear_route_cache()
+    system = WaferscaleSystem(cfg, fmap)
+
+    # Phase 1: the vector engine under an attached invariant checker.
+    checker = RouteCoherenceChecker(sample=1)
+    emulator = Emulator(system, engine="vector", checkers=[checker])
+    healthy = system.healthy_coords()
+    for _ in range(2):
+        for _ in range(min(24, len(healthy) * 2)):
+            src = healthy[int(rng.integers(len(healthy)))]
+            dst = healthy[int(rng.integers(len(healthy)))]
+            if src != dst:
+                emulator.send(src, dst, payload=None)
+        emulator.superstep(lambda tile, inbox, em: 0)
+
+    # Phase 2: BFS + SSSP stats differential across the three tiers.
+    graph = random_graph(
+        nodes=int(rng.integers(24, 49)),
+        seed=int(rng.integers(0, 2**31)),
+        weighted=True,
+    )
+    source = int(rng.integers(graph.number_of_nodes()))
+    bfs = DistributedBfs(system, graph)
+    sssp = DistributedSssp(system, graph)
+    bfs_runs = {e: bfs.run(source, engine=e) for e in ("fast", "reference", "vector")}
+    sssp_runs = {e: sssp.run(source, engine=e) for e in ("fast", "reference", "vector")}
+    for other in ("reference", "vector"):
+        if (
+            bfs_runs["fast"].distance != bfs_runs[other].distance
+            or bfs_runs["fast"].stats != bfs_runs[other].stats
+        ):
+            raise InvariantViolation(
+                "emu-vector",
+                "bfs_stats_differential",
+                f"BFS stats diverged between the fast and {other} engines",
+                {
+                    "source": source,
+                    "fast": bfs_runs["fast"].stats,
+                    other: bfs_runs[other].stats,
+                },
+            )
+        if (
+            sssp_runs["fast"].distance != sssp_runs[other].distance
+            or sssp_runs["fast"].stats != sssp_runs[other].stats
+        ):
+            raise InvariantViolation(
+                "emu-vector",
+                "sssp_stats_differential",
+                f"SSSP stats diverged between the fast and {other} engines",
+                {"source": source},
+            )
+
+    # Phase 3: send_batch-heavy wave traffic, including error parity on
+    # maps that disconnect a drawn destination.
+    wave_seed = int(rng.integers(0, 2**31))
+    wave = FrontierWave(system, width=4, fanout=3, ttl=3, seed=wave_seed)
+    outcomes = {e: _wave_outcome(wave, e) for e in ("fast", "reference", "vector")}
+    for other in ("reference", "vector"):
+        if outcomes["fast"] != outcomes[other]:
+            raise InvariantViolation(
+                "emu-vector",
+                "wave_differential",
+                f"wave outcome diverged between the fast and {other} engines",
+                {
+                    "wave_seed": wave_seed,
+                    "fast": outcomes["fast"],
+                    other: outcomes[other],
+                },
+            )
+
+    # Phase 4: batched trials — emulate_batch over three independent
+    # scenarios must match each scenario's individual vector run.  Maps
+    # whose wave hits an unreachable destination fall back to fault-free
+    # (error parity is already covered by phase 3).
+    trials = []
+    for b in range(3):
+        trial_fmap = _campaign_fault_map(cfg, rng, max_faults=4)
+        trial_seed = wave_seed + 1 + b
+        for candidate in (trial_fmap, random_fault_map(cfg, 0, rng)):
+            trial_system = WaferscaleSystem(cfg, candidate)
+            trial_wave = FrontierWave(
+                trial_system, width=3, fanout=2, ttl=3, seed=trial_seed
+            )
+            try:
+                expected = trial_wave.run(engine="vector")
+            except NetworkError:
+                continue
+            trials.append((trial_wave, expected))
+            break
+    for trial_wave, _ in trials:
+        trial_wave.reset()
+    batched = emulate_batch(
+        [w.system for w, _ in trials],
+        [w.compute for w, _ in trials],
+        init=[w.seed_sends for w, _ in trials],
+    )
+    for b, (stats, (_, expected)) in enumerate(zip(batched, trials)):
+        if stats != expected:
+            raise InvariantViolation(
+                "emu-vector",
+                "batch_differential",
+                "batched trial diverged from its individual vector run",
+                {"trial": b, "batched": stats, "individual": expected},
+            )
+
+    return {
+        "checks": checker.checks,
+        "bfs_reached": len(bfs_runs["fast"].distance),
+        "detoured": bfs_runs["fast"].stats.detoured_messages,
+        "batch_trials": len(trials),
     }
 
 
@@ -451,6 +643,7 @@ _TRIALS = {
     "pdn": _pdn_trial,
     "emu": _emu_trial,
     "dft": _dft_trial,
+    "emu-vector": _emu_vector_trial,
 }
 
 

@@ -6,8 +6,10 @@ from .pagerank import DistributedPageRank, PageRankResult
 from .sssp import DistributedSssp, SsspResult
 from .stencil import DistributedStencil, StencilResult
 from .traffic import TrafficPattern, generate_traffic
+from .waves import FrontierWave
 
 __all__ = [
+    "FrontierWave",
     "BfsResult",
     "DistributedBfs",
     "GraphPartition",

@@ -55,14 +55,23 @@ class DistributedPageRank:
             graph, system.healthy_coords()
         )
 
-    def run(self, iterations: int = 30, tolerance: float = 1e-8) -> PageRankResult:
-        """Run power iterations until convergence or the iteration cap."""
+    def run(
+        self,
+        iterations: int = 30,
+        tolerance: float = 1e-8,
+        engine: str | None = None,
+    ) -> PageRankResult:
+        """Run power iterations until convergence or the iteration cap.
+
+        ``engine`` selects the emulator tier (``"fast"`` — the default —
+        ``"reference"`` or ``"vector"``); results are identical.
+        """
         if iterations < 1:
             raise WorkloadError("need at least one iteration")
         n = self.graph.number_of_nodes()
         ranks = {v: 1.0 / n for v in self.graph.nodes}
         owner = self.partition.owner_of
-        emulator = Emulator(self.system)
+        emulator = Emulator(self.system, engine=engine)
         iterations_run = 0
 
         for _ in range(iterations):

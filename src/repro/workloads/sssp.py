@@ -57,12 +57,21 @@ class DistributedSssp:
             graph, system.healthy_coords()
         )
 
-    def run(self, source: int, max_supersteps: int = 10_000) -> SsspResult:
-        """Run SSSP from ``source``."""
+    def run(
+        self,
+        source: int,
+        max_supersteps: int = 10_000,
+        engine: str | None = None,
+    ) -> SsspResult:
+        """Run SSSP from ``source``.
+
+        ``engine`` selects the emulator tier (``"fast"`` — the default —
+        ``"reference"`` or ``"vector"``); results are identical.
+        """
         if source not in self.graph:
             raise WorkloadError(f"source {source} not in graph")
 
-        emulator = Emulator(self.system)
+        emulator = Emulator(self.system, engine=engine)
         distance: dict[int, float] = {}
         owner = self.partition.owner_of
 

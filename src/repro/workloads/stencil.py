@@ -70,12 +70,16 @@ class DistributedStencil:
             c * self.block_w : (c + 1) * self.block_w,
         ]
 
-    def run(self, iterations: int) -> StencilResult:
-        """Run ``iterations`` Jacobi sweeps; returns the final field."""
+    def run(self, iterations: int, engine: str | None = None) -> StencilResult:
+        """Run ``iterations`` Jacobi sweeps; returns the final field.
+
+        ``engine`` selects the emulator tier (``"fast"`` — the default —
+        ``"reference"`` or ``"vector"``); results are identical.
+        """
         if iterations < 0:
             raise WorkloadError("iterations must be non-negative")
         cfg = self.system.config
-        emulator = Emulator(self.system)
+        emulator = Emulator(self.system, engine=engine)
         rows, cols = self.field.shape
 
         for _ in range(iterations):

@@ -2,8 +2,23 @@
 
 import pytest
 
+from repro.arch.emulator import clear_route_cache
 from repro.config import SystemConfig
 from repro.noc.faults import FaultMap
+
+
+@pytest.fixture(autouse=True)
+def _fresh_route_caches():
+    """Clear the emulator's process-wide route caches around every test.
+
+    ``_ROUTE_CACHE`` (and the vector engine's route-table LRU) are keyed
+    by fault map, so entries seeded by one test would otherwise leak
+    into the next — invisible under the default ordering but flaky
+    under ``pytest-randomly``.
+    """
+    clear_route_cache()
+    yield
+    clear_route_cache()
 
 
 @pytest.fixture

@@ -16,9 +16,11 @@ from repro.arch.system import WaferscaleSystem
 from repro.config import SystemConfig
 from repro.errors import NetworkError, PdnError, ReproError
 from repro.flow.characterize import characterize_activity_sweep
+from repro.engine import CIStop
 from repro.noc.connectivity import (
     _pair_blockage,
     _pair_blockage_reference,
+    _pair_blockage_sparse,
     _same_row_col_share_reference,
     disconnected_fraction,
     disconnected_fractions,
@@ -91,6 +93,39 @@ class TestConnectivityDifferential:
         batched = disconnected_fractions(maps)
         assert batched == [disconnected_fraction(m) for m in maps]
 
+    def test_sparse_kernel_matches_both_kernels(self, small_cfg):
+        for fmap in _random_maps(small_cfg, (0, 1, 2, 5, 12, 30), seed=8):
+            sparse = _pair_blockage_sparse(fmap)
+            assert sparse == _pair_blockage(fmap)
+            assert sparse == _pair_blockage_reference(fmap)
+
+    def test_sparse_kernel_paper_scale_and_non_square(self, paper_cfg):
+        for fmap in _random_maps(paper_cfg, (5, 40), seed=9):
+            assert _pair_blockage_sparse(fmap) == _pair_blockage(fmap)
+        cfg = SystemConfig(rows=6, cols=5)
+        for fmap in _random_maps(cfg, (0, 3, 9), seed=10):
+            assert _pair_blockage_sparse(fmap) == _pair_blockage(fmap)
+
+    def test_sparse_kernel_adversarial_rows_cols(self, small_cfg):
+        row_map = FaultMap(small_cfg, frozenset((3, c) for c in range(1, 7)))
+        col_map = FaultMap(small_cfg, frozenset((r, 5) for r in range(0, 8, 2)))
+        healthy = {(0, 0), (7, 7), (3, 4)}
+        dense_map = FaultMap(
+            small_cfg,
+            frozenset(
+                coord
+                for coord in small_cfg.tile_coords()
+                if coord not in healthy
+            ),
+        )
+        for fmap in (row_map, col_map, dense_map):
+            assert _pair_blockage_sparse(fmap) == _pair_blockage(fmap)
+
+    def test_sparse_kernel_degenerate_raises(self, small_cfg):
+        faulty = frozenset(set(small_cfg.tile_coords()) - {(0, 0)})
+        with pytest.raises(NetworkError, match="two healthy"):
+            _pair_blockage_sparse(FaultMap(small_cfg, faulty))
+
     def test_same_row_col_share_matches_reference(self, small_cfg):
         for fmap in _random_maps(small_cfg, (1, 3, 8), seed=7):
             fast = same_row_col_share(fmap)
@@ -125,6 +160,73 @@ class TestMonteCarloFastPath:
     def test_batch_must_be_positive(self, small_cfg):
         with pytest.raises(NetworkError, match="batch"):
             monte_carlo_disconnection(small_cfg, [1], trials=2, batch=0)
+        with pytest.raises(NetworkError, match="batch"):
+            monte_carlo_disconnection(small_cfg, [1], trials=2, batch="nope")
+
+    def test_chunk_dispatch_bit_identical_to_per_trial(self, small_cfg):
+        kwargs = dict(fault_counts=[2, 5], trials=20, seed=9)
+        base = monte_carlo_disconnection(small_cfg, **kwargs)
+        for workers in (1, 3):
+            chunked = monte_carlo_disconnection(
+                small_cfg, workers=workers, batch="chunk", **kwargs
+            )
+            assert chunked == base
+
+    def test_chunk_dispatch_reference_method(self, small_cfg):
+        kwargs = dict(fault_counts=[3], trials=8, seed=4, method="reference")
+        base = monte_carlo_disconnection(small_cfg, **kwargs)
+        chunked = monte_carlo_disconnection(
+            small_cfg, batch="chunk", **kwargs
+        )
+        assert chunked == base
+
+    def test_chunk_degenerate_draw_names_trial_and_seed(self):
+        cfg = SystemConfig(rows=1, cols=3)
+        with pytest.raises(NetworkError) as excinfo:
+            monte_carlo_disconnection(
+                cfg, [2], trials=2, seed=11, batch="chunk"
+            )
+        message = str(excinfo.value)
+        assert "degenerate fault map" in message
+        assert "fault_count 2" in message
+        assert "run seed (11, 2)" in message
+
+
+class TestMonteCarloAdaptive:
+    def test_stops_early_and_is_worker_invariant(self, small_cfg):
+        rule = CIStop(rel_halfwidth=0.02, min_trials=16, block=8)
+        kwargs = dict(fault_counts=[5], trials=400, seed=7, adaptive=rule)
+        solo = monte_carlo_disconnection(small_cfg, **kwargs)
+        assert solo[0].trials < 400
+        pooled = monte_carlo_disconnection(small_cfg, workers=4, **kwargs)
+        chunked = monte_carlo_disconnection(
+            small_cfg, workers=4, batch="chunk", **kwargs
+        )
+        assert solo == pooled == chunked
+
+    def test_adaptive_prefix_matches_fixed_run(self, small_cfg):
+        rule = CIStop(rel_halfwidth=0.05, min_trials=16, block=8)
+        adaptive = monte_carlo_disconnection(
+            small_cfg, [5], trials=300, seed=3, adaptive=rule
+        )
+        fixed = monte_carlo_disconnection(
+            small_cfg, [5], trials=adaptive[0].trials, seed=3
+        )
+        assert adaptive[0].mean_single_pct == fixed[0].mean_single_pct
+        assert adaptive[0].mean_dual_pct == fixed[0].mean_dual_pct
+
+    def test_adaptive_rejects_integer_batches(self, small_cfg):
+        with pytest.raises(NetworkError, match="adaptive"):
+            monte_carlo_disconnection(
+                small_cfg, [5], trials=8, batch=4, adaptive=CIStop()
+            )
+
+    def test_adaptive_cap_is_respected(self, small_cfg):
+        rule = CIStop(rel_halfwidth=1e-9, min_trials=4, block=4)
+        out = monte_carlo_disconnection(
+            small_cfg, [5], trials=12, seed=1, adaptive=rule
+        )
+        assert out[0].trials == 12
 
 
 # ---------------------------------------------------------------------------

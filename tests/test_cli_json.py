@@ -32,6 +32,8 @@ COMMANDS = {
     "remap": ["remap", "--rows", "4", "--cols", "4", "--faults", "2", "--seed", "1"],
     "lot": ["lot", "--rows", "4", "--cols", "4", "--wafers", "4", "--no-cache"],
     "noc": ["noc", "--rows", "4", "--cols", "4", "--cycles", "20"],
+    "emu": ["emu", "--rows", "4", "--cols", "4", "--workload", "wave",
+            "--engine", "vector", "--faults", "1", "--seed", "1"],
     "verify": ["verify", "--suite", "dft", "--trials", "2"],
     # A missing file is still a structured (ok=False) result.
     "obs": ["obs", "validate", "does-not-exist.json"],
