@@ -64,7 +64,7 @@ from typing import Any, Callable
 from .config import SystemConfig
 
 # Commands whose trials run on the experiment engine.
-ENGINE_COMMANDS = ("fig6", "resiliency", "shmoo", "lot")
+ENGINE_COMMANDS = ("fig6", "resiliency", "shmoo", "lot", "collective")
 
 
 def _jsonify(obj: Any) -> Any:
@@ -643,6 +643,145 @@ def run_emu(
     }
 
 
+def run_collective(
+    config: SystemConfig,
+    pattern: str = "ring-all-reduce",
+    backend: str = "noc",
+    engine: str | None = None,
+    faults: int = 0,
+    seed: int = 0,
+    ranks: int | None = None,
+    segments: int = 2,
+    root: int = 0,
+    stages: int = 2,
+    microbatches: int = 4,
+    placement: str = "row-major",
+    sweep_faults: str | list[int] | None = None,
+    trials: int = 10,
+    workers: int = 1,
+    cache=None,
+) -> dict:
+    """Run one collective workload (or a fault sweep) with its oracle.
+
+    ``--backend noc`` compiles the collective to a packet schedule and
+    drives the selected :class:`~repro.noc.simulator.NocSimulator`
+    engine; ``--backend emu`` runs the live
+    :class:`~repro.workloads.collectives.CollectiveDriver` on the
+    matching emulator tier.  Either way the completion oracle verifies
+    every participant tile's final reduced value in-simulation, and the
+    resolved ``engine`` kind is echoed in the result.
+
+    ``--sweep-faults 0,4,8`` switches to the figure-style experiment:
+    achieved bandwidth vs fault count over experiment-engine trials
+    (each drawing its own nested fault maps), honoring ``--workers``
+    and the on-disk result cache.
+
+    ``--pattern dataflow`` runs the demo layer-DAG workload from
+    :mod:`repro.workloads.dataflow` through the same machinery.
+    """
+    from .arch.system import WaferscaleSystem
+    from .noc.faults import random_fault_map
+    from .workloads.collectives import (
+        CollectiveDriver,
+        CollectiveSpec,
+        achieved_bandwidth,
+        collective_fault_sweep,
+        compile_noc,
+        run_noc_collective,
+    )
+
+    kind = engine or "reference"
+    spec = CollectiveSpec(
+        pattern=pattern if pattern != "dataflow" else "ring-all-reduce",
+        seed=seed,
+        ranks=ranks,
+        segments=segments,
+        root=root,
+        stages=stages,
+        microbatches=microbatches,
+        placement=placement,
+    )
+    base = {
+        "command": "collective",
+        "ok": True,
+        "engine": kind,
+        "backend": backend,
+        "pattern": pattern,
+        "placement": placement,
+        "rows": config.rows,
+        "cols": config.cols,
+        "faults": faults,
+        "seed": seed,
+    }
+
+    if sweep_faults is not None:
+        if isinstance(sweep_faults, str):
+            counts = [int(c) for c in sweep_faults.split(",") if c.strip()]
+        else:
+            counts = list(sweep_faults)
+        if pattern == "dataflow":
+            raise SystemExit("--sweep-faults supports the spec patterns only")
+        sweep = collective_fault_sweep(
+            config,
+            spec,
+            counts,
+            trials=trials,
+            seed=seed,
+            engine=kind,
+            workers=workers,
+            cache=cache,
+        )
+        return {**base, "mode": "sweep", "trials": sweep["trials"],
+                "points": sweep["points"]}
+
+    program = None
+    if pattern == "dataflow":
+        from .workloads.dataflow import demo_graph
+
+        graph = demo_graph(seed=seed)
+        program = graph.build_program()
+        spec = CollectiveSpec(seed=seed, placement=placement)
+    fault_map = random_fault_map(config, faults, rng=seed) if faults else None
+
+    if backend == "noc":
+        coll = compile_noc(config, fault_map, spec, program=program)
+        report, checks = run_noc_collective(coll, engine=kind)
+        return {
+            **base,
+            "mode": "single",
+            "ranks": coll.program.ranks,
+            "phases": len(coll.program.phases),
+            "packets": coll.packets,
+            "detoured_transfers": coll.detoured_transfers,
+            "cycles": report.cycles,
+            "delivered": report.delivered,
+            "bandwidth_words_per_cycle": achieved_bandwidth(coll, report),
+            "oracle_checks": checks,
+        }
+    if backend == "emu":
+        from .fastpath import VECTOR_ENGINE_KINDS, resolve_engine_kind
+
+        kind = resolve_engine_kind(
+            engine, entry_point="repro collective", kinds=VECTOR_ENGINE_KINDS
+        )
+        system = WaferscaleSystem(config, fault_map)
+        driver = CollectiveDriver(system, spec, program=program)
+        stats = driver.run(engine=kind)
+        return {
+            **base,
+            "engine": kind,
+            "mode": "single",
+            "ranks": driver.program.ranks,
+            "phases": len(driver.program.phases),
+            "supersteps": stats.supersteps,
+            "messages_sent": stats.messages_sent,
+            "detoured_messages": stats.detoured_messages,
+            "total_cycles": stats.total_cycles,
+            "oracle_checks": driver.verify(),
+        }
+    raise SystemExit(f"unknown collective backend {backend!r}")
+
+
 def run_verify_cmd(
     suite: str = "all",
     trials: int = 25,
@@ -965,6 +1104,46 @@ def render_emu(result: dict) -> str:
     return "\n".join(lines)
 
 
+def render_collective(result: dict) -> str:
+    head = (
+        f"Collective {result['pattern']} on "
+        f"{result['rows']}x{result['cols']} "
+        f"({result['faults']} faults, placement={result['placement']}, "
+        f"engine={result['engine']}):"
+    )
+    if result["mode"] == "sweep":
+        lines = [head, "  faults  trials_ok  words/cycle  mean cycles"]
+        for point in result["points"]:
+            lines.append(
+                f"  {point['faults']:>6}  {point['trials_ok']:>9}  "
+                f"{point['mean_bandwidth_words_per_cycle']:>11.4f}  "
+                f"{point['mean_cycles']:>11.1f}"
+            )
+        return "\n".join(lines)
+    lines = [
+        head,
+        f"  ranks             : {result['ranks']}",
+        f"  phases            : {result['phases']}",
+    ]
+    if result["backend"] == "noc":
+        lines += [
+            f"  packets           : {result['packets']} "
+            f"({result['detoured_transfers']} detoured transfers)",
+            f"  cycles            : {result['cycles']}",
+            f"  bandwidth         : "
+            f"{result['bandwidth_words_per_cycle']:.4f} words/cycle",
+        ]
+    else:
+        lines += [
+            f"  supersteps        : {result['supersteps']}",
+            f"  messages sent     : {result['messages_sent']} "
+            f"({result['detoured_messages']} detoured)",
+            f"  total cycles      : {result['total_cycles']}",
+        ]
+    lines.append(f"  oracle checks     : {result['oracle_checks']} (all passed)")
+    return "\n".join(lines)
+
+
 def render_verify(result: dict) -> str:
     lines = [
         f"verification campaign: suite={result['suite']} "
@@ -1087,6 +1266,13 @@ _RUNNERS: dict[str, Callable[[argparse.Namespace], dict]] = {
         _config(a), workload=a.workload, engine=a.engine,
         faults=a.faults, seed=a.seed,
     ),
+    "collective": lambda a: run_collective(
+        _config(a), pattern=a.pattern, backend=a.backend, engine=a.engine,
+        faults=a.faults, seed=a.seed, ranks=a.ranks, segments=a.segments,
+        root=a.root, stages=a.stages, microbatches=a.microbatches,
+        placement=a.placement, sweep_faults=a.sweep_faults, trials=a.trials,
+        **_engine_kwargs(a),
+    ),
     "obs": lambda a: run_obs(
         a.action, a.paths,
         threshold=getattr(a, "threshold", 0.1),
@@ -1121,6 +1307,7 @@ _RENDERERS: dict[str, Callable[[dict], str]] = {
     "lot": render_lot,
     "noc": render_noc,
     "emu": render_emu,
+    "collective": render_collective,
     "obs": render_obs,
     "submit": render_submit,
     "verify": render_verify,
@@ -1276,6 +1463,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("noc", ("seed", "faults", "cycles", "rate", "pattern", "sim_engine",
                  "noc_checkpoint")),
         ("emu", ("seed", "faults", "emu_engine", "workload")),
+        ("collective", ("trials", "seed", "faults", "collective_opts")),
         ("validate", ()),
     ):
         p = sub.add_parser(name)
@@ -1362,6 +1550,58 @@ def build_parser() -> argparse.ArgumentParser:
                 default="wave",
                 choices=("wave", "bfs", "pagerank", "stencil"),
                 help="emulated workload to run end to end",
+            )
+        if "collective_opts" in extras:
+            from .noc.simulator import ENGINES as NOC_ENGINES
+            from .workloads.collectives import PATTERNS, PLACEMENTS
+
+            p.add_argument(
+                "--pattern",
+                type=str,
+                default="ring-all-reduce",
+                choices=list(PATTERNS) + ["dataflow"],
+                help="collective pattern, or the demo layer-DAG dataflow",
+            )
+            p.add_argument(
+                "--backend",
+                type=str,
+                default="noc",
+                choices=("noc", "emu"),
+                help="compile to NoC packet schedules or run the live "
+                "emulator driver",
+            )
+            p.add_argument(
+                "--engine",
+                type=str,
+                default=None,
+                choices=list(NOC_ENGINES),
+                help="simulation/emulation engine tier (default: reference "
+                "for --backend noc, resolved default for --backend emu)",
+            )
+            p.add_argument(
+                "--ranks",
+                type=int,
+                default=None,
+                help="participant count (default: every healthy tile)",
+            )
+            p.add_argument("--segments", type=int, default=2)
+            p.add_argument("--root", type=int, default=0)
+            p.add_argument("--stages", type=int, default=2)
+            p.add_argument("--microbatches", type=int, default=4)
+            p.add_argument(
+                "--placement",
+                type=str,
+                default="row-major",
+                choices=list(PLACEMENTS),
+            )
+            p.add_argument(
+                "--sweep-faults",
+                dest="sweep_faults",
+                type=str,
+                default=None,
+                metavar="N,N,...",
+                help="comma-separated fault counts: run the bandwidth-vs-"
+                "faults sweep on the experiment engine instead of one run",
             )
         if "noc_checkpoint" in extras:
             p.add_argument(

@@ -13,8 +13,9 @@ turns that evidence from one-shot tests into standing infrastructure:
   conservation, DoR legality, FIFO bounds, KCL, droop bounds, chain
   permutation integrity or route-cache coherence;
 * :mod:`.golden` — deliberately naive reference oracles (a loop-based
-  mini-NoC, a dense ``numpy.linalg.solve`` PDN, pure-Python BFS/SSSP)
-  used as ground truth in randomized differential campaigns;
+  mini-NoC, a dense ``numpy.linalg.solve`` PDN, pure-Python BFS/SSSP,
+  per-collective reduction models) used as ground truth in randomized
+  differential campaigns;
 * :mod:`.strategies` — the shared Hypothesis strategy library the test
   suite draws configs, fault maps, traffic and power maps from;
 * :mod:`.campaign` — seeded randomized fast-vs-reference-vs-oracle
@@ -40,6 +41,15 @@ from .invariants import (
     full_noc_checkers,
 )
 from .campaign import SUITES, run_verify
+from .golden import (
+    golden_all_reduce,
+    golden_all_to_all,
+    golden_broadcast,
+    golden_collective_finals,
+    golden_dataflow,
+    golden_pipeline,
+    golden_reduce,
+)
 
 __all__ = [
     "ChainIntegrityChecker",
@@ -57,4 +67,11 @@ __all__ = [
     "default_noc_checkers",
     "full_noc_checkers",
     "run_verify",
+    "golden_all_reduce",
+    "golden_all_to_all",
+    "golden_broadcast",
+    "golden_collective_finals",
+    "golden_dataflow",
+    "golden_pipeline",
+    "golden_reduce",
 ]

@@ -42,6 +42,15 @@ from ..noc.remap import best_logical_grid, logical_system_config
 from ..noc.simulator import NocSimulator
 from ..pdn.solver import PdnSolver
 from ..workloads.bfs import DistributedBfs
+from ..workloads.collectives import (
+    PATTERNS as COLLECTIVE_PATTERNS,
+    PLACEMENTS,
+    CollectiveDriver,
+    CollectiveSpec,
+    compile_noc,
+    run_noc_collective,
+    run_noc_collective_batch,
+)
 from ..workloads.graphs import random_graph
 from ..workloads.pagerank import DistributedPageRank
 from ..workloads.sssp import DistributedSssp
@@ -51,6 +60,7 @@ from ..workloads.waves import FrontierWave
 from .golden import (
     GoldenNocModel,
     golden_bfs,
+    golden_collective_finals,
     golden_pdn_solve,
     golden_sssp,
 )
@@ -65,7 +75,7 @@ from .invariants import (
 
 #: Campaign suites, in the order ``--suite all`` runs them.  New suites
 #: append at the end: a suite's seed stream is derived from its index.
-SUITES = ("noc", "pdn", "emu", "dft", "emu-vector")
+SUITES = ("noc", "pdn", "emu", "dft", "emu-vector", "collective")
 
 #: Traffic patterns the NoC suite cycles through (HOTSPOT saturates tiny
 #: meshes too fast to stay comparable at fixed cycle counts).
@@ -638,12 +648,189 @@ def _dft_trial(ctx: TrialContext) -> dict[str, Any]:
     return {"checks": checker.checks, "chain_length": chain_length}
 
 
+#: Geometries the collective suite cycles through (the configured
+#: ``rows × cols`` plus three fixed shapes, incl. non-square ones).
+_COLLECTIVE_GEOMETRIES = ((6, 6), (5, 9), (4, 7))
+
+
+def _collective_golden_check(coll) -> int:
+    """Differential: program finals vs the naive golden collective model."""
+    program = coll.program
+    expected = golden_collective_finals(
+        program.name,
+        program.ranks,
+        seed=program.params.get("seed", 0),
+        segments=program.params.get("segments", 1),
+        root=program.params.get("root", 0),
+        stages=program.params.get("stages", 2),
+        microbatches=program.params.get("microbatches", 4),
+    )
+    checks = 0
+    for rank, slots in expected.items():
+        for slot_id, want in slots.items():
+            checks += 1
+            got = coll.trace.finals[rank].get(slot_id, 0)
+            if got != want:
+                raise InvariantViolation(
+                    "collective",
+                    "golden_differential",
+                    "collective finals disagree with the golden model",
+                    {
+                        "pattern": program.name,
+                        "rank": rank,
+                        "tile": coll.rank_coords[rank],
+                        "slot": slot_id,
+                        "golden": want,
+                        "program": got,
+                    },
+                )
+    return checks
+
+
+def _collective_compile(cfg, fmap, spec, rng):
+    """Compile a collective, falling back to a fault-free map if the
+    drawn one disconnects a participant pair beyond detour repair."""
+    try:
+        return compile_noc(cfg, fmap, spec), fmap
+    except NetworkError:
+        clean = random_fault_map(cfg, 0, rng)
+        return compile_noc(cfg, clean, spec), clean
+
+
+def _collective_trial(ctx: TrialContext) -> dict[str, Any]:
+    """Cross-engine + golden conformance for one randomized collective.
+
+    One trial covers, for a drawn (pattern, geometry, fault map,
+    placement, spec) point:
+
+    1. the compiled packet schedule through all three NoC engines with
+       full invariant checkers attached, every run's delivered packets
+       passing the delivery/completion oracle, and all three reports
+       bit-identical;
+    2. the program's finals against the naive golden collective model;
+    3. ``BatchNocSimulator`` over [this trial, an independent second
+       spec], each batched report bit-identical to its own individual
+       ``engine="vector"`` run and each trial's oracle re-checked on the
+       batch's delivered packets;
+    4. the live :class:`CollectiveDriver` across all three emulator
+       tiers — per-tile finals verified in-simulation and
+       :class:`~repro.arch.emulator.EmulationStats` bit-identical.
+    """
+    rng = ctx.rng
+    geometries = (
+        (ctx.params["rows"], ctx.params["cols"]),
+    ) + _COLLECTIVE_GEOMETRIES
+    rows, cols = geometries[(ctx.index // len(COLLECTIVE_PATTERNS)) % len(geometries)]
+    cfg = SystemConfig(rows=rows, cols=cols)
+    pattern = COLLECTIVE_PATTERNS[ctx.index % len(COLLECTIVE_PATTERNS)]
+    fmap = _campaign_fault_map(cfg, rng, max_faults=3)
+    spec = CollectiveSpec(
+        pattern=pattern,
+        seed=int(rng.integers(0, 2**31)),
+        ranks=int(rng.integers(2, min(17, fmap.healthy_count + 1))),
+        segments=int(rng.integers(1, 5)),
+        root=int(rng.integers(0, 8)),
+        stages=int(rng.integers(1, 5)),
+        microbatches=int(rng.integers(1, 5)),
+        placement=PLACEMENTS[ctx.index % len(PLACEMENTS)],
+    )
+    coll, fmap = _collective_compile(cfg, fmap, spec, rng)
+
+    # Phase 1: three NoC engines under checkers, oracle on every run.
+    checks = 0
+    reports = {}
+    for engine in ("fast", "reference", "vector"):
+        engine_checkers = full_noc_checkers()
+        report, oracle_checks = run_noc_collective(
+            coll, engine=engine, checkers=engine_checkers
+        )
+        reports[engine] = report
+        checks += oracle_checks + sum(c.checks for c in engine_checkers)
+    for other in ("reference", "vector"):
+        if reports["fast"] != reports[other]:
+            raise InvariantViolation(
+                "collective",
+                "engine_differential",
+                f"fast and {other} engines produced different reports",
+                {
+                    "pattern": pattern,
+                    "placement": spec.placement,
+                    "fast": reports["fast"],
+                    other: reports[other],
+                },
+            )
+
+    # Phase 2: program finals vs the naive golden model.
+    checks += _collective_golden_check(coll)
+
+    # Phase 3: batched dispatch — this trial plus an independent one.
+    spec2 = CollectiveSpec(
+        pattern=COLLECTIVE_PATTERNS[(ctx.index + 1) % len(COLLECTIVE_PATTERNS)],
+        seed=int(rng.integers(0, 2**31)),
+        ranks=int(rng.integers(2, min(13, fmap.healthy_count + 1))),
+        placement=PLACEMENTS[(ctx.index + 1) % len(PLACEMENTS)],
+    )
+    coll2, _ = _collective_compile(
+        cfg, _campaign_fault_map(cfg, rng, max_faults=3), spec2, rng
+    )
+    window = max(coll.last_cycle, coll2.last_cycle) + 1
+    solo = []
+    for trial_coll in (coll, coll2):
+        solo_report, solo_checks = run_noc_collective(
+            trial_coll, engine="vector", run_cycles=window
+        )
+        solo.append(solo_report)
+        checks += solo_checks
+    batched = run_noc_collective_batch([coll, coll2])
+    for trial, (got, want) in enumerate(zip(batched, solo)):
+        checks += 1
+        if got != want:
+            raise InvariantViolation(
+                "collective",
+                "batch_differential",
+                "batched trial diverged from its individual vector run",
+                {"trial": trial, "batched": got, "individual": want},
+            )
+
+    # Phase 4: the live emulator driver across all three tiers.
+    clear_route_cache()
+    system = WaferscaleSystem(cfg, fmap)
+    driver = CollectiveDriver(system, spec)
+    stats = {}
+    for engine in ("fast", "reference", "vector"):
+        stats[engine] = driver.run(engine=engine)
+        checks += driver.verify()
+    for other in ("reference", "vector"):
+        if stats["fast"] != stats[other]:
+            raise InvariantViolation(
+                "collective",
+                "emu_stats_differential",
+                f"driver stats diverged between the fast and {other} engines",
+                {
+                    "pattern": pattern,
+                    "fast": stats["fast"],
+                    other: stats[other],
+                },
+            )
+
+    return {
+        "checks": checks,
+        "pattern": pattern,
+        "geometry": [rows, cols],
+        "faults": fmap.fault_count,
+        "ranks": coll.program.ranks,
+        "packets": coll.packets,
+        "detoured_transfers": coll.detoured_transfers,
+    }
+
+
 _TRIALS = {
     "noc": _noc_trial,
     "pdn": _pdn_trial,
     "emu": _emu_trial,
     "dft": _dft_trial,
     "emu-vector": _emu_vector_trial,
+    "collective": _collective_trial,
 }
 
 

@@ -441,3 +441,218 @@ def golden_disconnected_fraction(fault_map: FaultMap) -> tuple[float, float]:
             if xy_blocked and yx_blocked:
                 dual += 1
     return single / pairs, dual / pairs
+
+
+# ---------------------------------------------------------------------------
+# collective-workload oracles
+# ---------------------------------------------------------------------------
+#
+# Naive models of what each collective in ``repro.workloads.collectives``
+# must compute, written against the *mathematical* definition (sum every
+# contribution, move every block) rather than against any schedule.  They
+# know the builders' public slot conventions — that is the interface
+# contract being checked — but share no phase/routing/execution logic
+# with the engine side.  The one shared artifact is the deterministic
+# input function ``contribution(seed, rank, slot)``: both sides must
+# agree on the *inputs* for a differential test to be meaningful.
+
+_MASK64 = (1 << 64) - 1
+
+
+def golden_all_reduce(values: list[list[int]]) -> list[int]:
+    """Per-slot sum (mod 2**64) of every rank's contributions.
+
+    ``values[rank][slot]`` are the inputs; every rank must end holding
+    the returned list, whatever all-reduce schedule was used.
+    """
+    if not values:
+        return []
+    slots = len(values[0])
+    totals = []
+    for s in range(slots):
+        acc = 0
+        for rank_values in values:
+            acc = (acc + rank_values[s]) & _MASK64
+        totals.append(acc)
+    return totals
+
+
+def golden_broadcast(values: list[int], root: int) -> list[int]:
+    """Every rank ends with the root's value."""
+    return [values[root] for _ in values]
+
+
+def golden_reduce(values: list[int]) -> int:
+    """The root's final value: the sum (mod 2**64) of all contributions."""
+    acc = 0
+    for v in values:
+        acc = (acc + v) & _MASK64
+    return acc
+
+
+def golden_all_to_all(values: list[list[int]]) -> list[list[int]]:
+    """The personalized exchange: ``out[j][i] == values[i][j]``."""
+    n = len(values)
+    out = []
+    for j in range(n):
+        out.append([values[i][j] for i in range(n)])
+    return out
+
+
+def golden_pipeline(stage_values: list[list[int]]) -> list[int]:
+    """Final value per microbatch: input plus every stage bias.
+
+    ``stage_values[t][b]`` is stage ``t``'s contribution to microbatch
+    ``b`` (``t == 0`` is the input); the value emerging from the last
+    stage accumulates all of them, mod 2**64.
+    """
+    if not stage_values:
+        return []
+    microbatches = len(stage_values[0])
+    out = []
+    for b in range(microbatches):
+        acc = 0
+        for stage in stage_values:
+            acc = (acc + stage[b]) & _MASK64
+        out.append(acc)
+    return out
+
+
+def golden_collective_finals(
+    pattern: str,
+    ranks: int,
+    *,
+    seed: int = 0,
+    segments: int = 1,
+    root: int = 0,
+    stages: int = 2,
+    microbatches: int = 4,
+) -> dict[int, dict[int, int]]:
+    """Expected final ``{rank: {slot: value}}`` states for one collective.
+
+    Only the slots the collective *guarantees* are returned (e.g. a
+    reduce constrains the root alone; an all-to-all constrains the
+    ``ranks + i`` landing slots).  Inputs come from the shared
+    ``contribution`` function; everything else is re-derived here from
+    the mathematical definition.
+    """
+    from ..workloads.collectives import contribution
+
+    if pattern == "ring-all-reduce":
+        totals = golden_all_reduce(
+            [
+                [contribution(seed, r, s) for s in range(segments)]
+                for r in range(ranks)
+            ]
+        )
+        return {
+            r: {s: totals[s] for s in range(segments)} for r in range(ranks)
+        }
+    if pattern == "rd-all-reduce":
+        totals = golden_all_reduce(
+            [[contribution(seed, r, 0)] for r in range(ranks)]
+        )
+        return {r: {0: totals[0]} for r in range(ranks)}
+    if pattern == "broadcast":
+        finals = golden_broadcast(
+            [contribution(seed, r, 0) for r in range(ranks)], root % ranks
+        )
+        return {r: {0: finals[r]} for r in range(ranks)}
+    if pattern == "reduce":
+        total = golden_reduce([contribution(seed, r, 0) for r in range(ranks)])
+        return {root % ranks: {0: total}}
+    if pattern == "all-to-all":
+        blocks = golden_all_to_all(
+            [
+                [contribution(seed, i, j) for j in range(ranks)]
+                for i in range(ranks)
+            ]
+        )
+        return {
+            j: {ranks + i: blocks[j][i] for i in range(ranks)}
+            for j in range(ranks)
+        }
+    if pattern == "pipeline":
+        stages = max(1, min(stages, ranks))
+        outs = golden_pipeline(
+            [
+                [contribution(seed, t, b) for b in range(microbatches)]
+                for t in range(stages)
+            ]
+        )
+        # The last stage's handler ranks are the final holders; re-derive
+        # the contiguous partition naively (remainder front-loaded).
+        base, rem = divmod(ranks, stages)
+        last_start = sum(base + (1 if t < rem else 0) for t in range(stages - 1))
+        last_width = base + (1 if stages - 1 < rem else 0)
+        finals: dict[int, dict[int, int]] = {}
+        for b in range(microbatches):
+            handler = last_start + (b % last_width)
+            finals.setdefault(handler, {})[b] = outs[b]
+        return finals
+    raise ValueError(f"no golden model for collective pattern {pattern!r}")
+
+
+def golden_dataflow(
+    layers: list[tuple[str, int]],
+    edges: list[tuple[str, str, str]],
+    inputs: dict[str, list[int]],
+    biases: dict[str, list[int]],
+) -> dict[str, list[int]]:
+    """Naive layer-DAG evaluation: final activation vector per layer.
+
+    ``layers`` are ``(name, width)`` in declaration order, ``edges`` are
+    ``(src, dst, kind)`` with kind in dense/broadcast/reduce, ``inputs``
+    seed the no-incoming-edge layers and ``biases`` seed the rest.
+    Edges are applied in (destination topological position, declaration
+    order) — the same publicly documented firing order the lowering
+    uses — with its own topological sort and explicit loops.
+    """
+    widths = dict(layers)
+    fed = {dst for _, dst, _ in edges}
+
+    # Kahn's algorithm, independently.
+    indegree = {name: 0 for name, _ in layers}
+    for _, dst, _ in edges:
+        indegree[dst] += 1
+    ready = [name for name, _ in layers if indegree[name] == 0]
+    topo: list[str] = []
+    while ready:
+        name = ready.pop(0)
+        topo.append(name)
+        for src, dst, _ in edges:
+            if src == name:
+                indegree[dst] -= 1
+                if indegree[dst] == 0:
+                    ready.append(dst)
+    if len(topo) != len(widths):
+        raise ValueError("dataflow graph has a cycle")
+    position = {name: i for i, name in enumerate(topo)}
+
+    act: dict[str, list[int]] = {}
+    for name, width in layers:
+        source = inputs if name not in fed else biases
+        act[name] = list(source[name])
+        if len(act[name]) != width:
+            raise ValueError(f"layer {name!r} seed width mismatch")
+
+    ordered = sorted(
+        range(len(edges)), key=lambda i: (position[edges[i][1]], i)
+    )
+    for i in ordered:
+        src, dst, kind = edges[i]
+        if kind == "dense":
+            total = 0
+            for v in act[src]:
+                total = (total + v) & _MASK64
+            act[dst] = [(v + total) & _MASK64 for v in act[dst]]
+        elif kind == "broadcast":
+            act[dst] = [act[src][0] for _ in act[dst]]
+        elif kind == "reduce":
+            acc = act[dst][0]
+            for v in act[src]:
+                acc = (acc + v) & _MASK64
+            act[dst] = [acc] + act[dst][1:]
+        else:
+            raise ValueError(f"unknown edge kind {kind!r}")
+    return act

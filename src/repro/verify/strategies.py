@@ -162,3 +162,36 @@ def traffic_pairs(
     """Source/destination coordinate pairs for NoC traffic."""
     pair = st.tuples(coords(rows, cols), coords(rows, cols))
     return draw(st.lists(pair, min_size=1, max_size=max_pairs))
+
+
+@st.composite
+def collective_specs(
+    draw,
+    max_ranks: int | None = 24,
+    patterns: tuple[str, ...] | None = None,
+) -> "CollectiveSpec":
+    """Collective workload specs across pattern, size and placement.
+
+    Geometry-dependent knobs (segments, root, stages) are drawn wide on
+    purpose — ``build_program`` clamps them to the participant count, so
+    every drawn spec instantiates on any wafer with at least one healthy
+    tile.  ``max_ranks`` bounds the participant count to keep schedule
+    compilation cheap inside property tests; ``None`` lets the spec use
+    every healthy tile.
+    """
+    from ..workloads.collectives import PLACEMENTS, PATTERNS, CollectiveSpec
+
+    pool = patterns or PATTERNS
+    ranks: int | None = None
+    if max_ranks is not None:
+        ranks = draw(st.integers(min_value=1, max_value=max_ranks))
+    return CollectiveSpec(
+        pattern=draw(st.sampled_from(pool)),
+        seed=draw(st.integers(min_value=0, max_value=2**31 - 1)),
+        ranks=ranks,
+        segments=draw(st.integers(min_value=1, max_value=8)),
+        root=draw(st.integers(min_value=0, max_value=63)),
+        stages=draw(st.integers(min_value=1, max_value=6)),
+        microbatches=draw(st.integers(min_value=1, max_value=6)),
+        placement=draw(st.sampled_from(PLACEMENTS)),
+    )

@@ -1,6 +1,32 @@
 """Graph workloads and traffic generators (paper Section II validation)."""
 
 from .bfs import BfsResult, DistributedBfs
+from .collectives import (
+    PATTERNS,
+    PLACEMENTS,
+    CollectiveDriver,
+    CollectiveProgram,
+    CollectiveSpec,
+    NocCollective,
+    Transfer,
+    all_to_all,
+    broadcast,
+    build_program,
+    check_delivery,
+    collective_fault_sweep,
+    compile_noc,
+    contribution,
+    execute_program,
+    fault_sweep,
+    pipeline,
+    recursive_doubling_all_reduce,
+    ring_all_reduce,
+    run_noc_collective,
+    run_noc_collective_batch,
+    select_ranks,
+    tree_reduce,
+)
+from .dataflow import DataflowGraph, demo_graph
 from .graphs import GraphPartition, grid_graph, random_graph, rmat_graph
 from .pagerank import DistributedPageRank, PageRankResult
 from .sssp import DistributedSssp, SsspResult
@@ -24,4 +50,29 @@ __all__ = [
     "SsspResult",
     "TrafficPattern",
     "generate_traffic",
+    "PATTERNS",
+    "PLACEMENTS",
+    "CollectiveDriver",
+    "CollectiveProgram",
+    "CollectiveSpec",
+    "NocCollective",
+    "Transfer",
+    "all_to_all",
+    "broadcast",
+    "build_program",
+    "check_delivery",
+    "collective_fault_sweep",
+    "compile_noc",
+    "contribution",
+    "execute_program",
+    "fault_sweep",
+    "pipeline",
+    "recursive_doubling_all_reduce",
+    "ring_all_reduce",
+    "run_noc_collective",
+    "run_noc_collective_batch",
+    "select_ranks",
+    "tree_reduce",
+    "DataflowGraph",
+    "demo_graph",
 ]

@@ -1,0 +1,195 @@
+"""Layer-DAG dataflow workloads lowered to collective phase programs.
+
+CHIPSIM-style DNN dataflows are just a DAG of layers whose edges are
+collectives: a dense layer is an all-to-all reduction from every source
+rank into every destination rank, a broadcast edge fans one activation
+out to a layer, a reduce edge folds a layer into one rank.  This module
+lowers such a DAG onto wafer tiles by compiling it to a single
+:class:`~repro.workloads.collectives.CollectiveProgram` — one phase per
+edge, ordered so every layer is final before anything reads it — which
+means the NoC packet backend, the emulator driver, the delivery oracle
+and the verify campaign all come for free from :mod:`.collectives`.
+
+Rank/slot convention (the naive :func:`repro.verify.golden.golden_dataflow`
+re-derives results from the same convention without touching this code):
+
+* layers occupy contiguous global rank ranges in declaration order;
+* every rank uses slot 0 for its activation;
+* input layers (no incoming edges) start at ``contribution(seed, rank, 0)``,
+  all other layers start at their bias ``contribution(seed, rank, 1)`` —
+  which makes ``set`` vs ``sum`` edge semantics observable;
+* edges fire one phase each, sorted by (destination's topological
+  position, declaration order), so a layer's inputs all land before any
+  edge reads the layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import WorkloadError
+from .collectives import CollectiveProgram, Transfer, contribution
+
+#: Edge kinds and their collective semantics.
+EDGE_KINDS = ("dense", "broadcast", "reduce")
+
+
+@dataclass(frozen=True)
+class Layer:
+    name: str
+    width: int
+    start: int  # first global rank
+
+    @property
+    def ranks(self) -> range:
+        return range(self.start, self.start + self.width)
+
+
+@dataclass(frozen=True)
+class Edge:
+    src: str
+    dst: str
+    kind: str
+
+
+class DataflowGraph:
+    """A layer DAG whose edges lower to collective phases."""
+
+    def __init__(self, *, seed: int = 0) -> None:
+        self.seed = seed
+        self.layers: dict[str, Layer] = {}
+        self.edges: list[Edge] = []
+        self._next_rank = 0
+
+    @property
+    def ranks(self) -> int:
+        """Total global ranks across all layers."""
+        return self._next_rank
+
+    def add_layer(self, name: str, width: int) -> Layer:
+        """Declare a layer of ``width`` ranks; order fixes placement."""
+        if name in self.layers:
+            raise WorkloadError(f"duplicate layer {name!r}")
+        if width < 1:
+            raise WorkloadError(f"layer {name!r} needs a positive width")
+        layer = Layer(name=name, width=width, start=self._next_rank)
+        self.layers[name] = layer
+        self._next_rank += width
+        return layer
+
+    def add_edge(self, src: str, dst: str, kind: str = "dense") -> Edge:
+        """Connect two declared layers with a collective edge."""
+        for name in (src, dst):
+            if name not in self.layers:
+                raise WorkloadError(f"edge references unknown layer {name!r}")
+        if src == dst:
+            raise WorkloadError(f"self-edge on layer {src!r}")
+        if kind not in EDGE_KINDS:
+            raise WorkloadError(
+                f"unknown edge kind {kind!r}; pick one of {EDGE_KINDS}"
+            )
+        edge = Edge(src=src, dst=dst, kind=kind)
+        self.edges.append(edge)
+        return edge
+
+    def input_layers(self) -> list[str]:
+        """Layers with no incoming edges, in declaration order."""
+        fed = {e.dst for e in self.edges}
+        return [name for name in self.layers if name not in fed]
+
+    def topo_order(self) -> list[str]:
+        """Layers in topological order (Kahn); cycles are an error."""
+        indegree = {name: 0 for name in self.layers}
+        for edge in self.edges:
+            indegree[edge.dst] += 1
+        ready = [name for name in self.layers if indegree[name] == 0]
+        order: list[str] = []
+        while ready:
+            name = ready.pop(0)
+            order.append(name)
+            for edge in self.edges:
+                if edge.src == name:
+                    indegree[edge.dst] -= 1
+                    if indegree[edge.dst] == 0:
+                        ready.append(edge.dst)
+        if len(order) != len(self.layers):
+            stuck = sorted(set(self.layers) - set(order))
+            raise WorkloadError(f"dataflow graph has a cycle through {stuck}")
+        return order
+
+    def ordered_edges(self) -> list[Edge]:
+        """Edges in firing order: destination topo position, then declaration."""
+        position = {name: i for i, name in enumerate(self.topo_order())}
+        return sorted(
+            self.edges,
+            key=lambda e: (position[e.dst], self.edges.index(e)),
+        )
+
+    def build_program(self) -> CollectiveProgram:
+        """Lower the DAG to one validated collective phase program."""
+        if not self.layers:
+            raise WorkloadError("dataflow graph has no layers")
+        inputs = set(self.input_layers())
+        init: dict[int, dict[int, int]] = {}
+        for layer in self.layers.values():
+            bias_slot = 0 if layer.name in inputs else 1
+            for rank in layer.ranks:
+                init[rank] = {0: contribution(self.seed, rank, bias_slot)}
+
+        phases: list[list[Transfer]] = []
+        for edge in self.ordered_edges():
+            src, dst = self.layers[edge.src], self.layers[edge.dst]
+            if edge.kind == "dense":
+                phase = [
+                    Transfer(s, d, 0, 0, "sum")
+                    for s in src.ranks
+                    for d in dst.ranks
+                ]
+            elif edge.kind == "broadcast":
+                phase = [
+                    Transfer(src.start, d, 0, 0, "set") for d in dst.ranks
+                ]
+            else:  # reduce
+                phase = [
+                    Transfer(s, dst.start, 0, 0, "sum") for s in src.ranks
+                ]
+            phases.append(phase)
+
+        program = CollectiveProgram(
+            name="dataflow",
+            ranks=self.ranks,
+            phases=phases,
+            init=init,
+            params={"seed": self.seed},
+        )
+        program.validate()
+        return program
+
+    def layer_finals(
+        self, finals: dict[int, dict[int, int]]
+    ) -> dict[str, list[int]]:
+        """Regroup program finals by layer for oracle comparison."""
+        return {
+            name: [finals[r].get(0, 0) for r in layer.ranks]
+            for name, layer in self.layers.items()
+        }
+
+
+def demo_graph(*, seed: int = 0, width: int = 4) -> DataflowGraph:
+    """A small MLP-shaped DAG used by the CLI and smoke tests.
+
+    input --dense--> hidden --dense--> logits --reduce--> loss, with a
+    broadcast of the loss back onto a gradient layer — every edge kind
+    in one graph.
+    """
+    graph = DataflowGraph(seed=seed)
+    graph.add_layer("input", width)
+    graph.add_layer("hidden", max(1, width // 2))
+    graph.add_layer("logits", width)
+    graph.add_layer("loss", 1)
+    graph.add_layer("grad", max(1, width // 2))
+    graph.add_edge("input", "hidden", "dense")
+    graph.add_edge("hidden", "logits", "dense")
+    graph.add_edge("logits", "loss", "reduce")
+    graph.add_edge("loss", "grad", "broadcast")
+    return graph

@@ -34,6 +34,8 @@ COMMANDS = {
     "noc": ["noc", "--rows", "4", "--cols", "4", "--cycles", "20"],
     "emu": ["emu", "--rows", "4", "--cols", "4", "--workload", "wave",
             "--engine", "vector", "--faults", "1", "--seed", "1"],
+    "collective": ["collective", "--rows", "4", "--cols", "4", "--ranks", "4",
+                   "--pattern", "ring-all-reduce", "--seed", "1"],
     "verify": ["verify", "--suite", "dft", "--trials", "2"],
     # A missing file is still a structured (ok=False) result.
     "obs": ["obs", "validate", "does-not-exist.json"],
@@ -117,6 +119,50 @@ class TestTextRendering:
         main(COMMANDS["resiliency"])
         out = capsys.readouterr().out
         assert "coverage %" in out.splitlines()[0]
+
+
+class TestCollectiveCommand:
+    """Smoke for the collective paths: envelope validity + engine echo."""
+
+    @pytest.mark.parametrize("engine", ["reference", "fast", "vector"])
+    def test_noc_backend_echoes_engine(self, engine, capsys):
+        assert main(COMMANDS["collective"] + ["--engine", engine, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert validate_envelope_document(payload) == []
+        assert payload["result"]["engine"] == engine
+        assert payload["result"]["oracle_checks"] > 0
+
+    def test_emu_backend_echoes_resolved_engine(self, capsys):
+        cmd = COMMANDS["collective"] + ["--backend", "emu",
+                                        "--engine", "vector", "--json"]
+        assert main(cmd) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert validate_envelope_document(payload) == []
+        assert payload["result"]["engine"] == "vector"
+        assert payload["result"]["supersteps"] > 0
+
+    def test_dataflow_pattern(self, capsys):
+        cmd = ["collective", "--rows", "5", "--cols", "5", "--pattern",
+               "dataflow", "--json"]
+        assert main(cmd) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["result"]["pattern"] == "dataflow"
+        assert payload["result"]["oracle_checks"] > 0
+
+    def test_sweep_mode(self, capsys):
+        cmd = ["collective", "--rows", "5", "--cols", "5", "--ranks", "6",
+               "--sweep-faults", "0,2", "--trials", "2", "--no-cache",
+               "--engine", "vector", "--json"]
+        assert main(cmd) == 0
+        payload = json.loads(capsys.readouterr().out)
+        points = payload["result"]["points"]
+        assert [p["faults"] for p in points] == [0, 2]
+        assert payload["result"]["engine"] == "vector"
+
+    def test_verify_collective_suite_listed(self):
+        from repro.verify import SUITES
+
+        assert "collective" in SUITES
 
 
 class TestEngineFlags:
